@@ -1,0 +1,205 @@
+package qcommit
+
+import (
+	"fmt"
+	"testing"
+
+	"qcommit/internal/avail"
+	"qcommit/internal/voting"
+	"qcommit/internal/workload"
+)
+
+// BenchmarkThroughputSequential streams committed transactions through one
+// cluster per protocol, reporting virtual milliseconds per committed
+// transaction — the steady-state cost of each protocol's extra phases.
+func BenchmarkThroughputSequential(b *testing.B) {
+	for _, proto := range AllProtocols() {
+		proto := proto
+		b.Run(string(proto), func(b *testing.B) {
+			c := MustCluster(paperItems(), Options{Protocol: proto, Seed: 1, DisableTrace: true})
+			start := c.Now()
+			for i := 0; i < b.N; i++ {
+				txn := c.Submit(SiteID(i%4+1), map[ItemID]int64{"x": int64(i), "y": int64(i)})
+				c.Run()
+				if c.Outcome(txn) != OutcomeCommitted {
+					b.Fatalf("txn %d: %v", i, c.Outcome(txn))
+				}
+			}
+			elapsed := float64(c.Now()-start) / 1e6
+			b.ReportMetric(elapsed/float64(b.N), "vtime-ms/txn")
+		})
+	}
+}
+
+// BenchmarkMessageLossSweep measures how message loss degrades the commit
+// rate under QC1: the fraction of transactions that still commit (possibly
+// via termination rounds) at 0%, 5%, 10% and 20% loss.
+func BenchmarkMessageLossSweep(b *testing.B) {
+	for _, loss := range []float64{0, 0.05, 0.10, 0.20} {
+		loss := loss
+		b.Run(fmt.Sprintf("loss%.0f%%", loss*100), func(b *testing.B) {
+			committed, aborted, blocked := 0, 0, 0
+			for i := 0; i < b.N; i++ {
+				c := MustCluster(paperItems(), Options{
+					Protocol: ProtoQC1, Seed: int64(i + 1), LossProb: loss, DisableTrace: true,
+				})
+				txn := c.Submit(1, map[ItemID]int64{"x": 1, "y": 2})
+				c.Run()
+				if len(c.Violations()) != 0 {
+					b.Fatalf("seed %d: violations under loss", i+1)
+				}
+				switch c.Outcome(txn) {
+				case OutcomeCommitted:
+					committed++
+				case OutcomeAborted:
+					aborted++
+				default:
+					blocked++
+				}
+			}
+			total := float64(committed + aborted + blocked)
+			b.ReportMetric(100*float64(committed)/total, "commit-pct")
+			b.ReportMetric(100*float64(blocked)/total, "blocked-pct")
+		})
+	}
+}
+
+// BenchmarkQuorumRead measures the weighted-voting read path (quorum check +
+// version resolution) on a healthy cluster.
+func BenchmarkQuorumRead(b *testing.B) {
+	c := MustCluster(paperItems(), Options{Protocol: ProtoQC1, Seed: 1, DisableTrace: true})
+	txn := c.Submit(1, map[ItemID]int64{"x": 42, "y": 43})
+	c.Run()
+	if c.Outcome(txn) != OutcomeCommitted {
+		b.Fatal("setup commit failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.QuorumRead(2, "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadMixed streams a generated workload (2 writes per
+// transaction, 20% hot-spot skew) through QC2 and reports commit rate and
+// per-transaction virtual latency. Conflicting transactions may abort under
+// the no-wait lock policy; that is part of the measurement.
+func BenchmarkWorkloadMixed(b *testing.B) {
+	items := []ReplicatedItem{
+		{Name: "a", Sites: []SiteID{1, 2, 3, 4}, R: 2, W: 3},
+		{Name: "b", Sites: []SiteID{3, 4, 5, 6}, R: 2, W: 3},
+		{Name: "c", Sites: []SiteID{5, 6, 7, 8}, R: 2, W: 3},
+	}
+	asgn := voting.MustAssignment(
+		voting.Uniform("a", 2, 3, 1, 2, 3, 4),
+		voting.Uniform("b", 2, 3, 3, 4, 5, 6),
+		voting.Uniform("c", 2, 3, 5, 6, 7, 8),
+	)
+	gen, err := workload.NewGenerator(asgn, workload.Mix{WritesPerTxn: 2, HotFraction: 0.2}, 77)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := MustCluster(items, Options{Protocol: ProtoQC2, Seed: 1, DisableTrace: true})
+	committed := 0
+	start := c.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := gen.Next()
+		writes := make(map[ItemID]int64, len(txn.Writeset))
+		for _, u := range txn.Writeset {
+			writes[u.Item] = u.Value
+		}
+		id := c.Submit(txn.Coord, writes)
+		c.Run()
+		if c.Outcome(id) == OutcomeCommitted {
+			committed++
+		}
+	}
+	b.StopTimer()
+	elapsed := float64(c.Now()-start) / 1e6
+	b.ReportMetric(100*float64(committed)/float64(b.N), "commit-pct")
+	b.ReportMetric(elapsed/float64(b.N), "vtime-ms/txn")
+}
+
+// BenchmarkAblationTerminationRounds measures the cost of the reenterable
+// termination protocol's retry loop: a partition that can never form a
+// quorum burns MaxTerminationRounds election+poll rounds before resigning.
+func BenchmarkAblationTerminationRounds(b *testing.B) {
+	for _, rounds := range []int{1, 3, 6} {
+		rounds := rounds
+		b.Run(fmt.Sprintf("rounds%d", rounds), func(b *testing.B) {
+			var totalV float64
+			for i := 0; i < b.N; i++ {
+				c := MustCluster(paperItems(), Options{
+					Protocol: ProtoQC1, Seed: int64(i + 1),
+					MaxTerminationRounds: rounds, DisableTrace: true,
+				})
+				// G2 of Example 1: can never terminate, always blocks.
+				txn := c.SetupInterrupted(1, map[ItemID]int64{"x": 1, "y": 2}, map[SiteID]State{
+					4: StateWait, 5: StatePC,
+				})
+				c.Crash(1)
+				c.Partition([]SiteID{4, 5})
+				end := c.Run()
+				if got := c.OutcomeAt(4, txn); got != OutcomeBlocked {
+					b.Fatalf("expected blocked, got %v", got)
+				}
+				totalV += float64(end) / 1e6
+			}
+			b.ReportMetric(totalV/float64(b.N), "vtime-ms-to-resign")
+		})
+	}
+}
+
+// BenchmarkAvailabilityVsGroups sweeps the maximum number of partition
+// groups (the x-axis of an availability-vs-fragmentation figure): the more
+// fragments, the fewer partitions hold replica quorums, so termination rates
+// fall for every quorum protocol — but QC1/QC2 degrade more slowly.
+func BenchmarkAvailabilityVsGroups(b *testing.B) {
+	for _, groups := range []int{2, 3, 4} {
+		groups := groups
+		for _, bl := range avail.StandardBuilders() {
+			bl := bl
+			if bl.Label == "3PC" {
+				continue // violates atomicity under partitions; excluded here
+			}
+			b.Run(fmt.Sprintf("groups%d/%s", groups, bl.Label), func(b *testing.B) {
+				params := avail.DefaultScenarioParams()
+				params.MaxGroups = groups
+				var counts avail.Counts
+				for i := 0; i < b.N; i++ {
+					sc, err := avail.GenerateScenario(params, int64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					rep, violations := avail.Replay(sc, bl.Build(sc))
+					if len(violations) != 0 {
+						b.Fatalf("violations: %v", violations)
+					}
+					counts.Add(rep.Tally())
+				}
+				b.ReportMetric(100*counts.TerminationRate(), "term-rate-pct")
+				b.ReportMetric(100*counts.ReadAvailability(), "read-avail-pct")
+			})
+		}
+	}
+}
+
+// BenchmarkDurableCommit measures a full commit with file-backed WALs: every
+// forced log record costs a real fsync at each site, which dominates —
+// the classic durability tax.
+func BenchmarkDurableCommit(b *testing.B) {
+	dir := b.TempDir()
+	c := MustCluster(paperItems(), Options{Protocol: ProtoQC2, Seed: 1, DisableTrace: true, WALDir: dir})
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := c.Submit(1, map[ItemID]int64{"x": int64(i), "y": int64(i)})
+		c.Run()
+		if c.Outcome(txn) != OutcomeCommitted {
+			b.Fatalf("txn %d: %v", i, c.Outcome(txn))
+		}
+	}
+}

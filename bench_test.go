@@ -1,0 +1,244 @@
+package qcommit
+
+// The benchmarks in this file regenerate the paper's evaluation artifacts;
+// EXPERIMENTS.md maps each to its figure/example/claim. Since the paper's
+// testbed is a simulated network, wall-clock ns/op measures simulator cost;
+// the protocol-level results are reported as custom metrics:
+//
+//	vtime-ms/commit   virtual time from Submit to cluster-wide commit
+//	msgs/commit       network messages sent per committed transaction
+//	acks-at-decision  PC-ACKs the coordinator had when it decided (C2 claim)
+//	term-rate-pct     Monte Carlo termination rate (C1 claim)
+//	read-avail-pct    Monte Carlo read availability (C1 claim)
+
+import (
+	"testing"
+
+	"qcommit/internal/avail"
+	"qcommit/internal/core"
+)
+
+func benchCommit(b *testing.B, proto Protocol) {
+	b.Helper()
+	var totalV, totalDecide, totalMsgs float64
+	for i := 0; i < b.N; i++ {
+		c := MustCluster(paperItems(), Options{Protocol: proto, Seed: int64(i + 1), DisableTrace: true})
+		txn := c.Submit(1, map[ItemID]int64{"x": 1, "y": 2})
+		end := c.Run()
+		if c.Outcome(txn) != OutcomeCommitted {
+			b.Fatalf("iteration %d: outcome %v", i, c.Outcome(txn))
+		}
+		decideAt, ok := c.eng.FirstDecisionAt(txn)
+		if !ok {
+			b.Fatal("no decision time recorded")
+		}
+		totalDecide += float64(decideAt) / 1e6
+		totalV += float64(end) / 1e6
+		totalMsgs += float64(c.NetworkStats().Sent)
+	}
+	b.ReportMetric(totalDecide/float64(b.N), "vtime-ms-to-decision")
+	b.ReportMetric(totalV/float64(b.N), "vtime-ms/commit")
+	b.ReportMetric(totalMsgs/float64(b.N), "msgs/commit")
+}
+
+// BenchmarkFig1TwoPCCommit regenerates Fig. 1's failure-free message flow
+// under 2PC (see cmd/figures -fig 1 for the ladder itself).
+func BenchmarkFig1TwoPCCommit(b *testing.B) { benchCommit(b, Proto2PC) }
+
+// BenchmarkFig2ThreePCCommit regenerates Fig. 2 under 3PC.
+func BenchmarkFig2ThreePCCommit(b *testing.B) { benchCommit(b, Proto3PC) }
+
+// BenchmarkSkeenQuorumCommit measures Skeen's quorum commit protocol [16].
+func BenchmarkSkeenQuorumCommit(b *testing.B) { benchCommit(b, ProtoSkeenQuorum) }
+
+// BenchmarkFig9CommitQC1 regenerates Fig. 9 under commit protocol 1.
+func BenchmarkFig9CommitQC1(b *testing.B) { benchCommit(b, ProtoQC1) }
+
+// BenchmarkFig9CommitQC2 regenerates Fig. 9 under commit protocol 2, which
+// the paper argues is the fastest (claim C2): compare vtime-ms/commit and
+// acks-at-decision across the protocol benchmarks.
+func BenchmarkFig9CommitQC2(b *testing.B) { benchCommit(b, ProtoQC2) }
+
+// BenchmarkClaimC2AcksAtDecision measures how many PC-ACKs each quorum
+// protocol's coordinator needed before sending COMMIT (3PC needs all 8, CP1
+// needs w(x) votes for every item = 6, CP2 needs r(x) for some item = 2).
+func BenchmarkClaimC2AcksAtDecision(b *testing.B) {
+	for _, proto := range []Protocol{Proto3PC, ProtoQC1, ProtoQC2} {
+		proto := proto
+		b.Run(string(proto), func(b *testing.B) {
+			var acks float64
+			for i := 0; i < b.N; i++ {
+				c := MustCluster(paperItems(), Options{Protocol: proto, Seed: int64(i + 1), DisableTrace: true})
+				txn := c.Submit(1, map[ItemID]int64{"x": 1, "y": 2})
+				c.Run()
+				if c.Outcome(txn) != OutcomeCommitted {
+					b.Fatal("commit failed")
+				}
+				n, ok := c.eng.AcksAtDecision(1, txn)
+				if !ok {
+					b.Fatal("coordinator ack counter unavailable")
+				}
+				acks += float64(n)
+			}
+			b.ReportMetric(acks/float64(b.N), "acks-at-decision")
+		})
+	}
+}
+
+// BenchmarkExample1SkeenBlocks replays Example 1 (Fig. 3): Skeen's quorum
+// protocol blocks in all three partitions.
+func BenchmarkExample1SkeenBlocks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := MustCluster(paperItems(), Options{Protocol: ProtoSkeenQuorum, Seed: int64(i + 1),
+			SkeenVc: 5, SkeenVa: 4, DisableTrace: true})
+		txn := c.SetupInterrupted(1, map[ItemID]int64{"x": 1, "y": 2}, map[SiteID]State{
+			1: StateWait, 2: StateWait, 3: StateWait, 4: StateWait,
+			5: StatePC, 6: StateWait, 7: StateWait, 8: StateWait,
+		})
+		c.Crash(1)
+		c.Partition([]SiteID{1, 2, 3}, []SiteID{4, 5}, []SiteID{6, 7, 8})
+		c.Run()
+		rep := c.Availability(txn).Tally()
+		if rep.Blocked != 3 || rep.Terminated != 0 {
+			b.Fatalf("Example 1 shape broken: %+v", rep)
+		}
+	}
+}
+
+// BenchmarkExample4QC1Terminates replays Example 4: termination protocol 1
+// aborts in G1 and G3, restoring access to x (read) and y (write).
+func BenchmarkExample4QC1Terminates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := MustCluster(paperItems(), Options{Protocol: ProtoQC1, Seed: int64(i + 1), DisableTrace: true})
+		txn := c.SetupInterrupted(1, map[ItemID]int64{"x": 1, "y": 2}, map[SiteID]State{
+			1: StateWait, 2: StateWait, 3: StateWait, 4: StateWait,
+			5: StatePC, 6: StateWait, 7: StateWait, 8: StateWait,
+		})
+		c.Crash(1)
+		c.Partition([]SiteID{1, 2, 3}, []SiteID{4, 5}, []SiteID{6, 7, 8})
+		c.Run()
+		rep := c.Availability(txn).Tally()
+		if rep.Terminated != 2 || rep.Blocked != 1 {
+			b.Fatalf("Example 4 shape broken: %+v", rep)
+		}
+	}
+}
+
+// BenchmarkExample2ThreePCInconsistent replays Example 2: the 3PC
+// termination protocol splits the decision across partitions.
+func BenchmarkExample2ThreePCInconsistent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := MustCluster(paperItems(), Options{Protocol: Proto3PC, Seed: int64(i + 1), DisableTrace: true})
+		txn := c.SetupInterrupted(1, map[ItemID]int64{"x": 1, "y": 2}, map[SiteID]State{
+			1: StateWait, 2: StateWait, 3: StateWait, 4: StateWait,
+			5: StatePC, 6: StateWait, 7: StateWait, 8: StateWait,
+		})
+		c.Crash(1)
+		c.Partition([]SiteID{1, 2, 3}, []SiteID{4, 5}, []SiteID{6, 7, 8})
+		c.Run()
+		if len(c.Violations()) == 0 {
+			b.Fatal("Example 2 should violate atomicity under 3PC")
+		}
+		_ = txn
+	}
+}
+
+// BenchmarkClaimC1AvailabilityMonteCarlo runs the availability sweep (claim
+// C1: the paper's protocols terminate more partitions and keep more items
+// accessible than Skeen's quorum protocol).
+func BenchmarkClaimC1AvailabilityMonteCarlo(b *testing.B) {
+	builders := avail.StandardBuilders()
+	for _, bl := range builders {
+		bl := bl
+		b.Run(bl.Label, func(b *testing.B) {
+			var counts avail.Counts
+			trials := 0
+			for i := 0; i < b.N; i++ {
+				sc, err := avail.GenerateScenario(avail.DefaultScenarioParams(), int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, _ := avail.Replay(sc, bl.Build(sc))
+				counts.Add(rep.Tally())
+				trials++
+			}
+			b.ReportMetric(100*counts.TerminationRate(), "term-rate-pct")
+			b.ReportMetric(100*counts.ReadAvailability(), "read-avail-pct")
+			b.ReportMetric(100*counts.WriteAvailability(), "write-avail-pct")
+		})
+	}
+}
+
+// BenchmarkFig4ConcurrencySets measures the Fig. 4 analysis (partition-state
+// enumeration), asserting the PS2/PS5 impossibility witness each time.
+func BenchmarkFig4ConcurrencySets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cs := core.ConcurrencySets()
+		found := false
+		for _, other := range cs[core.PS2] {
+			if other == core.PS5 {
+				found = true
+			}
+		}
+		if !found {
+			b.Fatal("PS2/PS5 concurrency lost")
+		}
+	}
+}
+
+// BenchmarkTerminationRoundLatency measures a full termination round
+// (election + poll + prepare + confirm + distribute) in a partition holding
+// sites 2-4 of item x (w(x)=3 votes present) with all participants in W —
+// a configuration that BOTH TP1 and TP2 can abort.
+func BenchmarkTerminationRoundLatency(b *testing.B) {
+	for _, proto := range []Protocol{ProtoQC1, ProtoQC2} {
+		proto := proto
+		b.Run(string(proto), func(b *testing.B) {
+			var totalV float64
+			for i := 0; i < b.N; i++ {
+				c := MustCluster([]ReplicatedItem{
+					{Name: "x", Sites: []SiteID{1, 2, 3, 4}, R: 2, W: 3},
+				}, Options{Protocol: proto, Seed: int64(i + 1), DisableTrace: true})
+				txn := c.SetupInterrupted(1, map[ItemID]int64{"x": 1}, map[SiteID]State{
+					2: StateWait, 3: StateWait, 4: StateWait,
+				})
+				c.Crash(1)
+				end := c.Run()
+				if got := c.OutcomeAt(2, txn); got != OutcomeAborted {
+					b.Fatalf("expected abort, got %v", got)
+				}
+				totalV += float64(end) / 1e6
+			}
+			b.ReportMetric(totalV/float64(b.N), "vtime-ms/termination")
+		})
+	}
+}
+
+// BenchmarkReplicationSweep measures commit latency and message count as the
+// replication degree grows (the cost side of quorum protocols).
+func BenchmarkReplicationSweep(b *testing.B) {
+	for _, n := range []int{3, 5, 7, 9} {
+		n := n
+		b.Run(string(rune('0'+n))+"copies", func(b *testing.B) {
+			sites := make([]SiteID, n)
+			for i := range sites {
+				sites[i] = SiteID(i + 1)
+			}
+			var totalMsgs, totalV float64
+			for i := 0; i < b.N; i++ {
+				c := MustCluster([]ReplicatedItem{
+					{Name: "x", Sites: sites},
+				}, Options{Protocol: ProtoQC2, Seed: int64(i + 1), DisableTrace: true})
+				txn := c.Submit(1, map[ItemID]int64{"x": 1})
+				end := c.Run()
+				if c.Outcome(txn) != OutcomeCommitted {
+					b.Fatal("commit failed")
+				}
+				totalMsgs += float64(c.NetworkStats().Sent)
+				totalV += float64(end) / 1e6
+			}
+			b.ReportMetric(totalMsgs/float64(b.N), "msgs/commit")
+			b.ReportMetric(totalV/float64(b.N), "vtime-ms/commit")
+		})
+	}
+}

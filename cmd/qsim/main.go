@@ -1,0 +1,99 @@
+// Command qsim runs one commit scenario under a chosen protocol with
+// scripted failures, then prints the outcome, the per-partition availability
+// table and (optionally) the full message ladder.
+//
+//	qsim -protocol QC1
+//	qsim -protocol SkeenQ -crash 1 -crashat 15ms -partition "1,2,3|4,5|6,7,8" -partat 15ms
+//	qsim -protocol QC2 -loss 0.1 -ladder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"qcommit"
+)
+
+func main() {
+	protocol := flag.String("protocol", "QC1", "2PC, 3PC, SkeenQ, QC1 or QC2")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	loss := flag.Float64("loss", 0, "message loss probability")
+	dup := flag.Float64("dup", 0, "message duplication probability")
+	crash := flag.String("crash", "", "comma-separated sites to crash")
+	crashAt := flag.Duration("crashat", 15*time.Millisecond, "virtual time of the crash")
+	partition := flag.String("partition", "", "partition groups, e.g. \"1,2,3|4,5|6,7,8\"")
+	partAt := flag.Duration("partat", 15*time.Millisecond, "virtual time of the partition")
+	ladder := flag.Bool("ladder", false, "print the full message ladder")
+	flag.Parse()
+
+	c, err := qcommit.NewCluster(qcommit.PaperItems(), qcommit.Options{
+		Protocol: qcommit.Protocol(*protocol),
+		Seed:     *seed,
+		LossProb: *loss,
+		DupProb:  *dup,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	txn := c.Submit(1, map[qcommit.ItemID]int64{"x": 1, "y": 2})
+
+	for _, s := range parseSites(*crash) {
+		c.CrashAt(qcommit.Time(crashAt.Nanoseconds()), s)
+	}
+	if groups := parseGroups(*partition); groups != nil {
+		c.PartitionAt(qcommit.Time(partAt.Nanoseconds()), groups...)
+	}
+
+	end := c.Run()
+
+	fmt.Printf("protocol: %s  seed: %d  virtual end: %v\n", c.Protocol(), *seed, end)
+	fmt.Printf("outcome: %v\n", c.Outcome(txn))
+	fmt.Printf("per-site: %v\n", c.Outcomes(txn))
+	st := c.NetworkStats()
+	fmt.Printf("network: sent=%d delivered=%d lost=%d cut=%d bytes=%d\n\n",
+		st.Sent, st.Delivered, st.DroppedLoss, st.DroppedPartition, st.Bytes)
+	fmt.Print(c.Availability(txn).String())
+	if v := c.Violations(); len(v) > 0 {
+		fmt.Println("\nATOMICITY VIOLATIONS:")
+		for _, s := range v {
+			fmt.Println("  " + s)
+		}
+	}
+	if *ladder {
+		fmt.Println("\nmessage ladder:")
+		fmt.Print(c.Ladder())
+	}
+}
+
+func parseSites(s string) []qcommit.SiteID {
+	if s == "" {
+		return nil
+	}
+	var out []qcommit.SiteID
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad site %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, qcommit.SiteID(n))
+	}
+	return out
+}
+
+func parseGroups(s string) [][]qcommit.SiteID {
+	if s == "" {
+		return nil
+	}
+	var out [][]qcommit.SiteID
+	for _, g := range strings.Split(s, "|") {
+		out = append(out, parseSites(g))
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package qcommit
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestCommandsSmoke builds and runs each CLI tool once, checking for the
+// markers EXPERIMENTS.md promises. Guarded by -short for quick local runs.
+func TestCommandsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI smoke tests in -short mode")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "figures-all",
+			args: []string{"run", "./cmd/figures", "-all"},
+			want: []string{
+				"Fig. 1", "Fig. 4", "Fig. 6", "Fig. 9",
+				"blocks in every partition",
+				"terminated inconsistently",              // Example 2
+				"VIOLATION",                              // Example 3 buggy run
+				"no transition exists between PC and PA", // Fig. 6 note
+			},
+		},
+		{
+			name: "availbench",
+			args: []string{"run", "./cmd/availbench", "-trials", "30"},
+			want: []string{"protocol", "QC1", "QC2", "SkeenQ", "term-rate"},
+		},
+		{
+			name: "qsim",
+			args: []string{"run", "./cmd/qsim", "-protocol", "QC1",
+				"-crash", "1", "-crashat", "15ms",
+				"-partition", "1,2,3|4,5|6,7,8", "-partat", "15ms"},
+			want: []string{"protocol: QC1", "outcome:", "network:"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", tc.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v: %v\n%s", tc.args, err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q", want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package qcommit_test
+
+import (
+	"fmt"
+
+	"qcommit"
+)
+
+// The basic lifecycle: build a replicated cluster, commit a transaction,
+// read through the voting layer.
+func ExampleNewCluster() {
+	cluster, err := qcommit.NewCluster([]qcommit.ReplicatedItem{
+		{Name: "x", Sites: []qcommit.SiteID{1, 2, 3, 4}, R: 2, W: 3},
+	}, qcommit.Options{Protocol: qcommit.ProtoQC1, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	txn := cluster.Submit(1, map[qcommit.ItemID]int64{"x": 42})
+	cluster.Run()
+	fmt.Println(cluster.Outcome(txn))
+	v, _ := cluster.QuorumRead(2, "x")
+	fmt.Println(v)
+	// Output:
+	// committed
+	// 42
+}
+
+// Reproducing the paper's Example 4: the quorum-based termination protocol
+// aborts the interrupted transaction in the partitions that hold replica
+// quorums, restoring access to their data.
+func ExampleSetupExample1() {
+	cluster, txn, err := qcommit.SetupExample1(qcommit.ProtoQC1, 1)
+	if err != nil {
+		panic(err)
+	}
+	cluster.Run()
+	fmt.Println("G1 (sites 2,3):", cluster.OutcomeAt(2, txn))
+	fmt.Println("G2 (sites 4,5):", cluster.OutcomeAt(4, txn))
+	fmt.Println("G3 (sites 6-8):", cluster.OutcomeAt(6, txn))
+	fmt.Println("x readable in G1:", cluster.CanRead(2, "x"))
+	fmt.Println("y writable in G3:", cluster.CanWrite(6, "y"))
+	// Output:
+	// G1 (sites 2,3): aborted
+	// G2 (sites 4,5): blocked
+	// G3 (sites 6-8): aborted
+	// x readable in G1: true
+	// y writable in G3: true
+}
+
+// Classic 2PC blocking: every participant voted yes, the coordinator
+// crashed before distributing the decision, and cooperative termination
+// finds nobody who knows the outcome.
+func ExampleCluster_SetupInterrupted() {
+	cluster, err := qcommit.NewCluster(qcommit.PaperItems(), qcommit.Options{
+		Protocol: qcommit.Proto2PC, Seed: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	txn := cluster.SetupInterrupted(1, map[qcommit.ItemID]int64{"x": 1, "y": 2},
+		map[qcommit.SiteID]qcommit.State{
+			1: qcommit.StateWait, 2: qcommit.StateWait, 3: qcommit.StateWait,
+			4: qcommit.StateWait, 5: qcommit.StateWait, 6: qcommit.StateWait,
+			7: qcommit.StateWait, 8: qcommit.StateWait,
+		})
+	cluster.Crash(1)
+	cluster.Run()
+	fmt.Println(cluster.Outcome(txn))
+	// Output:
+	// blocked
+}

@@ -1,0 +1,84 @@
+// Inventory: the live goroutine runtime. Warehouse stock counts replicated
+// over real concurrent site goroutines with wall-clock timeouts; orders race
+// for the same stock, a site crashes and recovers mid-stream.
+//
+//	go run ./examples/inventory
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qcommit"
+)
+
+func main() {
+	items := []qcommit.ReplicatedItem{
+		{Name: "widgets", Sites: []qcommit.SiteID{1, 2, 3}, Initial: 100},
+		{Name: "gadgets", Sites: []qcommit.SiteID{2, 3, 4}, Initial: 50},
+	}
+	cluster, err := qcommit.NewLiveCluster(items, qcommit.LiveOptions{
+		Protocol:    qcommit.ProtoQC2,
+		Seed:        11,
+		TimeoutBase: 40 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	// Sequential reservations from different front-end sites.
+	stockW, stockG := int64(100), int64(50)
+	for i := 0; i < 3; i++ {
+		stockW -= 10
+		txn := cluster.Submit(qcommit.SiteID(i%3+1), map[qcommit.ItemID]int64{"widgets": stockW})
+		out := cluster.WaitOutcome(txn, 5*time.Second)
+		fmt.Printf("order %d (reserve 10 widgets): %v, stock now %d\n", i+1, out, stockW)
+	}
+
+	// Two racing orders touch the same stock row: the no-wait lock policy
+	// makes at most one commit.
+	t1 := cluster.Submit(1, map[qcommit.ItemID]int64{"widgets": stockW - 20})
+	t2 := cluster.Submit(2, map[qcommit.ItemID]int64{"widgets": stockW - 30})
+	o1 := cluster.WaitOutcome(t1, 5*time.Second)
+	o2 := cluster.WaitOutcome(t2, 5*time.Second)
+	fmt.Printf("racing orders: #A=%v #B=%v (write-write conflict, at most one commits)\n", o1, o2)
+
+	// Crash a copy holder: updates to its item now ABORT — atomic commitment
+	// requires a unanimous yes vote, and a crashed site cannot vote. (The
+	// quorum rules govern termination and acknowledgement counting, not the
+	// vote itself.)
+	cluster.Crash(4)
+	stockG -= 5
+	txnDown := cluster.Submit(2, map[qcommit.ItemID]int64{"gadgets": stockG})
+	outDown := cluster.WaitOutcome(txnDown, 5*time.Second)
+	fmt.Printf("gadget order with copy-holder site4 down: %v\n", outDown)
+
+	// Restart site4 and retry: the order commits, and site4's copy applies.
+	cluster.Restart(4)
+	txnUp := cluster.Submit(2, map[qcommit.ItemID]int64{"gadgets": stockG})
+	outUp := cluster.WaitOutcome(txnUp, 5*time.Second)
+	fmt.Printf("gadget order after site4 restarted: %v\n", outUp)
+	if outUp == qcommit.OutcomeCommitted {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if v, _, err := cluster.CopyAt(4, "gadgets"); err == nil && v == stockG {
+				ver := uint64(0)
+				_, ver, _ = cluster.CopyAt(4, "gadgets")
+				fmt.Printf("site4's copy: gadgets=%d (version %d)\n", v, ver)
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatal("site4 never applied the committed write")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	if cluster.Violated(txnDown) || cluster.Violated(txnUp) || cluster.Violated(t1) || cluster.Violated(t2) {
+		fmt.Println("ATOMICITY VIOLATED — should never happen")
+	} else {
+		fmt.Println("all transactions terminated atomically on the live runtime")
+	}
+}

@@ -1,0 +1,55 @@
+// Missing writes: the adaptive voting strategy (Eager & Sevcik 1983,
+// reference [5] of the paper) layered over the static quorum assignment.
+// While all copies are healthy, reads touch one copy and writes touch all
+// (cheap); the first write that misses a copy degrades the item to quorum
+// mode; catching the copy up restores optimistic mode.
+//
+//	go run ./examples/missingwrites
+package main
+
+import (
+	"fmt"
+
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+func main() {
+	asgn := voting.MustAssignment(
+		voting.Uniform("orders", 2, 3, 1, 2, 3, 4),
+	)
+	a := voting.NewAdaptive(asgn)
+
+	show := func(stage string) {
+		r, _, _ := a.ReadQuorumNow("orders")
+		w, mode, _ := a.WriteQuorumNow("orders")
+		fmt.Printf("%-34s mode=%-11s read needs %d vote(s), write needs %d\n", stage, mode, r, w)
+	}
+
+	show("healthy:")
+	fmt.Printf("  site3 alone can serve reads: %v\n\n", a.CanRead("orders", []types.SiteID{3}))
+
+	// A write reaches sites 1-3 only (site4 was briefly unreachable). Three
+	// votes still satisfy the pessimistic write quorum w=3, so the write
+	// commits — but site4 now carries a missing write.
+	if !a.RecordWrite("orders", []types.SiteID{1, 2, 3}) {
+		panic("write with w votes rejected")
+	}
+	show("after a write missed site4:")
+	fmt.Printf("  missing at: %v\n", a.MissingAt("orders"))
+	fmt.Printf("  site4 alone can serve reads: %v (stale copy excluded)\n",
+		a.CanRead("orders", []types.SiteID{4}))
+	fmt.Printf("  sites 1,2 can serve reads:   %v (2 fresh votes ≥ r=2)\n\n",
+		a.CanRead("orders", []types.SiteID{1, 2}))
+
+	// A sub-quorum write must be refused outright.
+	if a.RecordWrite("orders", []types.SiteID{1, 2}) {
+		panic("sub-quorum write accepted")
+	}
+	fmt.Println("a write reaching only 2 votes is refused (w=3)")
+
+	// Site4's copy catches up (anti-entropy / recovery copy transfer):
+	// optimistic mode returns.
+	a.ResolveMissing("orders", 4)
+	show("\nafter site4 caught up:")
+}

@@ -1,0 +1,52 @@
+// Quickstart: a replicated item, one transaction, one partition.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qcommit"
+)
+
+func main() {
+	// A single item "counter" with five single-vote copies and majority
+	// quorums (r=3, w=3), managed by the paper's protocol 1.
+	cluster, err := qcommit.NewCluster([]qcommit.ReplicatedItem{
+		{Name: "counter", Sites: []qcommit.SiteID{1, 2, 3, 4, 5}, Initial: 0},
+	}, qcommit.Options{Protocol: qcommit.ProtoQC1, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Commit a write through the full protocol (vote, prepare, commit).
+	txn := cluster.Submit(1, map[qcommit.ItemID]int64{"counter": 7})
+	cluster.Run()
+	fmt.Printf("transaction %v: %v\n", txn, cluster.Outcome(txn))
+
+	// Weighted-voting read: collects a read quorum and takes the highest
+	// version.
+	v, err := cluster.QuorumRead(3, "counter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counter = %d (read from site3's partition)\n", v)
+
+	// Partition the network 3|2: the majority side still reads and writes,
+	// the minority side cannot.
+	cluster.Partition([]qcommit.SiteID{1, 2, 3}, []qcommit.SiteID{4, 5})
+	fmt.Printf("after partition {1,2,3}|{4,5}:\n")
+	fmt.Printf("  majority side: can read = %v, can write = %v\n",
+		cluster.CanRead(1, "counter"), cluster.CanWrite(1, "counter"))
+	fmt.Printf("  minority side: can read = %v, can write = %v\n",
+		cluster.CanRead(4, "counter"), cluster.CanWrite(4, "counter"))
+
+	// A transaction submitted on the majority side still commits.
+	cluster.Heal()
+	txn2 := cluster.Submit(2, map[qcommit.ItemID]int64{"counter": 8})
+	cluster.Run()
+	fmt.Printf("transaction %v after heal: %v\n", txn2, cluster.Outcome(txn2))
+	v, _ = cluster.QuorumRead(5, "counter")
+	fmt.Printf("counter = %d\n", v)
+}

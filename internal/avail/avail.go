@@ -1,0 +1,208 @@
+// Package avail measures data availability — the paper's figure of merit.
+//
+// Two factors reduce the availability of data items when failures interrupt
+// a commit procedure:
+//
+//  1. data items locked by blocked transactions are inaccessible until the
+//     failure recovers (the termination protocol's fault), and
+//  2. a partition lacking a replica quorum for an item cannot serve it even
+//     when the transaction terminated there (the partition-processing
+//     strategy's fault).
+//
+// Analyze computes, for a cluster after a termination attempt, per-partition
+// and per-item read/write accessibility under both factors, so protocols can
+// be compared exactly the way the paper's Examples 1 and 4 compare Skeen's
+// quorum protocol against termination protocol 1.
+package avail
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qcommit/internal/engine"
+	"qcommit/internal/types"
+)
+
+// ItemAccess is the accessibility of one item in one partition group.
+type ItemAccess struct {
+	Item  types.ItemID
+	Group int
+	// Sites are the up sites of the group holding copies of the item.
+	Sites []types.SiteID
+	// VotesPresent counts replica votes of the item held by up sites in the
+	// group; VotesFree counts those not locked by the analyzed transaction.
+	VotesPresent int
+	VotesFree    int
+	// Readable/Writable report whether the free votes reach r(x)/w(x).
+	Readable bool
+	Writable bool
+}
+
+// GroupReport is the per-partition-group slice of a Report.
+type GroupReport struct {
+	Group   int
+	Sites   []types.SiteID // up sites in the group
+	Outcome types.Outcome  // transaction fate in this group
+	Items   []ItemAccess
+}
+
+// Report is the availability analysis of one transaction's aftermath.
+type Report struct {
+	Txn      types.TxnID
+	Protocol string
+	Groups   []GroupReport
+}
+
+// Analyze inspects the cluster's current partition structure, lock tables
+// and WAL-derived outcomes.
+func Analyze(cl *engine.Cluster, txn types.TxnID) Report {
+	rep := Report{Txn: txn, Protocol: cl.Spec().Name()}
+	asgn := cl.Assignment()
+	for gi, group := range cl.Network().Groups() {
+		var up []types.SiteID
+		for _, id := range group {
+			if !cl.Network().Down(id) {
+				up = append(up, id)
+			}
+		}
+		gr := GroupReport{Group: gi, Sites: up, Outcome: cl.GroupOutcome(txn, up)}
+		for _, item := range asgn.Items() {
+			ia := ItemAccess{Item: item, Group: gi}
+			for _, id := range up {
+				votes := asgn.VotesAt(id, item)
+				if votes == 0 {
+					continue
+				}
+				ia.Sites = append(ia.Sites, id)
+				ia.VotesPresent += votes
+				if !cl.Site(id).Locks().LockedBy(txn, item) {
+					ia.VotesFree += votes
+				}
+			}
+			ia.Readable = ia.VotesFree >= asgn.ReadQuorum(item)
+			ia.Writable = ia.VotesFree >= asgn.WriteQuorum(item)
+			gr.Items = append(gr.Items, ia)
+		}
+		rep.Groups = append(rep.Groups, gr)
+	}
+	return rep
+}
+
+// Counts aggregates a report into the scalar metrics the Monte Carlo sweep
+// tabulates.
+type Counts struct {
+	// Groups is the number of partition groups with ≥1 up site.
+	Groups int
+	// GroupsWithParticipants is the number of groups containing a site that
+	// voted on the transaction.
+	GroupsWithParticipants int
+	// Terminated counts groups (with participants) where the transaction
+	// committed or aborted; Blocked counts groups where it blocked.
+	Terminated int
+	Blocked    int
+	// ItemGroupPairs counts (item, group) pairs where the group holds ≥1
+	// copy of the item; Readable/Writable count pairs accessible after the
+	// termination attempt.
+	ItemGroupPairs int
+	Readable       int
+	Writable       int
+}
+
+// Tally computes Counts from a report.
+func (r Report) Tally() Counts {
+	var c Counts
+	for _, g := range r.Groups {
+		if len(g.Sites) == 0 {
+			continue
+		}
+		c.Groups++
+		switch g.Outcome {
+		case types.OutcomeCommitted, types.OutcomeAborted:
+			c.GroupsWithParticipants++
+			c.Terminated++
+		case types.OutcomeBlocked:
+			c.GroupsWithParticipants++
+			c.Blocked++
+		}
+		for _, ia := range g.Items {
+			if ia.VotesPresent == 0 {
+				continue
+			}
+			c.ItemGroupPairs++
+			if ia.Readable {
+				c.Readable++
+			}
+			if ia.Writable {
+				c.Writable++
+			}
+		}
+	}
+	return c
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.Groups += other.Groups
+	c.GroupsWithParticipants += other.GroupsWithParticipants
+	c.Terminated += other.Terminated
+	c.Blocked += other.Blocked
+	c.ItemGroupPairs += other.ItemGroupPairs
+	c.Readable += other.Readable
+	c.Writable += other.Writable
+}
+
+// TerminationRate is the fraction of participant-holding groups that
+// terminated (rather than blocked) the transaction.
+func (c Counts) TerminationRate() float64 {
+	if c.GroupsWithParticipants == 0 {
+		return 0
+	}
+	return float64(c.Terminated) / float64(c.GroupsWithParticipants)
+}
+
+// ReadAvailability is the fraction of (item, group) pairs readable after the
+// termination attempt.
+func (c Counts) ReadAvailability() float64 {
+	if c.ItemGroupPairs == 0 {
+		return 0
+	}
+	return float64(c.Readable) / float64(c.ItemGroupPairs)
+}
+
+// WriteAvailability is the fraction of (item, group) pairs writable after
+// the termination attempt.
+func (c Counts) WriteAvailability() float64 {
+	if c.ItemGroupPairs == 0 {
+		return 0
+	}
+	return float64(c.Writable) / float64(c.ItemGroupPairs)
+}
+
+// String renders the report as the per-partition table used by the figures
+// tool (Examples 1 and 4 reproduction).
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol %s, transaction %s\n", r.Protocol, r.Txn)
+	for _, g := range r.Groups {
+		fmt.Fprintf(&b, "  G%d %v: outcome=%s\n", g.Group+1, siteList(g.Sites), g.Outcome)
+		for _, ia := range g.Items {
+			if ia.VotesPresent == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "    item %-4s votes=%d free=%d read=%v write=%v\n",
+				ia.Item, ia.VotesPresent, ia.VotesFree, ia.Readable, ia.Writable)
+		}
+	}
+	return b.String()
+}
+
+func siteList(ss []types.SiteID) string {
+	sorted := append([]types.SiteID(nil), ss...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	parts := make([]string, len(sorted))
+	for i, s := range sorted {
+		parts[i] = s.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,28 @@
+package avail
+
+import (
+	"qcommit/internal/core"
+	"qcommit/internal/protocol"
+	"qcommit/internal/skeenq"
+	"qcommit/internal/threepc"
+	"qcommit/internal/twopc"
+)
+
+// StandardBuilders returns the five protocol columns every comparison table
+// in EXPERIMENTS.md uses: 2PC, 3PC (site-failure termination), Skeen's
+// quorum protocol with majority site-vote quorums over the participants, and
+// the paper's protocols 1 and 2.
+func StandardBuilders() []SpecBuilder {
+	return []SpecBuilder{
+		{Label: "2PC", Build: func(Scenario) protocol.Spec { return twopc.Spec{} }},
+		{Label: "3PC", Build: func(Scenario) protocol.Spec { return threepc.Spec{} }},
+		{Label: "SkeenQ", Build: func(sc Scenario) protocol.Spec {
+			v := len(sc.Participants)
+			vc := v/2 + 1
+			va := v + 1 - vc
+			return skeenq.Uniform(sc.Participants, vc, va)
+		}},
+		{Label: "QC1", Build: func(Scenario) protocol.Spec { return core.Spec{Variant: core.Protocol1} }},
+		{Label: "QC2", Build: func(Scenario) protocol.Spec { return core.Spec{Variant: core.Protocol2} }},
+	}
+}

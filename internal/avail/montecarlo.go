@@ -1,0 +1,212 @@
+package avail
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qcommit/internal/engine"
+	"qcommit/internal/protocol"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+// Scenario is one randomly drawn "interrupted commit" configuration: a
+// replica placement, a transaction writeset, a mid-protocol cut (which
+// participants had reached PC when the coordinator crashed), and a network
+// partition. The same scenario is replayed under every protocol under test,
+// so the comparison isolates the termination protocols' quorum rules.
+type Scenario struct {
+	Seed         int64
+	Assignment   *voting.Assignment
+	Writeset     types.Writeset
+	Coord        types.SiteID
+	Participants []types.SiteID
+	States       map[types.SiteID]types.State
+	Partition    [][]types.SiteID
+}
+
+// ScenarioParams controls random scenario generation.
+type ScenarioParams struct {
+	// NumSites is the total number of database sites.
+	NumSites int
+	// NumItems is the number of replicated data items in the database.
+	NumItems int
+	// CopiesPerItem is the replication degree of each item.
+	CopiesPerItem int
+	// ItemsPerTxn is how many items the analyzed transaction writes.
+	ItemsPerTxn int
+	// MaxGroups bounds the number of partition groups (≥2).
+	MaxGroups int
+	// VotePhasePct is the percentage (0–100) of scenarios where the
+	// coordinator crashed during the *vote* phase, leaving some participants
+	// still in the initial state q (every termination protocol can then
+	// abort). The rest crash during PREPARE-TO-COMMIT distribution.
+	VotePhasePct int
+}
+
+// DefaultScenarioParams mirrors the scale of the paper's examples: 8 sites,
+// 4-way replication, transactions writing 2 items, up to 3-way partitions.
+func DefaultScenarioParams() ScenarioParams {
+	return ScenarioParams{NumSites: 8, NumItems: 4, CopiesPerItem: 4, ItemsPerTxn: 2, MaxGroups: 3, VotePhasePct: 25}
+}
+
+func (p ScenarioParams) validate() error {
+	if p.NumSites < 2 || p.NumItems < 1 || p.CopiesPerItem < 1 || p.ItemsPerTxn < 1 || p.MaxGroups < 2 {
+		return fmt.Errorf("avail: invalid scenario params %+v", p)
+	}
+	if p.CopiesPerItem > p.NumSites {
+		return fmt.Errorf("avail: CopiesPerItem %d exceeds NumSites %d", p.CopiesPerItem, p.NumSites)
+	}
+	if p.ItemsPerTxn > p.NumItems {
+		return fmt.Errorf("avail: ItemsPerTxn %d exceeds NumItems %d", p.ItemsPerTxn, p.NumItems)
+	}
+	return nil
+}
+
+// GenerateScenario draws one scenario with the given seed. Generation is
+// deterministic in (params, seed).
+func GenerateScenario(params ScenarioParams, seed int64) (Scenario, error) {
+	if err := params.validate(); err != nil {
+		return Scenario{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{Seed: seed}
+
+	sites := make([]types.SiteID, params.NumSites)
+	for i := range sites {
+		sites[i] = types.SiteID(i + 1)
+	}
+
+	// Random replica placement with majority quorums.
+	r, w := voting.MajorityQuorums(params.CopiesPerItem)
+	configs := make([]voting.ItemConfig, params.NumItems)
+	for i := 0; i < params.NumItems; i++ {
+		perm := rng.Perm(params.NumSites)
+		holders := make([]types.SiteID, params.CopiesPerItem)
+		for j := 0; j < params.CopiesPerItem; j++ {
+			holders[j] = sites[perm[j]]
+		}
+		configs[i] = voting.Uniform(types.ItemID(fmt.Sprintf("item%d", i+1)), r, w, holders...)
+	}
+	asgn, err := voting.NewAssignment(configs...)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc.Assignment = asgn
+
+	// Random writeset.
+	itemPerm := rng.Perm(params.NumItems)
+	for j := 0; j < params.ItemsPerTxn; j++ {
+		item := types.ItemID(fmt.Sprintf("item%d", itemPerm[j]+1))
+		sc.Writeset = append(sc.Writeset, types.Update{Item: item, Value: rng.Int63n(1000)})
+	}
+	sc.Participants = asgn.Participants(sc.Writeset.Items())
+	sc.Coord = sc.Participants[rng.Intn(len(sc.Participants))]
+
+	// Mid-protocol cut. With probability VotePhasePct% the coordinator
+	// crashed during the vote phase (a random strict subset of participants
+	// is still in q, the rest voted yes); otherwise it crashed partway
+	// through distributing PREPARE-TO-COMMIT (a random prefix of a random
+	// participant order is in PC, possibly none, possibly all).
+	sc.States = make(map[types.SiteID]types.State, len(sc.Participants))
+	for _, s := range sc.Participants {
+		sc.States[s] = types.StateWait
+	}
+	cutPerm := rng.Perm(len(sc.Participants))
+	if rng.Intn(100) < params.VotePhasePct {
+		numQ := 1 + rng.Intn(len(sc.Participants))
+		for j := 0; j < numQ; j++ {
+			sc.States[sc.Participants[cutPerm[j]]] = types.StateInitial
+		}
+	} else {
+		numPC := rng.Intn(len(sc.Participants) + 1)
+		for j := 0; j < numPC; j++ {
+			sc.States[sc.Participants[cutPerm[j]]] = types.StatePC
+		}
+	}
+
+	// Random partition of all sites into 2..MaxGroups non-empty groups.
+	numGroups := 2 + rng.Intn(params.MaxGroups-1)
+	if numGroups > params.NumSites {
+		numGroups = params.NumSites
+	}
+	perm := rng.Perm(params.NumSites)
+	groups := make([][]types.SiteID, numGroups)
+	for i, pi := range perm {
+		g := i % numGroups // guarantees non-empty groups
+		groups[g] = append(groups[g], sites[pi])
+	}
+	sc.Partition = groups
+	return sc, nil
+}
+
+// SpecBuilder constructs a protocol spec for a scenario. Quorum-per-site
+// protocols (Skeen's) need the participant list to size their quorums.
+type SpecBuilder struct {
+	// Label names the column in result tables.
+	Label string
+	// Build returns the spec for the given scenario.
+	Build func(sc Scenario) protocol.Spec
+}
+
+// Replay runs one scenario under one protocol and returns the availability
+// report plus any correctness violations (atomicity violations and
+// store-level consistency issues).
+func Replay(sc Scenario, spec protocol.Spec) (Report, []string) {
+	cl := engine.New(engine.Config{
+		Seed:       sc.Seed,
+		Assignment: sc.Assignment,
+		Spec:       spec,
+	})
+	txn := cl.SetupInterrupted(sc.Coord, sc.Writeset, sc.States)
+	cl.Crash(sc.Coord)
+	cl.Partition(sc.Partition...)
+	cl.Run()
+	violations := cl.Violations()
+	violations = append(violations, cl.CheckStores()...)
+	return Analyze(cl, txn), violations
+}
+
+// MCResult is the aggregate of one protocol column across all trials.
+type MCResult struct {
+	Label      string
+	Trials     int
+	Counts     Counts
+	Violations int
+}
+
+// MonteCarlo replays Trials random scenarios under every builder and
+// aggregates availability counts. All builders see identical scenarios.
+func MonteCarlo(params ScenarioParams, trials int, seed int64, builders []SpecBuilder) ([]MCResult, error) {
+	results := make([]MCResult, len(builders))
+	for i, b := range builders {
+		results[i].Label = b.Label
+	}
+	for t := 0; t < trials; t++ {
+		sc, err := GenerateScenario(params, seed+int64(t))
+		if err != nil {
+			return nil, err
+		}
+		for i, b := range builders {
+			rep, violations := Replay(sc, b.Build(sc))
+			results[i].Trials++
+			results[i].Counts.Add(rep.Tally())
+			results[i].Violations += len(violations)
+		}
+	}
+	return results, nil
+}
+
+// FormatMCTable renders Monte Carlo results as an aligned text table.
+func FormatMCTable(results []MCResult) string {
+	s := fmt.Sprintf("%-8s %8s %12s %12s %12s %12s %10s\n",
+		"protocol", "trials", "term-rate", "blocked", "read-avail", "write-avail", "violations")
+	for _, r := range results {
+		s += fmt.Sprintf("%-8s %8d %11.1f%% %12d %11.1f%% %11.1f%% %10d\n",
+			r.Label, r.Trials,
+			100*r.Counts.TerminationRate(), r.Counts.Blocked,
+			100*r.Counts.ReadAvailability(), 100*r.Counts.WriteAvailability(),
+			r.Violations)
+	}
+	return s
+}

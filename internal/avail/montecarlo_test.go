@@ -1,0 +1,139 @@
+package avail
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"qcommit/internal/types"
+)
+
+func TestGenerateScenarioDeterminism(t *testing.T) {
+	p := DefaultScenarioParams()
+	a, err := GenerateScenario(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateScenario(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Writeset, b.Writeset) || a.Coord != b.Coord ||
+		!reflect.DeepEqual(a.States, b.States) || !reflect.DeepEqual(a.Partition, b.Partition) {
+		t.Error("same seed produced different scenarios")
+	}
+	c, err := GenerateScenario(p, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.States, c.States) && reflect.DeepEqual(a.Partition, c.Partition) {
+		t.Error("different seeds produced identical scenarios (suspicious)")
+	}
+}
+
+func TestGenerateScenarioShape(t *testing.T) {
+	p := DefaultScenarioParams()
+	for seed := int64(1); seed <= 50; seed++ {
+		sc, err := GenerateScenario(p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sc.Writeset) != p.ItemsPerTxn {
+			t.Fatalf("seed %d: writeset size %d", seed, len(sc.Writeset))
+		}
+		// The coordinator is a participant.
+		found := false
+		for _, s := range sc.Participants {
+			if s == sc.Coord {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: coordinator not a participant", seed)
+		}
+		// Every participant has a state; every state is legal for a cut.
+		for _, s := range sc.Participants {
+			st, ok := sc.States[s]
+			if !ok {
+				t.Fatalf("seed %d: participant %v has no state", seed, s)
+			}
+			if st != types.StateWait && st != types.StatePC && st != types.StateInitial {
+				t.Fatalf("seed %d: illegal cut state %v", seed, st)
+			}
+		}
+		// Partition covers all sites exactly once, with non-empty groups.
+		seen := make(map[types.SiteID]int)
+		for _, g := range sc.Partition {
+			if len(g) == 0 {
+				t.Fatalf("seed %d: empty partition group", seed)
+			}
+			for _, s := range g {
+				seen[s]++
+			}
+		}
+		if len(seen) != p.NumSites {
+			t.Fatalf("seed %d: partition covers %d sites, want %d", seed, len(seen), p.NumSites)
+		}
+		for s, n := range seen {
+			if n != 1 {
+				t.Fatalf("seed %d: site %v in %d groups", seed, s, n)
+			}
+		}
+		// A vote-phase cut never mixes q with PC (the coordinator cannot
+		// have sent PREPARE-TO-COMMIT before collecting all votes).
+		hasQ, hasPC := false, false
+		for _, st := range sc.States {
+			if st == types.StateInitial {
+				hasQ = true
+			}
+			if st == types.StatePC {
+				hasPC = true
+			}
+		}
+		if hasQ && hasPC {
+			t.Fatalf("seed %d: illegal global cut with both q and PC", seed)
+		}
+	}
+}
+
+func TestGenerateScenarioValidation(t *testing.T) {
+	bad := []ScenarioParams{
+		{NumSites: 1, NumItems: 1, CopiesPerItem: 1, ItemsPerTxn: 1, MaxGroups: 2},
+		{NumSites: 4, NumItems: 1, CopiesPerItem: 5, ItemsPerTxn: 1, MaxGroups: 2},
+		{NumSites: 4, NumItems: 1, CopiesPerItem: 2, ItemsPerTxn: 2, MaxGroups: 2},
+		{NumSites: 4, NumItems: 1, CopiesPerItem: 2, ItemsPerTxn: 1, MaxGroups: 1},
+	}
+	for i, p := range bad {
+		if _, err := GenerateScenario(p, 1); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestReplayIsolatesScenario(t *testing.T) {
+	// Replaying the same scenario twice under the same protocol gives
+	// identical availability counts (full determinism end to end).
+	sc, err := GenerateScenario(DefaultScenarioParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builders := StandardBuilders()
+	r1, _ := Replay(sc, builders[3].Build(sc))
+	r2, _ := Replay(sc, builders[3].Build(sc))
+	if !reflect.DeepEqual(r1.Tally(), r2.Tally()) {
+		t.Error("same scenario+protocol produced different tallies")
+	}
+}
+
+func TestFormatMCTable(t *testing.T) {
+	results := []MCResult{{Label: "QC1", Trials: 10, Counts: Counts{
+		GroupsWithParticipants: 20, Terminated: 15, Blocked: 5,
+		ItemGroupPairs: 40, Readable: 30, Writable: 10,
+	}}}
+	out := FormatMCTable(results)
+	for _, want := range []string{"QC1", "75.0%", "protocol"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qcommit/internal/types"
+)
+
+// This file reproduces the paper's analytical artifacts: the partition-state
+// taxonomy and concurrency sets of Fig. 4 (with which section 2 proves that
+// no termination protocol can terminate in *every* partition holding a
+// replica quorum), and the participant state-transition relation of Fig. 6.
+
+// PartitionState classifies the multiset of local states of the active
+// participants in one partition, per Fig. 4.
+type PartitionState int
+
+// Partition states PS1–PS6 (Fig. 4).
+const (
+	// PSNone is the classification of an empty partition (no active
+	// participants).
+	PSNone PartitionState = iota
+	// PS1: at least one participant is in the initial state q and none is
+	// aborted.
+	PS1
+	// PS2: all participants are in the wait state W.
+	PS2
+	// PS3: at least one participant is in the abort state A.
+	PS3
+	// PS4: some participants are in PC and some in W.
+	PS4
+	// PS5: all participants are in PC.
+	PS5
+	// PS6: at least one participant is in the commit state C.
+	PS6
+)
+
+// String implements fmt.Stringer.
+func (ps PartitionState) String() string {
+	if ps == PSNone {
+		return "PS-none"
+	}
+	return fmt.Sprintf("PS%d", int(ps))
+}
+
+// Classify maps a partition's local states (over q, W, PC, C, A — the 3PC
+// vocabulary of Fig. 4) to its partition state.
+func Classify(states []types.State) PartitionState {
+	if len(states) == 0 {
+		return PSNone
+	}
+	var q, w, pc, c, a int
+	for _, s := range states {
+		switch s {
+		case types.StateInitial:
+			q++
+		case types.StateWait:
+			w++
+		case types.StatePC:
+			pc++
+		case types.StateCommitted:
+			c++
+		case types.StateAborted:
+			a++
+		}
+	}
+	switch {
+	case c > 0:
+		return PS6
+	case a > 0:
+		return PS3
+	case q > 0:
+		return PS1
+	case pc > 0 && w > 0:
+		return PS4
+	case pc > 0:
+		return PS5
+	default:
+		return PS2
+	}
+}
+
+// phase is a family of global configurations the three-phase commit
+// procedure can be in when failures interrupt it. Each phase constrains
+// which local states may coexist globally.
+type phase struct {
+	name string
+	// allowed local states in this phase.
+	states []types.State
+	// require lists states of which at least one instance must exist
+	// globally for the configuration to belong to this phase.
+	require []types.State
+}
+
+// phases enumerates the interrupted-commit global configurations of 3PC:
+// vote collection (q/W), abort distribution (q/W/A), prepare distribution
+// (W/PC) and commit distribution (PC/C). The commit-distribution constraint
+// encodes 3PC's "COMMIT only after every participant acknowledged PC".
+func phases() []phase {
+	return []phase{
+		{name: "voting", states: []types.State{types.StateInitial, types.StateWait}},
+		{name: "aborting", states: []types.State{types.StateInitial, types.StateWait, types.StateAborted},
+			require: []types.State{types.StateAborted}},
+		{name: "preparing", states: []types.State{types.StateWait, types.StatePC}},
+		{name: "committing", states: []types.State{types.StatePC, types.StateCommitted},
+			require: []types.State{types.StateCommitted}},
+	}
+}
+
+// ConcurrencySets computes C(PS) for each partition state by enumerating
+// two-partition splits of every legal global configuration (up to three
+// participants per partition, which is exhaustive for the classification
+// since every partition state is witnessed with ≤2 members).
+func ConcurrencySets() map[PartitionState][]PartitionState {
+	result := make(map[PartitionState]map[PartitionState]bool)
+	add := func(a, b PartitionState) {
+		if result[a] == nil {
+			result[a] = make(map[PartitionState]bool)
+		}
+		result[a][b] = true
+	}
+
+	for _, ph := range phases() {
+		// Enumerate partition-A and partition-B multisets of sizes 1..3
+		// drawn from the phase's allowed states.
+		combosA := stateMultisets(ph.states, 3)
+		combosB := stateMultisets(ph.states, 3)
+		for _, ma := range combosA {
+			for _, mb := range combosB {
+				if !phaseSatisfied(ph, ma, mb) {
+					continue
+				}
+				psa, psb := Classify(ma), Classify(mb)
+				add(psa, psb)
+				add(psb, psa)
+			}
+		}
+	}
+
+	out := make(map[PartitionState][]PartitionState, len(result))
+	for ps, set := range result {
+		var list []PartitionState
+		for other := range set {
+			list = append(list, other)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		out[ps] = list
+	}
+	return out
+}
+
+// phaseSatisfied checks the phase's global "require" constraint against the
+// union of both partitions' states.
+func phaseSatisfied(ph phase, a, b []types.State) bool {
+	for _, req := range ph.require {
+		found := false
+		for _, s := range a {
+			if s == req {
+				found = true
+				break
+			}
+		}
+		if !found {
+			for _, s := range b {
+				if s == req {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// stateMultisets enumerates non-empty multisets (as sorted slices) of the
+// given states with size ≤ maxSize.
+func stateMultisets(states []types.State, maxSize int) [][]types.State {
+	var out [][]types.State
+	var rec func(start int, cur []types.State)
+	rec = func(start int, cur []types.State) {
+		if len(cur) > 0 {
+			cp := make([]types.State, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+		}
+		if len(cur) == maxSize {
+			return
+		}
+		for i := start; i < len(states); i++ {
+			rec(i, append(cur, states[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// Action is what a termination protocol may do with a partition in a given
+// partition state, as derived from the paper's rules 1 and 2.
+type Action string
+
+// Actions of Fig. 4's accompanying argument.
+const (
+	// ActionAbort: the partition must abort (rule 1: C(PS) contains a state
+	// with an aborted participant; here the partition itself has one).
+	ActionAbort Action = "abort"
+	// ActionCommit: the partition must commit.
+	ActionCommit Action = "commit"
+	// ActionBlockOrAbort: the partition may block or abort, never commit.
+	ActionBlockOrAbort Action = "block-or-abort"
+	// ActionBlockOrCommit: the partition may block or commit, never abort.
+	ActionBlockOrCommit Action = "block-or-commit"
+	// ActionConsistent: the partition must block or terminate consistently
+	// with every concurrent PS2/PS5 partition (the PS4 dilemma).
+	ActionConsistent Action = "block-or-consistent"
+)
+
+// AllowedActions derives each partition state's permitted action from the
+// computed concurrency sets, mechanizing the paper's argument:
+// rule 1 forces PS3→abort and PS6→commit; rule 2 then confines any state
+// whose concurrency set contains PS3 (resp. PS6) to block-or-abort (resp.
+// block-or-commit); PS4, concurrent with both PS2 and PS5, may only block or
+// coordinate.
+func AllowedActions() map[PartitionState]Action {
+	cs := ConcurrencySets()
+	actions := make(map[PartitionState]Action)
+	for _, ps := range []PartitionState{PS1, PS2, PS3, PS4, PS5, PS6} {
+		switch ps {
+		case PS3:
+			actions[ps] = ActionAbort
+		case PS6:
+			actions[ps] = ActionCommit
+		default:
+			hasAbortPeer := containsPS(cs[ps], PS3)
+			hasCommitPeer := containsPS(cs[ps], PS6)
+			switch {
+			case hasAbortPeer && !hasCommitPeer:
+				actions[ps] = ActionBlockOrAbort
+			case hasCommitPeer && !hasAbortPeer:
+				actions[ps] = ActionBlockOrCommit
+			default:
+				actions[ps] = ActionConsistent
+			}
+		}
+	}
+	return actions
+}
+
+func containsPS(ss []PartitionState, x PartitionState) bool {
+	for _, s := range ss {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Fig4Table renders the Fig. 4 reproduction: each partition state, its
+// definition, computed concurrency set, and permitted action.
+func Fig4Table() string {
+	defs := map[PartitionState]string{
+		PS1: "≥1 participant in q, none in A",
+		PS2: "all participants in W",
+		PS3: "≥1 participant in A",
+		PS4: "some participants in PC, some in W",
+		PS5: "all participants in PC",
+		PS6: "≥1 participant in C",
+	}
+	cs := ConcurrencySets()
+	actions := AllowedActions()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-38s %-28s %s\n", "PS", "definition", "concurrency set C(PS)", "permitted action")
+	for _, ps := range []PartitionState{PS1, PS2, PS3, PS4, PS5, PS6} {
+		var names []string
+		for _, other := range cs[ps] {
+			names = append(names, other.String())
+		}
+		fmt.Fprintf(&b, "%-4s %-38s %-28s %s\n", ps, defs[ps], "{"+strings.Join(names, ",")+"}", actions[ps])
+	}
+	return b.String()
+}
+
+// Transition is one edge of the participant state diagram (Fig. 6).
+type Transition struct {
+	From, To types.State
+	// Label is the event causing the transition.
+	Label string
+	// Quorum is true for the solid "participates in quorum formation" edges
+	// of Fig. 6, false for the dashed non-participating edges.
+	Quorum bool
+}
+
+// Fig6Transitions returns the complete legal transition relation of the
+// participant automaton, including the paper's additions (W→PA on
+// PREPARE-TO-ABORT) and deliberate omissions: there is NO transition between
+// PC and PA in either direction.
+func Fig6Transitions() []Transition {
+	return []Transition{
+		{From: types.StateInitial, To: types.StateWait, Label: "vote yes", Quorum: true},
+		{From: types.StateInitial, To: types.StateAborted, Label: "vote no", Quorum: true},
+		{From: types.StateWait, To: types.StatePC, Label: "PREPARE-TO-COMMIT / PC-ACK", Quorum: true},
+		{From: types.StateWait, To: types.StatePA, Label: "PREPARE-TO-ABORT / PA-ACK", Quorum: true},
+		{From: types.StateWait, To: types.StateCommitted, Label: "COMMIT", Quorum: false},
+		{From: types.StateWait, To: types.StateAborted, Label: "ABORT", Quorum: false},
+		{From: types.StatePC, To: types.StateCommitted, Label: "COMMIT", Quorum: true},
+		{From: types.StatePC, To: types.StateAborted, Label: "ABORT", Quorum: false},
+		{From: types.StatePA, To: types.StateAborted, Label: "ABORT", Quorum: true},
+		{From: types.StatePA, To: types.StateCommitted, Label: "COMMIT", Quorum: false},
+	}
+}
+
+// LegalTransition reports whether from→to appears in Fig. 6. Self-loops
+// (message re-delivery) are legal no-ops.
+func LegalTransition(from, to types.State) bool {
+	if from == to {
+		return true
+	}
+	for _, tr := range Fig6Transitions() {
+		if tr.From == from && tr.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Fig6Table renders the transition relation.
+func Fig6Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-4s %-30s %s\n", "from", "to", "event", "edge")
+	for _, tr := range Fig6Transitions() {
+		kind := "dashed (not in quorum)"
+		if tr.Quorum {
+			kind = "solid (participates)"
+		}
+		fmt.Fprintf(&b, "%-4s %-4s %-30s %s\n", tr.From, tr.To, tr.Label, kind)
+	}
+	b.WriteString("note: no transition exists between PC and PA in either direction\n")
+	return b.String()
+}

@@ -1,0 +1,193 @@
+// Package core implements the paper's contribution: the quorum-based commit
+// protocols (CP1, CP2; Fig. 9) and termination protocols (TP1, Fig. 5; TP2,
+// Fig. 8) of Huang & Li, ICDE 1988.
+//
+// Unlike Skeen's quorum-based protocol, which counts quorums in opaque
+// per-site votes, these protocols count the *replica* votes of the weighted
+// voting partition-processing strategy: the commit side of TP1 needs w(x)
+// votes for every item x in the transaction's writeset W(TR), and the abort
+// side needs r(x) votes for some x. TP2 swaps the roles (r(x)-for-some on
+// the commit side, w(x)-for-every on the abort side). Either way, a
+// partition that will be able to serve an item after termination is much
+// more likely to be able to terminate — the paper's availability gain.
+//
+// The matching commit protocols let the coordinator send COMMIT before all
+// PC-ACKs arrive: CP1 once the ACKs carry w(x) votes for every x (an abort
+// quorum is then impossible forever), CP2 once they carry r(x) votes for
+// some x. CP2 therefore commits faster than CP1, which commits faster than
+// plain 3PC.
+package core
+
+import (
+	"fmt"
+
+	"qcommit/internal/protocol"
+	"qcommit/internal/threephase"
+	"qcommit/internal/types"
+	"qcommit/internal/wal"
+)
+
+// Variant selects between the paper's two protocol pairs.
+type Variant int
+
+// Variants.
+const (
+	// Protocol1 is CP1 + TP1 (Figs. 5 and 9).
+	Protocol1 Variant = 1
+	// Protocol2 is CP2 + TP2 (Fig. 8).
+	Protocol2 Variant = 2
+)
+
+// Spec is the paper's quorum-based commit and termination protocol.
+type Spec struct {
+	// Variant selects protocol 1 or protocol 2. Defaults to Protocol1.
+	Variant Variant
+	// BuggyBufferCrossing reintroduces the rule violation of Example 3
+	// (participants answering PREPARE-TO-COMMIT in PA and PREPARE-TO-ABORT
+	// in PC). Only for the counterexample reproduction; never enable
+	// otherwise.
+	BuggyBufferCrossing bool
+	// PatienceRounds caps participant-initiated termination attempts.
+	PatienceRounds int
+}
+
+var _ protocol.Spec = Spec{}
+
+func (s Spec) variant() Variant {
+	if s.Variant == Protocol2 {
+		return Protocol2
+	}
+	return Protocol1
+}
+
+// Name implements protocol.Spec.
+func (s Spec) Name() string {
+	if s.variant() == Protocol2 {
+		return "QC2"
+	}
+	return "QC1"
+}
+
+// NewCoordinator implements protocol.Spec with the early-commit rules of
+// Fig. 9.
+func (s Spec) NewCoordinator(txn types.TxnID, ws types.Writeset, participants []types.SiteID) protocol.Automaton {
+	var rule threephase.AckRule
+	if s.variant() == Protocol2 {
+		rule = threephase.ReadQuorumSome{Items: ws.Items()}
+	} else {
+		rule = threephase.WriteQuorumEvery{Items: ws.Items()}
+	}
+	return threephase.NewCoordinator(txn, ws, participants, rule, threephase.AckTimeoutTerminate)
+}
+
+// NewParticipant implements protocol.Spec.
+func (s Spec) NewParticipant(txn types.TxnID, init *wal.TxnImage) protocol.Automaton {
+	return threephase.NewParticipant(txn, init, threephase.ParticipantOpts{
+		BuggyBufferCrossing: s.BuggyBufferCrossing,
+		PatienceRounds:      s.PatienceRounds,
+	})
+}
+
+// NewTerminator implements protocol.Spec.
+func (s Spec) NewTerminator(txn types.TxnID, ws types.Writeset, participants []types.SiteID, epoch uint32) protocol.Automaton {
+	var rules threephase.Rules
+	if s.variant() == Protocol2 {
+		rules = TP2Rules{Items: ws.Items()}
+	} else {
+		rules = TP1Rules{Items: ws.Items()}
+	}
+	return threephase.NewTerminator(txn, ws, participants, epoch, rules)
+}
+
+// TP1Rules is the quorum logic of Termination Protocol 1 (Fig. 5):
+//
+//   - immediate COMMIT if ≥1 participant committed, or participants in PC
+//     hold ≥ w(x) votes for every x ∈ W(TR);
+//   - immediate ABORT if ≥1 participant aborted or is in the initial state,
+//     or participants in PA hold ≥ r(x) votes for some x;
+//   - commit quorum possible if ∃ PC participant and participants not in PA
+//     hold ≥ w(x) votes for every x;
+//   - abort quorum possible if participants not in PC hold ≥ r(x) votes for
+//     some x;
+//   - otherwise block.
+type TP1Rules struct {
+	Items []types.ItemID
+}
+
+var _ threephase.Rules = TP1Rules{}
+
+// Name implements threephase.Rules.
+func (TP1Rules) Name() string { return "TP1" }
+
+// Decide implements threephase.Rules.
+func (r TP1Rules) Decide(env protocol.Env, t threephase.StateTally) threephase.Verdict {
+	a := env.Assignment()
+	switch {
+	case t.Any(types.StateCommitted) || a.WriteQuorumForEvery(r.Items, t.In(types.StatePC)):
+		return threephase.VerdictCommit
+	case t.Any(types.StateAborted) || t.Any(types.StateInitial) ||
+		a.ReadQuorumForSome(r.Items, t.In(types.StatePA)):
+		return threephase.VerdictAbort
+	case t.Any(types.StatePC) && a.WriteQuorumForEvery(r.Items, t.NotIn(types.StatePA)):
+		return threephase.VerdictTryCommit
+	case a.ReadQuorumForSome(r.Items, t.NotIn(types.StatePC)):
+		return threephase.VerdictTryAbort
+	default:
+		return threephase.VerdictBlock
+	}
+}
+
+// CommitConfirmed implements threephase.Rules: phase-1 PC reporters plus
+// phase-2 PC-ackers must constitute ≥ w(x) votes for every x ∈ W(TR).
+func (r TP1Rules) CommitConfirmed(env protocol.Env, sites []types.SiteID) bool {
+	return env.Assignment().WriteQuorumForEvery(r.Items, sites)
+}
+
+// AbortConfirmed implements threephase.Rules: phase-1 PA reporters plus
+// phase-2 PA-ackers must constitute ≥ r(x) votes for some x ∈ W(TR).
+func (r TP1Rules) AbortConfirmed(env protocol.Env, sites []types.SiteID) bool {
+	return env.Assignment().ReadQuorumForSome(r.Items, sites)
+}
+
+// TP2Rules is the quorum logic of Termination Protocol 2 (Fig. 8), which is
+// TP1 with the r/w roles swapped: the commit side needs r(x) votes for some
+// x, the abort side needs w(x) votes for every x.
+type TP2Rules struct {
+	Items []types.ItemID
+}
+
+var _ threephase.Rules = TP2Rules{}
+
+// Name implements threephase.Rules.
+func (TP2Rules) Name() string { return "TP2" }
+
+// Decide implements threephase.Rules.
+func (r TP2Rules) Decide(env protocol.Env, t threephase.StateTally) threephase.Verdict {
+	a := env.Assignment()
+	switch {
+	case t.Any(types.StateCommitted) || a.ReadQuorumForSome(r.Items, t.In(types.StatePC)):
+		return threephase.VerdictCommit
+	case t.Any(types.StateAborted) || t.Any(types.StateInitial) ||
+		a.WriteQuorumForEvery(r.Items, t.In(types.StatePA)):
+		return threephase.VerdictAbort
+	case t.Any(types.StatePC) && a.ReadQuorumForSome(r.Items, t.NotIn(types.StatePA)):
+		return threephase.VerdictTryCommit
+	case a.WriteQuorumForEvery(r.Items, t.NotIn(types.StatePC)):
+		return threephase.VerdictTryAbort
+	default:
+		return threephase.VerdictBlock
+	}
+}
+
+// CommitConfirmed implements threephase.Rules.
+func (r TP2Rules) CommitConfirmed(env protocol.Env, sites []types.SiteID) bool {
+	return env.Assignment().ReadQuorumForSome(r.Items, sites)
+}
+
+// AbortConfirmed implements threephase.Rules.
+func (r TP2Rules) AbortConfirmed(env protocol.Env, sites []types.SiteID) bool {
+	return env.Assignment().WriteQuorumForEvery(r.Items, sites)
+}
+
+// String implements fmt.Stringer.
+func (v Variant) String() string { return fmt.Sprintf("protocol %d", int(v)) }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qcommit/internal/protocoltest"
+	"qcommit/internal/threephase"
+	"qcommit/internal/types"
+)
+
+// TestTPOppositeImmediateVerdictsImpossible is the rules-level form of
+// Theorem 1: take any *legal* interrupted global state (every participant
+// voted yes; the coordinator crashed mid-PREPARE, so each participant is in
+// W or PC) and any split of the participants into two partitions. It must
+// never happen that one partition's tally yields an immediate COMMIT verdict
+// while the other yields an immediate ABORT verdict — immediate verdicts act
+// without further acknowledgements, so a conflict here would be an
+// unconditional atomicity violation.
+func TestTPOppositeImmediateVerdictsImpossible(t *testing.T) {
+	env := protocoltest.New(1, ex1())
+	all := []types.SiteID{1, 2, 3, 4, 5, 6, 7, 8}
+	rules := []threephase.Rules{TP1Rules{Items: items}, TP2Rules{Items: items}}
+
+	f := func(pcMask, splitMask uint8) bool {
+		g1 := make(map[types.SiteID]types.State)
+		g2 := make(map[types.SiteID]types.State)
+		for i, s := range all {
+			st := types.StateWait
+			if pcMask&(1<<i) != 0 {
+				st = types.StatePC
+			}
+			if splitMask&(1<<i) != 0 {
+				g1[s] = st
+			} else {
+				g2[s] = st
+			}
+		}
+		for _, r := range rules {
+			v1 := threephase.VerdictBlock
+			if len(g1) > 0 {
+				v1 = r.Decide(env, threephase.NewStateTally(g1))
+			}
+			v2 := threephase.VerdictBlock
+			if len(g2) > 0 {
+				v2 = r.Decide(env, threephase.NewStateTally(g2))
+			}
+			if (v1 == threephase.VerdictCommit && v2 == threephase.VerdictAbort) ||
+				(v1 == threephase.VerdictAbort && v2 == threephase.VerdictCommit) {
+				return false
+			}
+			// Stronger: an immediate COMMIT in one partition must make even
+			// a *confirmed* abort quorum impossible in the other, because
+			// immediate commit requires w(x) votes ∀x among PC sites, whose
+			// complement cannot reach r(x) votes for any x.
+			if v1 == threephase.VerdictCommit && r.AbortConfirmed(env, sitesOf(g2)) {
+				return false
+			}
+			if v2 == threephase.VerdictCommit && r.AbortConfirmed(env, sitesOf(g1)) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func sitesOf(m map[types.SiteID]types.State) []types.SiteID {
+	out := make([]types.SiteID, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestTPVerdictPreconditions: structural sanity of the decision tables for
+// arbitrary tallies (legal or not): a commit-side verdict requires a
+// committable state in the partition; try-verdicts never fire on terminal
+// evidence.
+func TestTPVerdictPreconditions(t *testing.T) {
+	env := protocoltest.New(1, ex1())
+	all := []types.SiteID{1, 2, 3, 4, 5, 6, 7, 8}
+	states := []types.State{
+		types.StateInitial, types.StateWait, types.StatePC,
+		types.StatePA, types.StateCommitted, types.StateAborted,
+	}
+	rules := []threephase.Rules{TP1Rules{Items: items}, TP2Rules{Items: items}}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 3000; trial++ {
+		tallyMap := make(map[types.SiteID]types.State)
+		for _, s := range all {
+			if rng.Intn(3) > 0 { // ~2/3 of sites respond
+				tallyMap[s] = states[rng.Intn(len(states))]
+			}
+		}
+		if len(tallyMap) == 0 {
+			continue
+		}
+		tl := threephase.NewStateTally(tallyMap)
+		for _, r := range rules {
+			v := r.Decide(env, tl)
+			anyCommittable := tl.Any(types.StatePC) || tl.Any(types.StateCommitted)
+			if (v == threephase.VerdictCommit || v == threephase.VerdictTryCommit) && !anyCommittable {
+				t.Fatalf("%s: commit-side verdict %v without any committable state: %v", r.Name(), v, tallyMap)
+			}
+			if v == threephase.VerdictTryCommit && (tl.Any(types.StateAborted) || tl.Any(types.StateInitial) || tl.Any(types.StateCommitted)) {
+				t.Fatalf("%s: try-commit despite terminal/initial evidence: %v", r.Name(), tallyMap)
+			}
+			if v == threephase.VerdictTryAbort && (tl.Any(types.StateCommitted) || tl.Any(types.StateAborted) || tl.Any(types.StateInitial)) {
+				t.Fatalf("%s: try-abort despite decisive evidence: %v", r.Name(), tallyMap)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"testing"
+
+	"qcommit/internal/core"
+	"qcommit/internal/types"
+)
+
+func TestCheckStoresCleanAfterCommit(t *testing.T) {
+	cl := New(Config{Seed: 1, Assignment: paperAssignment(t), Spec: core.Spec{Variant: core.Protocol1}})
+	cl.Begin(1, types.Writeset{{Item: "x", Value: 42}, {Item: "y", Value: 7}})
+	cl.Run()
+	if issues := cl.CheckStores(); len(issues) != 0 {
+		t.Errorf("issues on a clean commit: %v", issues)
+	}
+}
+
+func TestCheckStoresCleanAcrossRandomSchedules(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		cl := randomSchedule(t, core.Spec{Variant: core.Protocol2}, seed, 0.05, 0.05)
+		if issues := cl.CheckStores(); len(issues) != 0 {
+			t.Fatalf("seed %d: %v", seed, issues)
+		}
+	}
+}
+
+func TestCheckStoresDetectsDirtyWrite(t *testing.T) {
+	cl := New(Config{Seed: 2, Assignment: paperAssignment(t), Spec: core.Spec{Variant: core.Protocol1}})
+	cl.Site(3).RefuseVotes(true)
+	txn := cl.Begin(1, types.Writeset{{Item: "x", Value: 9}})
+	cl.Run()
+	if got := cl.GroupOutcome(txn, cl.Sites()); got != types.OutcomeAborted {
+		t.Fatalf("setup: outcome = %v", got)
+	}
+	// Corrupt a store as if the aborted transaction's write leaked.
+	if err := cl.Site(2).Store().Apply("x", 9, uint64(txn)+1); err != nil {
+		t.Fatal(err)
+	}
+	issues := cl.CheckStores()
+	if len(issues) == 0 {
+		t.Fatal("dirty write not detected")
+	}
+}
+
+func TestCheckStoresDetectsValueMismatch(t *testing.T) {
+	cl := New(Config{Seed: 3, Assignment: paperAssignment(t), Spec: core.Spec{Variant: core.Protocol1}})
+	txn := cl.Begin(1, types.Writeset{{Item: "x", Value: 42}, {Item: "y", Value: 7}})
+	cl.Run()
+	// Corrupt one copy: right version, wrong value.
+	if err := cl.Site(2).Store().Apply("x", 999, uint64(txn)+2); err != nil {
+		t.Fatal(err)
+	}
+	issues := cl.CheckStores()
+	if len(issues) == 0 {
+		t.Fatal("corrupted copy not detected")
+	}
+}

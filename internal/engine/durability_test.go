@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"testing"
+
+	"qcommit/internal/core"
+	"qcommit/internal/types"
+)
+
+// TestDurableWALSurvivesProcessRestart commits a transaction in one cluster
+// instance writing file-backed WALs, tears it down, and builds a fresh
+// instance over the same directory: the committed state and values must be
+// restored from disk alone.
+func TestDurableWALSurvivesProcessRestart(t *testing.T) {
+	dir := t.TempDir()
+	asgn := paperAssignment(t)
+
+	cl1 := New(Config{Seed: 1, Assignment: asgn, Spec: core.Spec{Variant: core.Protocol1}, WALDir: dir})
+	txn := cl1.Begin(1, types.Writeset{{Item: "x", Value: 42}, {Item: "y", Value: 7}})
+	cl1.Run()
+	if got := cl1.GroupOutcome(txn, cl1.Sites()); got != types.OutcomeCommitted {
+		t.Fatalf("outcome = %v", got)
+	}
+	if err := cl1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Process restart": a brand-new cluster over the same WAL files.
+	cl2 := New(Config{Seed: 2, Assignment: asgn, Spec: core.Spec{Variant: core.Protocol1}, WALDir: dir})
+	defer cl2.Close()
+	for _, id := range cl2.Sites() {
+		if got := cl2.OutcomeAt(id, txn); got != types.OutcomeCommitted {
+			t.Errorf("site%d after restart = %v, want committed", id, got)
+		}
+	}
+	// Values re-applied from the logged writesets.
+	for _, id := range []types.SiteID{1, 2, 3, 4} {
+		v, err := cl2.Site(id).Store().Read("x")
+		if err != nil || v.Value != 42 {
+			t.Errorf("site%d x = %+v, %v; want 42", id, v, err)
+		}
+	}
+	// New transactions get fresh IDs and work normally.
+	txn2 := cl2.Begin(2, types.Writeset{{Item: "x", Value: 100}})
+	if txn2 <= txn {
+		t.Errorf("txn ID %v not advanced past %v", txn2, txn)
+	}
+	cl2.Run()
+	if got := cl2.GroupOutcome(txn2, cl2.Sites()); got != types.OutcomeCommitted {
+		t.Errorf("post-restart txn = %v", got)
+	}
+	if issues := cl2.CheckStores(); len(issues) != 0 {
+		t.Errorf("store issues after restart: %v", issues)
+	}
+}
+
+// TestDurableWALResumesInterruptedTermination: the first instance is killed
+// with an unterminated (blocked) transaction on disk; the second instance's
+// participants rejoin the termination protocol and finish it.
+func TestDurableWALResumesInterruptedTermination(t *testing.T) {
+	dir := t.TempDir()
+	asgn := paperAssignment(t)
+
+	cl1 := New(Config{Seed: 3, Assignment: asgn, Spec: core.Spec{Variant: core.Protocol1}, WALDir: dir})
+	// Everyone voted yes; coordinator crashed; whole cluster partitioned into
+	// singletons so nothing can terminate before "the process dies".
+	txn := cl1.SetupInterrupted(1, types.Writeset{{Item: "x", Value: 5}, {Item: "y", Value: 6}},
+		map[types.SiteID]types.State{
+			1: types.StateWait, 2: types.StateWait, 3: types.StateWait, 4: types.StateWait,
+			5: types.StateWait, 6: types.StateWait, 7: types.StateWait, 8: types.StateWait,
+		})
+	cl1.Crash(1)
+	cl1.Partition([]types.SiteID{1}, []types.SiteID{2}, []types.SiteID{3}, []types.SiteID{4},
+		[]types.SiteID{5}, []types.SiteID{6}, []types.SiteID{7}, []types.SiteID{8})
+	cl1.Run()
+	if got := cl1.OutcomeAt(2, txn); got != types.OutcomeBlocked {
+		t.Fatalf("pre-restart site2 = %v, want blocked", got)
+	}
+	if err := cl1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with a healed network: recovery arms patience timers, the
+	// termination protocol runs, and TP1 aborts (all W, read quorums exist).
+	cl2 := New(Config{Seed: 4, Assignment: asgn, Spec: core.Spec{Variant: core.Protocol1}, WALDir: dir})
+	defer cl2.Close()
+	cl2.Run()
+	for _, id := range cl2.Sites() {
+		if got := cl2.OutcomeAt(id, txn); got != types.OutcomeAborted {
+			t.Errorf("site%d after restart = %v, want aborted", id, got)
+		}
+	}
+	if v := cl2.Violations(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}

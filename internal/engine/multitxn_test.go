@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"testing"
+
+	"qcommit/internal/core"
+	"qcommit/internal/types"
+)
+
+// TestSequentialTransactionsVersionsMonotonic runs several transactions over
+// the same items and checks version numbers grow monotonically and final
+// values match the last committed writer.
+func TestSequentialTransactionsVersionsMonotonic(t *testing.T) {
+	cl := New(Config{Seed: 1, Assignment: paperAssignment(t), Spec: core.Spec{Variant: core.Protocol2}})
+	var lastTxn types.TxnID
+	for i := 0; i < 5; i++ {
+		lastTxn = cl.Begin(types.SiteID(i%4+1), types.Writeset{{Item: "x", Value: int64(i * 10)}})
+		cl.Run()
+		if got := cl.GroupOutcome(lastTxn, cl.Sites()); got != types.OutcomeCommitted {
+			t.Fatalf("txn %d outcome = %v", i, got)
+		}
+	}
+	var prev uint64
+	for _, id := range []types.SiteID{1, 2, 3, 4} {
+		v, err := cl.Site(id).Store().Read("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Value != 40 {
+			t.Errorf("site%d x = %d, want 40", id, v.Value)
+		}
+		if prev != 0 && v.Version != prev {
+			t.Errorf("site%d version %d differs from %d", id, v.Version, prev)
+		}
+		prev = v.Version
+	}
+	if prev != uint64(lastTxn)+1 {
+		t.Errorf("final version = %d, want %d", prev, uint64(lastTxn)+1)
+	}
+}
+
+// TestConcurrentDisjointTransactionsCommit submits two transactions on
+// disjoint items before running the scheduler: both must commit.
+func TestConcurrentDisjointTransactionsCommit(t *testing.T) {
+	cl := New(Config{Seed: 2, Assignment: paperAssignment(t), Spec: core.Spec{Variant: core.Protocol1}})
+	t1 := cl.Begin(1, types.Writeset{{Item: "x", Value: 1}})
+	t2 := cl.Begin(5, types.Writeset{{Item: "y", Value: 2}})
+	cl.Run()
+	if got := cl.GroupOutcome(t1, cl.Sites()); got != types.OutcomeCommitted {
+		t.Errorf("t1 = %v", got)
+	}
+	if got := cl.GroupOutcome(t2, cl.Sites()); got != types.OutcomeCommitted {
+		t.Errorf("t2 = %v", got)
+	}
+	if v := cl.Violations(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+// TestConcurrentConflictingTransactionsNoWait: two simultaneous writers of x
+// conflict at every copy; under the no-wait policy each participant votes no
+// for the latecomer, so at most one commits and no violation occurs.
+func TestConcurrentConflictingTransactionsNoWait(t *testing.T) {
+	committed := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		cl := New(Config{Seed: seed, Assignment: paperAssignment(t), Spec: core.Spec{Variant: core.Protocol1}})
+		t1 := cl.Begin(1, types.Writeset{{Item: "x", Value: 1}})
+		t2 := cl.Begin(2, types.Writeset{{Item: "x", Value: 2}})
+		cl.Run()
+		o1 := cl.GroupOutcome(t1, cl.Sites())
+		o2 := cl.GroupOutcome(t2, cl.Sites())
+		if o1 == types.OutcomeCommitted && o2 == types.OutcomeCommitted {
+			t.Fatalf("seed %d: both conflicting writers committed", seed)
+		}
+		for i, o := range []types.Outcome{o1, o2} {
+			if o != types.OutcomeCommitted && o != types.OutcomeAborted {
+				t.Fatalf("seed %d: t%d = %v (must terminate)", seed, i+1, o)
+			}
+			if o == types.OutcomeCommitted {
+				committed++
+			}
+		}
+		if v := cl.Violations(); len(v) != 0 {
+			t.Fatalf("seed %d: %v", seed, v)
+		}
+		// Locks all released.
+		for _, id := range cl.Sites() {
+			if cl.Site(id).Locks().Locked("x") {
+				t.Fatalf("seed %d: x still locked at %s", seed, id)
+			}
+		}
+	}
+	if committed == 0 {
+		t.Error("across 20 seeds, no conflicting writer ever committed — expected at least some wins")
+	}
+}
+
+// TestManyTransactionsThroughput pushes a batch of transactions through one
+// cluster and verifies every one terminates and the store converges.
+func TestManyTransactionsThroughput(t *testing.T) {
+	cl := New(Config{Seed: 3, Assignment: paperAssignment(t), Spec: core.Spec{Variant: core.Protocol2}})
+	const n = 30
+	txns := make([]types.TxnID, 0, n)
+	for i := 0; i < n; i++ {
+		item := types.ItemID("x")
+		coord := types.SiteID(i%4 + 1)
+		if i%2 == 1 {
+			item = "y"
+			coord = types.SiteID(i%4 + 5)
+		}
+		txns = append(txns, cl.Begin(coord, types.Writeset{{Item: item, Value: int64(i)}}))
+		cl.Run() // drain between submissions: sequential stream
+	}
+	for i, txn := range txns {
+		if got := cl.GroupOutcome(txn, cl.Sites()); got != types.OutcomeCommitted {
+			t.Fatalf("txn %d = %v", i, got)
+		}
+	}
+	if v := cl.Violations(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+
+	"qcommit/internal/core"
+	"qcommit/internal/sim"
+	"qcommit/internal/types"
+)
+
+// TestTerminatorCrashMidTerminationHandedOver exercises the paper's feature
+// (3): the termination protocol deals with additional failures during its
+// own execution. The elected termination coordinator crashes after polling
+// states but before distributing a decision; the surviving participants'
+// patience timers elect a new coordinator which finishes the job.
+func TestTerminatorCrashMidTerminationHandedOver(t *testing.T) {
+	asgn := paperAssignment(t)
+	cl := New(Config{Seed: 11, Assignment: asgn, Spec: core.Spec{Variant: core.Protocol1},
+		MaxTerminationRounds: 5})
+	ws := types.Writeset{{Item: "x", Value: 1}, {Item: "y", Value: 2}}
+	// Whole cluster reachable except the crashed original coordinator: the
+	// first termination round could abort (all W). We kill the newly elected
+	// coordinator (the lowest live site, site2) right after its poll starts.
+	txn := cl.SetupInterrupted(1, ws, map[types.SiteID]types.State{
+		2: types.StateWait, 3: types.StateWait, 4: types.StateWait,
+		5: types.StateWait, 6: types.StateWait, 7: types.StateWait, 8: types.StateWait,
+	})
+	cl.Crash(1)
+	// Patience fires at 30ms; election resolves by ~50ms; the terminator
+	// polls at ~50–70ms. Crash site2 at 55ms — mid-poll.
+	cl.CrashAt(sim.Time(55*sim.Millisecond), 2)
+	cl.Run()
+
+	for _, id := range []types.SiteID{3, 4, 5, 6, 7, 8} {
+		if got := cl.OutcomeAt(id, txn); got != types.OutcomeAborted {
+			t.Errorf("site%d = %v, want aborted (handover should finish the round)", id, got)
+		}
+	}
+	if v := cl.Violations(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+// TestTerminatorCrashAfterPartialDistribution: the termination coordinator
+// crashes after sending the decision to only some participants. The decision
+// is already irrevocable; the next round must observe it (immediate commit/
+// abort on a terminal report) and spread it, not contradict it.
+func TestTerminatorCrashAfterPartialDistribution(t *testing.T) {
+	asgn := paperAssignment(t)
+	for seed := int64(1); seed <= 15; seed++ {
+		cl := New(Config{Seed: seed, Assignment: asgn, Spec: core.Spec{Variant: core.Protocol1},
+			MaxTerminationRounds: 5})
+		ws := types.Writeset{{Item: "x", Value: 1}, {Item: "y", Value: 2}}
+		txn := cl.SetupInterrupted(1, ws, map[types.SiteID]types.State{
+			2: types.StateWait, 3: types.StateWait, 4: types.StateWait,
+			5: types.StateWait, 6: types.StateWait, 7: types.StateWait, 8: types.StateWait,
+		})
+		cl.Crash(1)
+		// The abort decision distributes around ~90ms (poll 2T + PTA 2T +
+		// confirm); crash site2 somewhere inside the distribution window so
+		// only a prefix of ABORT messages lands.
+		cl.CrashAt(sim.Time(92*sim.Millisecond), 2)
+		cl.Run()
+		if v := cl.Violations(); len(v) != 0 {
+			t.Fatalf("seed %d: violations: %v", seed, v)
+		}
+		// Every surviving site must end aborted — nobody may stay blocked,
+		// because the remaining sites can re-run termination and either see
+		// an aborted peer or assemble the abort quorum again.
+		for _, id := range []types.SiteID{3, 4, 5, 6, 7, 8} {
+			if got := cl.OutcomeAt(id, txn); got != types.OutcomeAborted {
+				t.Fatalf("seed %d: site%d = %v, want aborted", seed, id, got)
+			}
+		}
+	}
+}
+
+// TestRecoveredSiteJoinsOngoingTermination: a participant crashes before the
+// termination protocol starts, recovers while it is underway, and must end
+// consistent with everyone else.
+func TestRecoveredSiteJoinsOngoingTermination(t *testing.T) {
+	asgn := paperAssignment(t)
+	cl := New(Config{Seed: 13, Assignment: asgn, Spec: core.Spec{Variant: core.Protocol1},
+		MaxTerminationRounds: 5})
+	ws := types.Writeset{{Item: "x", Value: 1}, {Item: "y", Value: 2}}
+	txn := cl.SetupInterrupted(1, ws, map[types.SiteID]types.State{
+		2: types.StateWait, 3: types.StateWait, 4: types.StateWait,
+		5: types.StateWait, 6: types.StateWait, 7: types.StateWait, 8: types.StateWait,
+	})
+	cl.Crash(1)
+	cl.Crash(7)
+	cl.RestartAt(sim.Time(60*sim.Millisecond), 7)
+	cl.Run()
+	if v := cl.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	if got := cl.OutcomeAt(7, txn); got != types.OutcomeAborted {
+		t.Errorf("recovered site7 = %v, want aborted like its peers", got)
+	}
+	for _, id := range []types.SiteID{2, 3, 4, 5, 6, 8} {
+		if got := cl.OutcomeAt(id, txn); got != types.OutcomeAborted {
+			t.Errorf("site%d = %v, want aborted", id, got)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"qcommit/internal/core"
+	"qcommit/internal/types"
+)
+
+// BenchmarkLiveCommit measures wall-clock commit latency on the concurrent
+// runtime (goroutines + channels + real timers) — the deployment-shaped
+// number, as opposed to the simulator's virtual-time latencies.
+func BenchmarkLiveCommit(b *testing.B) {
+	cl := New(Config{
+		Assignment:  asgn(),
+		Spec:        core.Spec{Variant: core.Protocol2},
+		Seed:        1,
+		TimeoutBase: 50 * time.Millisecond,
+	})
+	defer cl.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := cl.Begin(types.SiteID(i%4+1), types.Writeset{{Item: "x", Value: int64(i)}})
+		if got := cl.WaitOutcome(txn, 10*time.Second); got != types.OutcomeCommitted {
+			b.Fatalf("txn %d: %v", i, got)
+		}
+	}
+}

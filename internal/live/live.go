@@ -1,0 +1,314 @@
+// Package live runs the same protocol automata as the deterministic engine
+// on a real concurrent runtime: one goroutine per database site, Go channels
+// as the message fabric, wall-clock timers for the protocol timeouts. It is
+// the "deployment-shaped" counterpart of package engine — protocol logic is
+// shared, only the hosting differs — and demonstrates that the automata are
+// genuinely runtime-agnostic.
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"qcommit/internal/msg"
+	"qcommit/internal/protocol"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+	"qcommit/internal/wal"
+)
+
+// Config parameterizes a live cluster.
+type Config struct {
+	// Assignment is the weighted-voting replica configuration.
+	Assignment *voting.Assignment
+	// Spec is the commit+termination protocol.
+	Spec protocol.Spec
+	// MinDelay/MaxDelay bound simulated propagation delay (wall clock).
+	// Defaults 200µs–2ms, keeping 3T timeouts test-friendly.
+	MinDelay, MaxDelay time.Duration
+	// TimeoutBase is the protocol timeout unit T. Unlike the deterministic
+	// simulator, wall-clock runs pay goroutine scheduling and marshalling
+	// overhead on top of propagation delay, so T needs headroom; it defaults
+	// to 4×MaxDelay.
+	TimeoutBase time.Duration
+	// Seed drives the delay randomness.
+	Seed int64
+	// MaxTerminationRounds caps termination retries (default 3).
+	MaxTerminationRounds int
+}
+
+type event struct {
+	env   *msg.Envelope
+	timer *timerEvent
+	stop  bool
+}
+
+type timerEvent struct {
+	txn   types.TxnID
+	role  protocol.Role
+	gen   uint32
+	token int
+}
+
+// Cluster is a set of live site goroutines.
+type Cluster struct {
+	cfg   Config
+	start time.Time
+
+	mu      sync.Mutex // guards partition/crash state and rng
+	group   map[types.SiteID]int
+	down    map[types.SiteID]bool
+	rng     *rand.Rand
+	nextTxn types.TxnID
+
+	nodes map[types.SiteID]*Node
+	wg    sync.WaitGroup
+}
+
+// New builds and starts one goroutine per site in the assignment.
+func New(cfg Config) *Cluster {
+	if cfg.MinDelay == 0 && cfg.MaxDelay == 0 {
+		cfg.MinDelay, cfg.MaxDelay = 200*time.Microsecond, 2*time.Millisecond
+	}
+	if cfg.TimeoutBase == 0 {
+		cfg.TimeoutBase = 4 * cfg.MaxDelay
+	}
+	if cfg.MaxTerminationRounds <= 0 {
+		cfg.MaxTerminationRounds = 3
+	}
+	cl := &Cluster{
+		cfg:   cfg,
+		start: time.Now(),
+		group: make(map[types.SiteID]int),
+		down:  make(map[types.SiteID]bool),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: make(map[types.SiteID]*Node),
+	}
+	seen := make(map[types.SiteID]bool)
+	for _, item := range cfg.Assignment.Items() {
+		ic, _ := cfg.Assignment.Item(item)
+		for _, cp := range ic.Copies {
+			seen[cp.Site] = true
+		}
+	}
+	for id := range seen {
+		n := newNode(id, cl)
+		cl.nodes[id] = n
+	}
+	for _, item := range cfg.Assignment.Items() {
+		ic, _ := cfg.Assignment.Item(item)
+		for _, cp := range ic.Copies {
+			cl.nodes[cp.Site].store.Init(item, 0)
+		}
+	}
+	for _, n := range cl.nodes {
+		cl.wg.Add(1)
+		go n.loop(&cl.wg)
+	}
+	return cl
+}
+
+// Node returns a site's node.
+func (cl *Cluster) Node(id types.SiteID) *Node { return cl.nodes[id] }
+
+// T is the protocol timeout base.
+func (cl *Cluster) T() time.Duration { return cl.cfg.TimeoutBase }
+
+// Begin submits a transaction at the coordinator site and returns its ID.
+func (cl *Cluster) Begin(coord types.SiteID, ws types.Writeset) types.TxnID {
+	cl.mu.Lock()
+	cl.nextTxn++
+	txn := cl.nextTxn
+	cl.mu.Unlock()
+	participants := cl.cfg.Assignment.Participants(ws.Items())
+	n := cl.nodes[coord]
+	n.post(event{env: &msg.Envelope{From: coord, To: coord, Msg: beginMsg{txn: txn, ws: ws.Clone(), participants: participants}}})
+	return txn
+}
+
+// beginMsg is an internal control message carried through the mailbox so all
+// automaton access stays on the node goroutine.
+type beginMsg struct {
+	txn          types.TxnID
+	ws           types.Writeset
+	participants []types.SiteID
+}
+
+// Kind implements msg.Message (never marshalled).
+func (beginMsg) Kind() msg.Kind { return msg.KindInvalid }
+
+// Crash takes a site down (volatile state lost, WAL kept).
+func (cl *Cluster) Crash(id types.SiteID) {
+	cl.mu.Lock()
+	cl.down[id] = true
+	cl.mu.Unlock()
+	cl.nodes[id].post(event{env: &msg.Envelope{Msg: crashMsg{}}})
+}
+
+type crashMsg struct{}
+
+func (crashMsg) Kind() msg.Kind { return msg.KindInvalid }
+
+// Restart recovers a crashed site from its WAL.
+func (cl *Cluster) Restart(id types.SiteID) {
+	cl.mu.Lock()
+	cl.down[id] = false
+	cl.mu.Unlock()
+	cl.nodes[id].post(event{env: &msg.Envelope{Msg: restartMsg{}}})
+}
+
+type restartMsg struct{}
+
+func (restartMsg) Kind() msg.Kind { return msg.KindInvalid }
+
+// Partition splits the network into groups; unlisted sites form a residual
+// group.
+func (cl *Cluster) Partition(groups ...[]types.SiteID) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.group = make(map[types.SiteID]int)
+	for gi, g := range groups {
+		for _, s := range g {
+			cl.group[s] = gi + 1
+		}
+	}
+}
+
+// Heal reconnects the network.
+func (cl *Cluster) Heal() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.group = make(map[types.SiteID]int)
+}
+
+func (cl *Cluster) connected(a, b types.SiteID) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.down[a] || cl.down[b] {
+		return false
+	}
+	return cl.group[a] == cl.group[b]
+}
+
+func (cl *Cluster) delay() time.Duration {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	lo, hi := cl.cfg.MinDelay, cl.cfg.MaxDelay
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(cl.rng.Int63n(int64(hi-lo)+1))
+}
+
+// send routes a message with delay, loss-on-partition and codec round-trip.
+func (cl *Cluster) send(from, to types.SiteID, m msg.Message) {
+	frame, err := msg.Marshal(m)
+	if err != nil {
+		return // internal control messages are never sent over the wire
+	}
+	decoded, err := msg.Unmarshal(frame)
+	if err != nil {
+		return
+	}
+	if !cl.connected(from, to) {
+		return
+	}
+	d := cl.delay()
+	time.AfterFunc(d, func() {
+		if !cl.connected(from, to) {
+			return
+		}
+		if n := cl.nodes[to]; n != nil {
+			n.post(event{env: &msg.Envelope{From: from, To: to, Msg: decoded}})
+		}
+	})
+}
+
+// OutcomeAt reads txn's fate at one site from its WAL.
+func (cl *Cluster) OutcomeAt(id types.SiteID, txn types.TxnID) types.Outcome {
+	n := cl.nodes[id]
+	n.walMu.Lock()
+	recs, _ := n.log.Records()
+	n.walMu.Unlock()
+	img := wal.Replay(recs)[txn]
+	if img == nil {
+		return types.OutcomeUnknown
+	}
+	switch img.State {
+	case types.StateCommitted:
+		return types.OutcomeCommitted
+	case types.StateAborted:
+		return types.OutcomeAborted
+	case types.StateWait, types.StatePC, types.StatePA:
+		return types.OutcomeBlocked
+	default:
+		return types.OutcomeUnknown
+	}
+}
+
+// WaitOutcome polls until every up site holding a copy reports the same
+// terminal outcome for txn, or the deadline passes (returning the aggregate
+// at that point: blocked/unknown if not uniform terminal). Crashed sites are
+// excluded — they learn the outcome from their WAL and the termination
+// protocol after Restart.
+func (cl *Cluster) WaitOutcome(txn types.TxnID, deadline time.Duration) types.Outcome {
+	limit := time.Now().Add(deadline)
+	for {
+		agg := types.OutcomeUnknown
+		uniform := true
+		for id := range cl.nodes {
+			cl.mu.Lock()
+			isDown := cl.down[id]
+			cl.mu.Unlock()
+			if isDown {
+				continue
+			}
+			o := cl.OutcomeAt(id, txn)
+			if o == types.OutcomeUnknown {
+				continue
+			}
+			if !o.StateEquivalent().Terminal() {
+				uniform = false
+				break
+			}
+			if agg == types.OutcomeUnknown {
+				agg = o
+			} else if agg != o {
+				return agg // mixed — caller detects via Violated
+			}
+		}
+		if uniform && agg != types.OutcomeUnknown {
+			return agg
+		}
+		if time.Now().After(limit) {
+			if !uniform {
+				return types.OutcomeBlocked
+			}
+			return agg
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Violated reports whether any transaction terminated inconsistently.
+func (cl *Cluster) Violated(txn types.TxnID) bool {
+	committed, aborted := false, false
+	for id := range cl.nodes {
+		switch cl.OutcomeAt(id, txn) {
+		case types.OutcomeCommitted:
+			committed = true
+		case types.OutcomeAborted:
+			aborted = true
+		}
+	}
+	return committed && aborted
+}
+
+// Stop shuts down all node goroutines.
+func (cl *Cluster) Stop() {
+	for _, n := range cl.nodes {
+		n.post(event{stop: true})
+	}
+	cl.wg.Wait()
+}

@@ -1,0 +1,169 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"qcommit/internal/core"
+	"qcommit/internal/protocol"
+	"qcommit/internal/skeenq"
+	"qcommit/internal/threepc"
+	"qcommit/internal/twopc"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+func asgn() *voting.Assignment {
+	return voting.MustAssignment(
+		voting.Uniform("x", 2, 3, 1, 2, 3, 4),
+		voting.Uniform("y", 2, 3, 5, 6, 7, 8),
+	)
+}
+
+func specs() []protocol.Spec {
+	sites := []types.SiteID{1, 2, 3, 4, 5, 6, 7, 8}
+	return []protocol.Spec{
+		twopc.Spec{},
+		threepc.Spec{},
+		skeenq.Uniform(sites, 5, 4),
+		core.Spec{Variant: core.Protocol1},
+		core.Spec{Variant: core.Protocol2},
+	}
+}
+
+func TestLiveFailureFreeCommit(t *testing.T) {
+	for _, spec := range specs() {
+		spec := spec
+		t.Run(spec.Name(), func(t *testing.T) {
+			t.Parallel()
+			cl := New(Config{Assignment: asgn(), Spec: spec, Seed: 1, TimeoutBase: 30 * time.Millisecond})
+			defer cl.Stop()
+			ws := types.Writeset{{Item: "x", Value: 42}, {Item: "y", Value: 7}}
+			txn := cl.Begin(1, ws)
+			got := cl.WaitOutcome(txn, 3*time.Second)
+			if got != types.OutcomeCommitted {
+				t.Fatalf("outcome = %v, want committed", got)
+			}
+			if cl.Violated(txn) {
+				t.Fatal("atomicity violated")
+			}
+			v, err := cl.Node(2).Store().Read("x")
+			if err != nil || v.Value != 42 {
+				t.Errorf("x at site2 = %+v, %v", v, err)
+			}
+		})
+	}
+}
+
+func TestLiveSequentialTransactions(t *testing.T) {
+	cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol2}, Seed: 2, TimeoutBase: 30 * time.Millisecond})
+	defer cl.Stop()
+	for i := 0; i < 5; i++ {
+		txn := cl.Begin(types.SiteID(i%4+1), types.Writeset{{Item: "x", Value: int64(i)}})
+		if got := cl.WaitOutcome(txn, 3*time.Second); got != types.OutcomeCommitted {
+			t.Fatalf("txn %d outcome = %v", i, got)
+		}
+	}
+	v, err := cl.Node(1).Store().Read("x")
+	if err != nil || v.Value != 4 {
+		t.Errorf("final x = %+v, %v; want 4", v, err)
+	}
+}
+
+func TestLiveConcurrentDisjointTransactions(t *testing.T) {
+	cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol1}, Seed: 3, TimeoutBase: 30 * time.Millisecond})
+	defer cl.Stop()
+	t1 := cl.Begin(1, types.Writeset{{Item: "x", Value: 10}})
+	t2 := cl.Begin(5, types.Writeset{{Item: "y", Value: 20}})
+	if got := cl.WaitOutcome(t1, 3*time.Second); got != types.OutcomeCommitted {
+		t.Errorf("t1 = %v", got)
+	}
+	if got := cl.WaitOutcome(t2, 3*time.Second); got != types.OutcomeCommitted {
+		t.Errorf("t2 = %v", got)
+	}
+}
+
+func TestLiveConflictingTransactionsTerminateSafely(t *testing.T) {
+	// Two transactions writing x race for the same copy locks. The no-wait
+	// policy makes a participant that cannot lock vote no, so depending on
+	// the interleaving one commits and one aborts, or both abort — but both
+	// always terminate and neither violates atomicity.
+	cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol1}, Seed: 4, TimeoutBase: 30 * time.Millisecond})
+	defer cl.Stop()
+	t1 := cl.Begin(1, types.Writeset{{Item: "x", Value: 1}})
+	t2 := cl.Begin(2, types.Writeset{{Item: "x", Value: 2}})
+	o1 := cl.WaitOutcome(t1, 3*time.Second)
+	o2 := cl.WaitOutcome(t2, 3*time.Second)
+	if cl.Violated(t1) || cl.Violated(t2) {
+		t.Fatal("atomicity violated")
+	}
+	for i, o := range []types.Outcome{o1, o2} {
+		if o != types.OutcomeCommitted && o != types.OutcomeAborted {
+			t.Errorf("t%d outcome = %v, want a terminal decision", i+1, o)
+		}
+	}
+	if o1 == types.OutcomeCommitted && o2 == types.OutcomeCommitted {
+		t.Error("both committed despite a write-write conflict on every copy")
+	}
+}
+
+func TestLiveCoordinatorCrashTerminationAborts(t *testing.T) {
+	// Crash the coordinator immediately after submitting: participants that
+	// never heard VOTE-REQ stay in q, so any termination round aborts.
+	cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol1}, Seed: 5,
+		MinDelay: 2 * time.Millisecond, MaxDelay: 8 * time.Millisecond})
+	defer cl.Stop()
+	txn := cl.Begin(1, types.Writeset{{Item: "x", Value: 9}, {Item: "y", Value: 8}})
+	time.Sleep(10 * time.Millisecond) // let VOTE-REQs reach the participants
+	cl.Crash(1)
+	got := cl.WaitOutcome(txn, 5*time.Second)
+	if got != types.OutcomeAborted && got != types.OutcomeCommitted {
+		// Depending on how far the protocol got, survivors may also have
+		// committed (crash after distribution started); blocked would mean
+		// the termination protocol failed to run.
+		t.Fatalf("outcome = %v, want a terminal decision", got)
+	}
+	if cl.Violated(txn) {
+		t.Fatal("atomicity violated")
+	}
+}
+
+func TestLivePartitionThenHeal(t *testing.T) {
+	cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol2}, Seed: 6, TimeoutBase: 30 * time.Millisecond})
+	defer cl.Stop()
+	cl.Partition([]types.SiteID{1, 2, 3, 4}, []types.SiteID{5, 6, 7, 8})
+	// A transaction writing x and y cannot collect votes across the split;
+	// it must abort (vote timeout) or block, never violate.
+	txn := cl.Begin(1, types.Writeset{{Item: "x", Value: 1}, {Item: "y", Value: 2}})
+	got := cl.WaitOutcome(txn, 5*time.Second)
+	if cl.Violated(txn) {
+		t.Fatal("atomicity violated")
+	}
+	if got == types.OutcomeCommitted {
+		t.Fatal("committed across a partition without y votes")
+	}
+	cl.Heal()
+	// A fresh transaction after healing commits.
+	txn2 := cl.Begin(1, types.Writeset{{Item: "x", Value: 3}, {Item: "y", Value: 4}})
+	if got := cl.WaitOutcome(txn2, 5*time.Second); got != types.OutcomeCommitted {
+		t.Fatalf("post-heal txn = %v", got)
+	}
+}
+
+func TestLiveCrashRecoveryLearnsOutcome(t *testing.T) {
+	cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol2}, Seed: 7, TimeoutBase: 30 * time.Millisecond})
+	defer cl.Stop()
+	txn := cl.Begin(1, types.Writeset{{Item: "x", Value: 5}, {Item: "y", Value: 6}})
+	if got := cl.WaitOutcome(txn, 3*time.Second); got != types.OutcomeCommitted {
+		t.Fatalf("outcome = %v", got)
+	}
+	cl.Crash(8)
+	cl.Restart(8)
+	deadline := time.Now().Add(3 * time.Second)
+	for cl.OutcomeAt(8, txn) != types.OutcomeCommitted {
+		if time.Now().After(deadline) {
+			t.Fatalf("site8 never relearned the outcome: %v", cl.OutcomeAt(8, txn))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,467 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"qcommit/internal/election"
+	"qcommit/internal/lockmgr"
+	"qcommit/internal/msg"
+	"qcommit/internal/protocol"
+	"qcommit/internal/sim"
+	"qcommit/internal/storage"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+	"qcommit/internal/wal"
+)
+
+// txnCtx mirrors the engine's per-transaction bookkeeping. The dispatch
+// logic here deliberately parallels internal/engine/site.go: the engine
+// validates behaviour deterministically, this runtime executes the same
+// decisions concurrently.
+type txnCtx struct {
+	txn          types.TxnID
+	ws           types.Writeset
+	participants []types.SiteID
+	coordSite    types.SiteID
+
+	auto map[protocol.Role]protocol.Automaton
+	gen  map[protocol.Role]uint32
+
+	elect     *election.FSM
+	nextEpoch uint32
+	rounds    int
+
+	outcome types.Outcome
+}
+
+func (c *txnCtx) terminal() bool {
+	return c.outcome == types.OutcomeCommitted || c.outcome == types.OutcomeAborted
+}
+
+// Node is one live database site: a goroutine owning the site's durable
+// state and automata. All automaton access happens on the node goroutine.
+type Node struct {
+	id   types.SiteID
+	cl   *Cluster
+	mbox chan event
+
+	walMu sync.Mutex
+	log   *wal.MemLog
+
+	store *storage.Store
+	locks *lockmgr.Manager
+
+	txns    map[types.TxnID]*txnCtx
+	crashed bool
+}
+
+func newNode(id types.SiteID, cl *Cluster) *Node {
+	return &Node{
+		id:    id,
+		cl:    cl,
+		mbox:  make(chan event, 1024),
+		log:   wal.NewMemLog(),
+		store: storage.NewStore(id),
+		locks: lockmgr.New(id),
+		txns:  make(map[types.TxnID]*txnCtx),
+	}
+}
+
+// Store exposes the node's versioned store.
+func (n *Node) Store() *storage.Store { return n.store }
+
+func (n *Node) post(ev event) { n.mbox <- ev }
+
+func (n *Node) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for ev := range n.mbox {
+		switch {
+		case ev.stop:
+			return
+		case ev.timer != nil:
+			n.onTimer(ev.timer)
+		case ev.env != nil:
+			n.dispatch(*ev.env)
+		}
+	}
+}
+
+func (n *Node) onTimer(t *timerEvent) {
+	if n.crashed {
+		return
+	}
+	c := n.txns[t.txn]
+	if c == nil || c.gen[t.role] != t.gen {
+		return
+	}
+	a := c.auto[t.role]
+	if a == nil {
+		return
+	}
+	a.OnTimer(t.token, n.env(t.txn, t.role))
+}
+
+func (n *Node) ensureCtx(txn types.TxnID) *txnCtx {
+	c := n.txns[txn]
+	if c == nil {
+		c = &txnCtx{
+			txn:  txn,
+			auto: make(map[protocol.Role]protocol.Automaton),
+			gen:  make(map[protocol.Role]uint32),
+		}
+		n.txns[txn] = c
+	}
+	return c
+}
+
+func (n *Node) install(c *txnCtx, role protocol.Role, a protocol.Automaton) {
+	c.gen[role]++
+	c.auto[role] = a
+	a.Start(n.env(c.txn, role))
+}
+
+func (n *Node) dispatch(e msg.Envelope) {
+	switch m := e.Msg.(type) {
+	case beginMsg:
+		c := n.ensureCtx(m.txn)
+		c.ws = m.ws
+		c.participants = m.participants
+		c.coordSite = n.id
+		n.install(c, protocol.RoleCoordinator, n.cl.cfg.Spec.NewCoordinator(m.txn, m.ws, m.participants))
+		return
+	case crashMsg:
+		n.crashed = true
+		for _, c := range n.txns {
+			for role := range c.auto {
+				c.gen[role]++
+				delete(c.auto, role)
+			}
+			if c.elect != nil {
+				c.elect.Stop()
+				c.elect = nil
+			}
+		}
+		return
+	case restartMsg:
+		n.crashed = false
+		n.recoverVolatile()
+		// Anti-entropy: repair copies that missed writes while down.
+		for _, item := range n.store.Items() {
+			if ic, ok := n.cl.cfg.Assignment.Item(item); ok {
+				for _, cp := range ic.Copies {
+					if cp.Site != n.id {
+						n.cl.send(n.id, cp.Site, msg.CopyReq{Item: item})
+					}
+				}
+			}
+		}
+		return
+	default:
+	}
+
+	if n.crashed {
+		return
+	}
+	txn := msg.TxnOf(e.Msg)
+	switch m := e.Msg.(type) {
+	case msg.CopyReq:
+		if n.store.Has(m.Item) && !n.locks.Locked(m.Item) {
+			if v, err := n.store.Read(m.Item); err == nil {
+				n.cl.send(n.id, e.From, msg.CopyResp{Item: m.Item, Value: v.Value, Version: v.Version})
+			}
+		}
+
+	case msg.CopyResp:
+		if n.store.Has(m.Item) {
+			_ = n.store.Apply(m.Item, m.Value, m.Version)
+		}
+
+	case msg.VoteReq:
+		c := n.ensureCtx(txn)
+		if c.terminal() {
+			return
+		}
+		if len(c.ws) == 0 {
+			c.ws = m.Writeset.Clone()
+			c.participants = append([]types.SiteID(nil), m.Participants...)
+			c.coordSite = m.Coord
+		}
+		if c.auto[protocol.RoleParticipant] == nil {
+			n.install(c, protocol.RoleParticipant, n.cl.cfg.Spec.NewParticipant(txn, nil))
+		}
+		n.deliver(c, protocol.RoleParticipant, e)
+
+	case msg.ElectionCall, msg.ElectionOK, msg.CoordAnnounce:
+		c := n.txns[txn]
+		if c == nil || c.terminal() {
+			return
+		}
+		if c.elect == nil {
+			epoch := uint32(0)
+			if call, ok := m.(msg.ElectionCall); ok {
+				epoch = uint32(call.Ballot >> 32)
+			}
+			n.startElection(c, epoch, false)
+		}
+		n.deliver(c, protocol.RoleElection, e)
+
+	case msg.StateReq:
+		c := n.txns[txn]
+		if c == nil || c.auto[protocol.RoleParticipant] == nil {
+			st := types.StateInitial
+			if c != nil && c.terminal() {
+				st = c.outcome.StateEquivalent()
+			}
+			n.cl.send(n.id, e.From, msg.StateResp{Txn: txn, Epoch: m.Epoch, State: st})
+			return
+		}
+		n.deliver(c, protocol.RoleParticipant, e)
+
+	case msg.DecisionReq:
+		c := n.txns[txn]
+		if c == nil || c.auto[protocol.RoleParticipant] == nil {
+			resp := msg.DecisionResp{Txn: txn, Uncommitted: true}
+			if c != nil && c.terminal() {
+				resp.Uncommitted = false
+				if c.outcome == types.OutcomeCommitted {
+					resp.Decision = types.DecisionCommit
+				} else {
+					resp.Decision = types.DecisionAbort
+				}
+			}
+			n.cl.send(n.id, e.From, resp)
+			return
+		}
+		n.deliver(c, protocol.RoleParticipant, e)
+
+	case msg.StateResp, msg.PCAck, msg.PAAck, msg.DecisionResp:
+		c := n.txns[txn]
+		if c == nil {
+			return
+		}
+		if c.auto[protocol.RoleTerminator] != nil {
+			n.deliver(c, protocol.RoleTerminator, e)
+		} else if c.auto[protocol.RoleCoordinator] != nil {
+			n.deliver(c, protocol.RoleCoordinator, e)
+		}
+
+	case msg.VoteResp, msg.Done:
+		if c := n.txns[txn]; c != nil {
+			n.deliver(c, protocol.RoleCoordinator, e)
+		}
+
+	case msg.PrepareToCommit, msg.PrepareToAbort, msg.Commit, msg.Abort:
+		c := n.txns[txn]
+		if c == nil {
+			return
+		}
+		if c.auto[protocol.RoleParticipant] != nil {
+			n.deliver(c, protocol.RoleParticipant, e)
+			return
+		}
+		switch e.Msg.(type) {
+		case msg.Commit:
+			n.doCommit(c)
+		case msg.Abort:
+			n.doAbort(c)
+		}
+	}
+}
+
+func (n *Node) deliver(c *txnCtx, role protocol.Role, e msg.Envelope) {
+	if a := c.auto[role]; a != nil {
+		a.OnMessage(e.From, e.Msg, n.env(c.txn, role))
+	}
+}
+
+func (n *Node) startElection(c *txnCtx, epoch uint32, campaign bool) {
+	if c.terminal() {
+		return
+	}
+	if campaign {
+		if c.rounds >= n.cl.cfg.MaxTerminationRounds {
+			return
+		}
+		c.rounds++
+	}
+	if epoch < c.nextEpoch {
+		epoch = c.nextEpoch
+	}
+	c.nextEpoch = epoch + 1
+	peers := c.participants
+	if len(peers) == 0 {
+		peers = []types.SiteID{n.id}
+	}
+	f := election.New(c.txn, n.id, peers, epoch)
+	f.OnElected = func(uint32) {
+		term := n.cl.cfg.Spec.NewTerminator(c.txn, c.ws, c.participants, epoch)
+		n.install(c, protocol.RoleTerminator, term)
+	}
+	f.OnRetry = func() {
+		c.elect = nil
+		n.startElection(c, c.nextEpoch, true)
+	}
+	c.elect = f
+	c.gen[protocol.RoleElection]++
+	c.auto[protocol.RoleElection] = f
+	if campaign {
+		f.Start(n.env(c.txn, protocol.RoleElection))
+	}
+}
+
+func (n *Node) lockLocalCopies(txn types.TxnID, ws types.Writeset) bool {
+	var taken []types.ItemID
+	for _, x := range ws.Items() {
+		if !n.store.Has(x) {
+			continue
+		}
+		if err := n.locks.TryAcquire(txn, x, lockmgr.Exclusive); err != nil {
+			for _, y := range taken {
+				n.locks.Release(txn, y)
+			}
+			return false
+		}
+		taken = append(taken, x)
+	}
+	return true
+}
+
+func (n *Node) recoverVolatile() {
+	n.walMu.Lock()
+	recs, _ := n.log.Records()
+	n.walMu.Unlock()
+	for txn, im := range wal.Replay(recs) {
+		c := n.ensureCtx(txn)
+		if len(c.ws) == 0 {
+			c.ws = im.Writeset.Clone()
+		}
+		if len(c.participants) == 0 {
+			c.participants = append([]types.SiteID(nil), im.Participants...)
+		}
+		c.coordSite = im.Coord
+		switch im.State {
+		case types.StateCommitted:
+			c.outcome = types.OutcomeCommitted
+		case types.StateAborted:
+			c.outcome = types.OutcomeAborted
+		case types.StateWait, types.StatePC, types.StatePA:
+			n.lockLocalCopies(txn, c.ws)
+			n.install(c, protocol.RoleParticipant, n.cl.cfg.Spec.NewParticipant(txn, im))
+		}
+	}
+}
+
+func (n *Node) doCommit(c *txnCtx) {
+	if c.terminal() {
+		return
+	}
+	n.walMu.Lock()
+	_ = n.log.Append(wal.Record{Type: wal.RecCommit, Txn: c.txn})
+	n.walMu.Unlock()
+	n.store.ApplyWriteset(c.ws, uint64(c.txn)+1)
+	n.locks.ReleaseAll(c.txn)
+	c.outcome = types.OutcomeCommitted
+	n.quiesce(c)
+}
+
+func (n *Node) doAbort(c *txnCtx) {
+	if c.terminal() {
+		return
+	}
+	n.walMu.Lock()
+	_ = n.log.Append(wal.Record{Type: wal.RecAbort, Txn: c.txn})
+	n.walMu.Unlock()
+	n.locks.ReleaseAll(c.txn)
+	c.outcome = types.OutcomeAborted
+	n.quiesce(c)
+}
+
+func (n *Node) quiesce(c *txnCtx) {
+	if c.elect != nil {
+		c.elect.Stop()
+		c.elect = nil
+	}
+	c.gen[protocol.RoleParticipant]++
+	delete(c.auto, protocol.RoleParticipant)
+	c.gen[protocol.RoleElection]++
+	delete(c.auto, protocol.RoleElection)
+}
+
+// env builds the protocol.Env bound to (node, txn, role, generation).
+func (n *Node) env(txn types.TxnID, role protocol.Role) *nodeEnv {
+	c := n.ensureCtx(txn)
+	return &nodeEnv{node: n, txn: txn, role: role, gen: c.gen[role]}
+}
+
+type nodeEnv struct {
+	node *Node
+	txn  types.TxnID
+	role protocol.Role
+	gen  uint32
+}
+
+var _ protocol.Env = (*nodeEnv)(nil)
+
+func (e *nodeEnv) Self() types.SiteID { return e.node.id }
+
+func (e *nodeEnv) Now() sim.Time { return sim.Time(time.Since(e.node.cl.start)) }
+
+func (e *nodeEnv) T() sim.Duration { return sim.Duration(e.node.cl.cfg.TimeoutBase) }
+
+func (e *nodeEnv) Assignment() *voting.Assignment { return e.node.cl.cfg.Assignment }
+
+func (e *nodeEnv) Send(to types.SiteID, m msg.Message) { e.node.cl.send(e.node.id, to, m) }
+
+func (e *nodeEnv) SetTimer(d sim.Duration, token int) {
+	n := e.node
+	t := &timerEvent{txn: e.txn, role: e.role, gen: e.gen, token: token}
+	time.AfterFunc(time.Duration(d), func() {
+		defer func() { recover() }() // mailbox may be closed at shutdown
+		n.post(event{timer: t})
+	})
+}
+
+func (e *nodeEnv) Append(rec wal.Record) {
+	e.node.walMu.Lock()
+	defer e.node.walMu.Unlock()
+	_ = e.node.log.Append(rec)
+}
+
+func (e *nodeEnv) Commit(txn types.TxnID) {
+	if c := e.node.txns[txn]; c != nil {
+		e.node.doCommit(c)
+	}
+}
+
+func (e *nodeEnv) Abort(txn types.TxnID) {
+	if c := e.node.txns[txn]; c != nil {
+		e.node.doAbort(c)
+	}
+}
+
+func (e *nodeEnv) Block(types.TxnID) {}
+
+func (e *nodeEnv) RequestTermination(txn types.TxnID) {
+	n := e.node
+	c := n.txns[txn]
+	if c == nil || c.terminal() {
+		return
+	}
+	if c.elect != nil && !c.elect.Won() {
+		return
+	}
+	n.startElection(c, c.nextEpoch, true)
+}
+
+func (e *nodeEnv) TerminatorDone(types.TxnID) {}
+
+func (e *nodeEnv) AcquireLocks(txn types.TxnID) bool {
+	c := e.node.txns[txn]
+	if c == nil {
+		return false
+	}
+	return e.node.lockLocalCopies(txn, c.ws)
+}
+
+func (e *nodeEnv) Tracef(string, ...any) {}

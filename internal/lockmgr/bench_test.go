@@ -1,0 +1,49 @@
+package lockmgr
+
+import (
+	"testing"
+
+	"qcommit/internal/types"
+)
+
+func BenchmarkTryAcquireRelease(b *testing.B) {
+	m := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		txn := types.TxnID(i)
+		if err := m.TryAcquire(txn, "x", Exclusive); err != nil {
+			b.Fatal(err)
+		}
+		m.Release(txn, "x")
+	}
+}
+
+func BenchmarkReleaseAllManyItems(b *testing.B) {
+	items := make([]types.ItemID, 16)
+	for i := range items {
+		items[i] = types.ItemID(string(rune('a' + i)))
+	}
+	m := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		txn := types.TxnID(i)
+		for _, it := range items {
+			_ = m.TryAcquire(txn, it, Exclusive)
+		}
+		m.ReleaseAll(txn)
+	}
+}
+
+func BenchmarkSharedContention(b *testing.B) {
+	m := New(1)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			txn := types.TxnID(i)
+			if err := m.TryAcquire(txn, "hot", Shared); err == nil {
+				m.Release(txn, "hot")
+			}
+			i++
+		}
+	})
+}

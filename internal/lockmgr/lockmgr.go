@@ -1,0 +1,341 @@
+// Package lockmgr implements each site's lock manager.
+//
+// The commit protocols hold exclusive locks on every local copy written by a
+// transaction from the yes vote until the transaction terminates. A blocked
+// transaction therefore renders those copies inaccessible — the first of the
+// two availability-reduction factors the paper analyzes. The availability
+// harness (package avail) asks this lock manager which copies are locked to
+// compute per-partition data accessibility.
+//
+// Locking is strict two-phase: locks are only released at commit or abort.
+// Shared (read) and exclusive (write) modes are supported, with FIFO waiting
+// and waits-for-graph deadlock detection.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"qcommit/internal/types"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	// Shared allows concurrent readers.
+	Shared Mode = iota
+	// Exclusive allows a single writer.
+	Exclusive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// compatible reports whether a new request of mode b can join holders of
+// mode a.
+func compatible(a, b Mode) bool { return a == Shared && b == Shared }
+
+// Lock manager errors.
+var (
+	// ErrDeadlock is returned when granting the request would close a cycle
+	// in the waits-for graph.
+	ErrDeadlock = errors.New("lockmgr: deadlock detected")
+	// ErrWouldBlock is returned by TryAcquire when the lock is unavailable.
+	ErrWouldBlock = errors.New("lockmgr: lock unavailable")
+)
+
+type request struct {
+	txn   types.TxnID
+	mode  Mode
+	grant chan error
+}
+
+type lockState struct {
+	mode    Mode
+	holders map[types.TxnID]int // re-entrancy count
+	queue   []*request
+}
+
+// Manager is a per-site lock table.
+type Manager struct {
+	mu    sync.Mutex
+	site  types.SiteID
+	locks map[types.ItemID]*lockState
+	// waitsFor[t] = set of transactions t waits for (deadlock detection).
+	waitsFor map[types.TxnID]map[types.TxnID]bool
+}
+
+// New creates a lock manager for a site.
+func New(site types.SiteID) *Manager {
+	return &Manager{
+		site:     site,
+		locks:    make(map[types.ItemID]*lockState),
+		waitsFor: make(map[types.TxnID]map[types.TxnID]bool),
+	}
+}
+
+// Site returns the owning site.
+func (m *Manager) Site() types.SiteID { return m.site }
+
+// TryAcquire attempts to take item in the given mode without waiting.
+// Re-entrant acquisition by the same transaction succeeds; upgrading S→X
+// succeeds only if the transaction is the sole holder.
+func (m *Manager) TryAcquire(txn types.TxnID, item types.ItemID, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.locks[item]
+	if ls == nil || len(ls.holders) == 0 {
+		m.grantLocked(txn, item, mode)
+		return nil
+	}
+	if _, holds := ls.holders[txn]; holds {
+		if mode == Exclusive && ls.mode == Shared {
+			if len(ls.holders) == 1 {
+				ls.mode = Exclusive
+				ls.holders[txn]++
+				return nil
+			}
+			return ErrWouldBlock
+		}
+		ls.holders[txn]++
+		return nil
+	}
+	if compatible(ls.mode, mode) && len(ls.queue) == 0 {
+		ls.holders[txn] = 1
+		return nil
+	}
+	return ErrWouldBlock
+}
+
+// Acquire takes the lock, blocking until granted. It returns ErrDeadlock if
+// waiting would create a waits-for cycle. Intended for the live runtime; the
+// deterministic simulator uses TryAcquire.
+func (m *Manager) Acquire(txn types.TxnID, item types.ItemID, mode Mode) error {
+	m.mu.Lock()
+	ls := m.locks[item]
+	if ls == nil || len(ls.holders) == 0 {
+		m.grantLocked(txn, item, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	if _, holds := ls.holders[txn]; holds {
+		err := func() error {
+			if mode == Exclusive && ls.mode == Shared {
+				if len(ls.holders) == 1 {
+					ls.mode = Exclusive
+					ls.holders[txn]++
+					return nil
+				}
+				return ErrWouldBlock
+			}
+			ls.holders[txn]++
+			return nil
+		}()
+		m.mu.Unlock()
+		return err
+	}
+	if compatible(ls.mode, mode) && len(ls.queue) == 0 {
+		ls.holders[txn] = 1
+		m.mu.Unlock()
+		return nil
+	}
+	// Must wait: record edges and check for a cycle.
+	for holder := range ls.holders {
+		m.addEdgeLocked(txn, holder)
+	}
+	if m.cycleFromLocked(txn) {
+		m.clearEdgesLocked(txn)
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	req := &request{txn: txn, mode: mode, grant: make(chan error, 1)}
+	ls.queue = append(ls.queue, req)
+	m.mu.Unlock()
+	return <-req.grant
+}
+
+// Release drops one hold of txn on item, waking waiters when it becomes free.
+func (m *Manager) Release(txn types.TxnID, item types.ItemID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(txn, item)
+}
+
+// ReleaseAll drops every lock held by txn (commit/abort).
+func (m *Manager) ReleaseAll(txn types.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for item, ls := range m.locks {
+		if _, ok := ls.holders[txn]; ok {
+			delete(ls.holders, txn)
+			m.wakeLocked(item)
+		}
+		// Also drop a queued request from an aborted transaction.
+		for i, req := range ls.queue {
+			if req.txn == txn {
+				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+				req.grant <- ErrWouldBlock
+				break
+			}
+		}
+	}
+	m.clearEdgesLocked(txn)
+}
+
+// Locked reports whether item is currently locked (by anyone).
+func (m *Manager) Locked(item types.ItemID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.locks[item]
+	return ls != nil && len(ls.holders) > 0
+}
+
+// LockedBy reports whether txn holds item.
+func (m *Manager) LockedBy(txn types.TxnID, item types.ItemID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.locks[item]
+	if ls == nil {
+		return false
+	}
+	_, ok := ls.holders[txn]
+	return ok
+}
+
+// HeldItems returns the items txn currently holds, in ascending order.
+func (m *Manager) HeldItems(txn types.TxnID) []types.ItemID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []types.ItemID
+	for item, ls := range m.locks {
+		if _, ok := ls.holders[txn]; ok {
+			out = append(out, item)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the lock table for debugging.
+func (m *Manager) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	items := make([]types.ItemID, 0, len(m.locks))
+	for it := range m.locks {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	s := fmt.Sprintf("locks@%s{", m.site)
+	for i, it := range items {
+		ls := m.locks[it]
+		if len(ls.holders) == 0 {
+			continue
+		}
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%s×%d", it, ls.mode, len(ls.holders))
+	}
+	return s + "}"
+}
+
+func (m *Manager) grantLocked(txn types.TxnID, item types.ItemID, mode Mode) {
+	ls := m.locks[item]
+	if ls == nil {
+		ls = &lockState{holders: make(map[types.TxnID]int)}
+		m.locks[item] = ls
+	}
+	ls.mode = mode
+	ls.holders[txn] = 1
+}
+
+func (m *Manager) releaseLocked(txn types.TxnID, item types.ItemID) {
+	ls := m.locks[item]
+	if ls == nil {
+		return
+	}
+	if cnt, ok := ls.holders[txn]; ok {
+		if cnt > 1 {
+			ls.holders[txn] = cnt - 1
+			return
+		}
+		delete(ls.holders, txn)
+	}
+	m.wakeLocked(item)
+}
+
+// wakeLocked grants queued requests that have become compatible.
+func (m *Manager) wakeLocked(item types.ItemID) {
+	ls := m.locks[item]
+	if ls == nil {
+		return
+	}
+	for len(ls.queue) > 0 {
+		head := ls.queue[0]
+		if len(ls.holders) == 0 {
+			ls.queue = ls.queue[1:]
+			ls.mode = head.mode
+			ls.holders[head.txn] = 1
+			m.clearEdgesLocked(head.txn)
+			head.grant <- nil
+			continue
+		}
+		if compatible(ls.mode, head.mode) {
+			ls.queue = ls.queue[1:]
+			ls.holders[head.txn] = 1
+			m.clearEdgesLocked(head.txn)
+			head.grant <- nil
+			continue
+		}
+		break
+	}
+}
+
+func (m *Manager) addEdgeLocked(from, to types.TxnID) {
+	if from == to {
+		return
+	}
+	set := m.waitsFor[from]
+	if set == nil {
+		set = make(map[types.TxnID]bool)
+		m.waitsFor[from] = set
+	}
+	set[to] = true
+}
+
+func (m *Manager) clearEdgesLocked(txn types.TxnID) {
+	delete(m.waitsFor, txn)
+}
+
+// cycleFromLocked reports whether txn can reach itself in the waits-for graph.
+func (m *Manager) cycleFromLocked(start types.TxnID) bool {
+	seen := make(map[types.TxnID]bool)
+	var stack []types.TxnID
+	for t := range m.waitsFor[start] {
+		stack = append(stack, t)
+	}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t == start {
+			return true
+		}
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		for next := range m.waitsFor[t] {
+			stack = append(stack, next)
+		}
+	}
+	return false
+}

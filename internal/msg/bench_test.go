@@ -1,0 +1,54 @@
+package msg
+
+import (
+	"testing"
+
+	"qcommit/internal/types"
+)
+
+func BenchmarkMarshalVoteReq(b *testing.B) {
+	m := VoteReq{
+		Txn:          42,
+		Coord:        1,
+		Participants: []types.SiteID{1, 2, 3, 4, 5, 6, 7, 8},
+		Writeset:     types.Writeset{{Item: "x", Value: 1}, {Item: "y", Value: 2}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalVoteReq(b *testing.B) {
+	frame, err := Marshal(VoteReq{
+		Txn:          42,
+		Coord:        1,
+		Participants: []types.SiteID{1, 2, 3, 4, 5, 6, 7, 8},
+		Writeset:     types.Writeset{{Item: "x", Value: 1}, {Item: "y", Value: 2}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundTripSmall(b *testing.B) {
+	m := PCAck{Txn: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frame, err := Marshal(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"qcommit/internal/types"
+)
+
+// Wire format: every frame is
+//
+//	kind (1 byte) | body (varint-encoded fields) | crc32 of kind+body (4 bytes, big endian)
+//
+// Integers use unsigned varints; signed values use zig-zag varints; strings
+// and slices are length-prefixed. The format is self-contained per message;
+// framing across a byte stream is the transport's concern.
+
+// Codec errors.
+var (
+	ErrShortFrame  = errors.New("msg: frame too short")
+	ErrBadChecksum = errors.New("msg: checksum mismatch")
+	ErrBadKind     = errors.New("msg: unknown message kind")
+	ErrTruncated   = errors.New("msg: truncated body")
+	ErrTrailing    = errors.New("msg: trailing bytes after body")
+)
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8) { w.buf = append(w.buf, v) }
+func (w *writer) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+func (w *writer) varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) sites(ss []types.SiteID) {
+	w.uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		w.varint(int64(s))
+	}
+}
+func (w *writer) writeset(ws types.Writeset) {
+	w.uvarint(uint64(len(ws)))
+	for _, u := range ws {
+		w.str(string(u.Item))
+		w.varint(u.Value)
+	}
+}
+
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)) {
+		r.fail(ErrTruncated)
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+func (r *reader) sites() []types.SiteID {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > math.MaxInt32 || n > uint64(len(r.buf)) {
+		// each site takes ≥1 byte, so n > len(buf) is certainly truncated
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := make([]types.SiteID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, types.SiteID(r.varint()))
+	}
+	return out
+}
+
+func (r *reader) writeset() types.Writeset {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(r.buf)) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := make(types.Writeset, 0, n)
+	for i := uint64(0); i < n; i++ {
+		item := r.str()
+		val := r.varint()
+		out = append(out, types.Update{Item: types.ItemID(item), Value: val})
+	}
+	return out
+}
+
+// Marshal encodes m into a checksummed frame.
+func Marshal(m Message) ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, 64)}
+	w.u8(uint8(m.Kind()))
+	switch v := m.(type) {
+	case VoteReq:
+		w.uvarint(uint64(v.Txn))
+		w.varint(int64(v.Coord))
+		w.sites(v.Participants)
+		w.writeset(v.Writeset)
+	case VoteResp:
+		w.uvarint(uint64(v.Txn))
+		w.u8(uint8(v.Vote))
+	case PrepareToCommit:
+		w.uvarint(uint64(v.Txn))
+	case PCAck:
+		w.uvarint(uint64(v.Txn))
+	case PrepareToAbort:
+		w.uvarint(uint64(v.Txn))
+	case PAAck:
+		w.uvarint(uint64(v.Txn))
+	case Commit:
+		w.uvarint(uint64(v.Txn))
+	case Abort:
+		w.uvarint(uint64(v.Txn))
+	case Done:
+		w.uvarint(uint64(v.Txn))
+	case StateReq:
+		w.uvarint(uint64(v.Txn))
+		w.varint(int64(v.Coord))
+		w.uvarint(uint64(v.Epoch))
+	case StateResp:
+		w.uvarint(uint64(v.Txn))
+		w.uvarint(uint64(v.Epoch))
+		w.u8(uint8(v.State))
+	case DecisionReq:
+		w.uvarint(uint64(v.Txn))
+	case DecisionResp:
+		w.uvarint(uint64(v.Txn))
+		w.u8(uint8(v.Decision))
+		if v.Uncommitted {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	case ElectionCall:
+		w.uvarint(uint64(v.Txn))
+		w.uvarint(v.Ballot)
+		w.varint(int64(v.Candidate))
+	case ElectionOK:
+		w.uvarint(uint64(v.Txn))
+		w.uvarint(v.Ballot)
+	case CoordAnnounce:
+		w.uvarint(uint64(v.Txn))
+		w.uvarint(v.Ballot)
+		w.varint(int64(v.Coord))
+	case CopyReq:
+		w.str(string(v.Item))
+	case CopyResp:
+		w.str(string(v.Item))
+		w.varint(v.Value)
+		w.uvarint(v.Version)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrBadKind, m)
+	}
+	sum := crc32.ChecksumIEEE(w.buf)
+	w.buf = binary.BigEndian.AppendUint32(w.buf, sum)
+	return w.buf, nil
+}
+
+// Unmarshal decodes a frame produced by Marshal, verifying its checksum.
+func Unmarshal(frame []byte) (Message, error) {
+	if len(frame) < 5 { // kind + crc
+		return nil, ErrShortFrame
+	}
+	body, sumBytes := frame[:len(frame)-4], frame[len(frame)-4:]
+	want := binary.BigEndian.Uint32(sumBytes)
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, ErrBadChecksum
+	}
+	kind := Kind(body[0])
+	r := &reader{buf: body[1:]}
+	var m Message
+	switch kind {
+	case KindVoteReq:
+		m = VoteReq{
+			Txn:          types.TxnID(r.uvarint()),
+			Coord:        types.SiteID(r.varint()),
+			Participants: r.sites(),
+			Writeset:     r.writeset(),
+		}
+	case KindVoteResp:
+		txn := types.TxnID(r.uvarint())
+		var vote types.Vote
+		if len(r.buf) < 1 {
+			r.fail(ErrTruncated)
+		} else {
+			vote = types.Vote(r.buf[0])
+			r.buf = r.buf[1:]
+		}
+		m = VoteResp{Txn: txn, Vote: vote}
+	case KindPrepareToCommit:
+		m = PrepareToCommit{Txn: types.TxnID(r.uvarint())}
+	case KindPCAck:
+		m = PCAck{Txn: types.TxnID(r.uvarint())}
+	case KindPrepareToAbort:
+		m = PrepareToAbort{Txn: types.TxnID(r.uvarint())}
+	case KindPAAck:
+		m = PAAck{Txn: types.TxnID(r.uvarint())}
+	case KindCommit:
+		m = Commit{Txn: types.TxnID(r.uvarint())}
+	case KindAbort:
+		m = Abort{Txn: types.TxnID(r.uvarint())}
+	case KindDone:
+		m = Done{Txn: types.TxnID(r.uvarint())}
+	case KindStateReq:
+		m = StateReq{
+			Txn:   types.TxnID(r.uvarint()),
+			Coord: types.SiteID(r.varint()),
+			Epoch: uint32(r.uvarint()),
+		}
+	case KindStateResp:
+		txn := types.TxnID(r.uvarint())
+		epoch := uint32(r.uvarint())
+		var st types.State
+		if len(r.buf) < 1 {
+			r.fail(ErrTruncated)
+		} else {
+			st = types.State(r.buf[0])
+			r.buf = r.buf[1:]
+		}
+		m = StateResp{Txn: txn, Epoch: epoch, State: st}
+	case KindDecisionReq:
+		m = DecisionReq{Txn: types.TxnID(r.uvarint())}
+	case KindDecisionResp:
+		txn := types.TxnID(r.uvarint())
+		var dec types.Decision
+		var unc bool
+		if len(r.buf) < 2 {
+			r.fail(ErrTruncated)
+		} else {
+			dec = types.Decision(r.buf[0])
+			unc = r.buf[1] == 1
+			r.buf = r.buf[2:]
+		}
+		m = DecisionResp{Txn: txn, Decision: dec, Uncommitted: unc}
+	case KindElectionCall:
+		m = ElectionCall{
+			Txn:       types.TxnID(r.uvarint()),
+			Ballot:    r.uvarint(),
+			Candidate: types.SiteID(r.varint()),
+		}
+	case KindElectionOK:
+		m = ElectionOK{Txn: types.TxnID(r.uvarint()), Ballot: r.uvarint()}
+	case KindCoordAnnounce:
+		m = CoordAnnounce{
+			Txn:    types.TxnID(r.uvarint()),
+			Ballot: r.uvarint(),
+			Coord:  types.SiteID(r.varint()),
+		}
+	case KindCopyReq:
+		m = CopyReq{Item: types.ItemID(r.str())}
+	case KindCopyResp:
+		m = CopyResp{
+			Item:    types.ItemID(r.str()),
+			Value:   r.varint(),
+			Version: r.uvarint(),
+		}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, ErrTrailing
+	}
+	return m, nil
+}

@@ -1,0 +1,216 @@
+package msg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"qcommit/internal/types"
+)
+
+// allMessages returns one populated instance of every message type.
+func allMessages() []Message {
+	ws := types.Writeset{{Item: "x", Value: -42}, {Item: "account/7", Value: 1 << 40}}
+	parts := []types.SiteID{1, 2, 3, 8}
+	return []Message{
+		VoteReq{Txn: 7, Coord: 1, Participants: parts, Writeset: ws},
+		VoteResp{Txn: 7, Vote: types.VoteNo},
+		VoteResp{Txn: 7, Vote: types.VoteYes},
+		PrepareToCommit{Txn: 7},
+		PCAck{Txn: 7},
+		PrepareToAbort{Txn: 7},
+		PAAck{Txn: 7},
+		Commit{Txn: 7},
+		Abort{Txn: 7},
+		Done{Txn: 7},
+		StateReq{Txn: 7, Coord: 3, Epoch: 12},
+		StateResp{Txn: 7, Epoch: 12, State: types.StatePA},
+		DecisionReq{Txn: 7},
+		DecisionResp{Txn: 7, Decision: types.DecisionCommit},
+		DecisionResp{Txn: 7, Uncommitted: true},
+		ElectionCall{Txn: 7, Ballot: 1<<40 | 3, Candidate: 3},
+		ElectionOK{Txn: 7, Ballot: 99},
+		CoordAnnounce{Txn: 7, Ballot: 99, Coord: 2},
+	}
+}
+
+func TestCodecRoundTripAllKinds(t *testing.T) {
+	for _, m := range allMessages() {
+		frame, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("Marshal(%T): %v", m, err)
+		}
+		got, err := Unmarshal(frame)
+		if err != nil {
+			t.Fatalf("Unmarshal(%T): %v", m, err)
+		}
+		if !reflect.DeepEqual(normalize(m), normalize(got)) {
+			t.Errorf("round trip %T:\n in: %#v\nout: %#v", m, m, got)
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form for comparison.
+func normalize(m Message) Message {
+	if v, ok := m.(VoteReq); ok {
+		if len(v.Participants) == 0 {
+			v.Participants = nil
+		}
+		if len(v.Writeset) == 0 {
+			v.Writeset = nil
+		}
+		return v
+	}
+	return m
+}
+
+func TestCodecChecksumDetectsCorruption(t *testing.T) {
+	frame, err := Marshal(Commit{Txn: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, err := Unmarshal(bad); err == nil {
+			// A flip in the CRC bytes themselves must also be caught.
+			t.Errorf("corruption at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestCodecShortFrame(t *testing.T) {
+	for _, frame := range [][]byte{nil, {}, {1}, {1, 2, 3, 4}} {
+		if _, err := Unmarshal(frame); err == nil {
+			t.Errorf("frame %v should fail", frame)
+		}
+	}
+}
+
+func TestCodecUnknownKind(t *testing.T) {
+	// Build a frame with an unknown kind byte but a valid checksum.
+	frame, err := Marshal(Commit{Txn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-marshal manually: corrupting kind invalidates the CRC, which is
+	// also acceptable; use Marshal on a fake type to hit the encoder error.
+	type weird struct{ Message }
+	if _, err := Marshal(weird{Commit{}}); err == nil {
+		t.Error("marshalling an unknown concrete type should fail")
+	}
+	_ = frame
+}
+
+func TestCodecRejectsTruncatedBody(t *testing.T) {
+	full, err := Marshal(VoteReq{Txn: 3, Coord: 1, Participants: []types.SiteID{1, 2}, Writeset: types.Writeset{{Item: "x", Value: 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove bytes from the middle, fix up nothing: CRC must catch it.
+	trunc := append([]byte(nil), full[:len(full)-6]...)
+	trunc = append(trunc, full[len(full)-4:]...)
+	if _, err := Unmarshal(trunc); err == nil {
+		t.Error("truncated body went undetected")
+	}
+}
+
+func TestCodecRoundTripPropertyVoteReq(t *testing.T) {
+	f := func(txn uint64, coord int32, parts []int32, items []uint8, vals []int64) bool {
+		req := VoteReq{Txn: types.TxnID(txn), Coord: types.SiteID(coord)}
+		for _, p := range parts {
+			req.Participants = append(req.Participants, types.SiteID(p))
+		}
+		for i, it := range items {
+			v := int64(i)
+			if i < len(vals) {
+				v = vals[i]
+			}
+			req.Writeset = append(req.Writeset, types.Update{
+				Item:  types.ItemID(string(rune('a' + it%26))),
+				Value: v,
+			})
+		}
+		frame, err := Marshal(req)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(frame)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalize(req), normalize(got))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCodecNeverPanicsOnRandomBytes feeds random frames to Unmarshal; it may
+// reject them but must not panic.
+func TestCodecNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(64)
+		frame := make([]byte, n)
+		rng.Read(frame)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %v: %v", frame, r)
+				}
+			}()
+			_, _ = Unmarshal(frame)
+		}()
+	}
+}
+
+func TestTxnOfCoversAllKinds(t *testing.T) {
+	for _, m := range allMessages() {
+		if got := TxnOf(m); got != 7 {
+			t.Errorf("TxnOf(%T) = %v, want 7", m, got)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, m := range allMessages() {
+		if s := m.Kind().String(); s == "" || s[0] == 'K' {
+			t.Errorf("%T kind string = %q", m, s)
+		}
+	}
+	if KindInvalid.String() != "Kind(0)" {
+		t.Errorf("invalid kind = %q", KindInvalid.String())
+	}
+}
+
+func TestEnvelopeString(t *testing.T) {
+	e := Envelope{From: 1, To: 2, Msg: Commit{Txn: 3}}
+	if e.String() != "site1->site2 COMMIT" {
+		t.Errorf("envelope string = %q", e.String())
+	}
+}
+
+func TestCodecCopyMessages(t *testing.T) {
+	for _, m := range []Message{
+		CopyReq{Item: "widgets"},
+		CopyResp{Item: "widgets", Value: -17, Version: 1 << 50},
+	} {
+		frame, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("Marshal(%T): %v", m, err)
+		}
+		got, err := Unmarshal(frame)
+		if err != nil {
+			t.Fatalf("Unmarshal(%T): %v", m, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("round trip %T: in %#v out %#v", m, m, got)
+		}
+	}
+	if TxnOf(CopyReq{Item: "x"}) != 0 {
+		t.Error("copy messages are not transaction-scoped")
+	}
+}

@@ -1,0 +1,133 @@
+// Package protocol defines the runtime-agnostic contract between commit /
+// termination protocol automata and the engine that hosts them.
+//
+// Every protocol in this repository (two-phase commit, three-phase commit,
+// Skeen's quorum-based protocol, and the paper's quorum-based commit and
+// termination protocols 1 and 2) is written as a set of pure, event-driven
+// state machines: an automaton consumes messages and timer expirations and
+// reacts through the Env interface. The same automata run unchanged under
+// the deterministic discrete-event simulator (package engine) and the live
+// goroutine runtime (package live); only the Env implementation differs.
+package protocol
+
+import (
+	"qcommit/internal/msg"
+	"qcommit/internal/sim"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+	"qcommit/internal/wal"
+)
+
+// Env is the world as seen by one automaton at one site. All methods are
+// non-blocking; effects (sends, timers) are applied by the hosting runtime.
+type Env interface {
+	// Self is the hosting site's ID.
+	Self() types.SiteID
+	// Now is the current (virtual or wall-clock-mapped) time.
+	Now() sim.Time
+	// T is the longest end-to-end propagation delay of the network; the
+	// paper's timeout periods are expressed as multiples of it (2T, 3T).
+	T() sim.Duration
+	// Assignment is the cluster-wide vote assignment for replicated items.
+	Assignment() *voting.Assignment
+
+	// Send transmits a message to another site (or to Self; self-delivery is
+	// routed like any other message).
+	Send(to types.SiteID, m msg.Message)
+	// SetTimer schedules OnTimer(token) after d. Automata are responsible
+	// for ignoring stale timers (e.g. with epoch counters); timers are not
+	// cancellable.
+	SetTimer(d sim.Duration, token int)
+
+	// Append forces a record to the site's write-ahead log before returning.
+	Append(rec wal.Record)
+
+	// Commit asks the host to irrevocably commit the transaction locally:
+	// log COMMIT, apply the writeset, release locks, record the outcome.
+	Commit(txn types.TxnID)
+	// Abort is the abort counterpart of Commit.
+	Abort(txn types.TxnID)
+	// Block records that the termination attempt for txn is blocked in this
+	// partition; locks remain held. A later termination round may unblock.
+	Block(txn types.TxnID)
+	// RequestTermination reports that the normal commitment procedure looks
+	// interrupted (timeout); the host runs the election protocol and, if
+	// this site wins, starts the termination-protocol coordinator.
+	RequestTermination(txn types.TxnID)
+	// TerminatorDone reports that a termination coordinator finished its
+	// round (decided, blocked, or handed off to a re-election).
+	TerminatorDone(txn types.TxnID)
+
+	// AcquireLocks takes exclusive locks on every local copy of the
+	// transaction's written items, returning false if any is unavailable.
+	// Participants turn a false return into a no vote.
+	AcquireLocks(txn types.TxnID) bool
+
+	// Tracef emits a trace event for message-ladder rendering and debugging.
+	Tracef(format string, args ...any)
+}
+
+// Automaton is an event-driven protocol state machine.
+type Automaton interface {
+	// Start runs when the automaton is installed.
+	Start(env Env)
+	// OnMessage delivers a routed protocol message.
+	OnMessage(from types.SiteID, m msg.Message, env Env)
+	// OnTimer delivers an expired timer set via Env.SetTimer.
+	OnTimer(token int, env Env)
+}
+
+// Role classifies automata for message routing by the host.
+type Role uint8
+
+// Roles.
+const (
+	// RoleCoordinator is the commit-protocol coordinator.
+	RoleCoordinator Role = iota
+	// RoleParticipant is the per-site participant.
+	RoleParticipant
+	// RoleTerminator is the termination-protocol coordinator elected in a
+	// partition.
+	RoleTerminator
+	// RoleElection is the coordinator-election automaton.
+	RoleElection
+)
+
+// Spec is a commit+termination protocol family. The engine uses it to build
+// automata; everything protocol-specific lives behind this interface.
+type Spec interface {
+	// Name identifies the protocol in traces and result tables
+	// (e.g. "2PC", "3PC", "SkeenQ", "QC1", "QC2").
+	Name() string
+	// NewCoordinator creates the commit coordinator for a transaction
+	// issued at this site.
+	NewCoordinator(txn types.TxnID, ws types.Writeset, participants []types.SiteID) Automaton
+	// NewParticipant creates the per-site participant automaton. init is
+	// non-nil when the participant is being reconstructed from the WAL after
+	// a crash.
+	NewParticipant(txn types.TxnID, init *wal.TxnImage) Automaton
+	// NewTerminator creates the termination-protocol coordinator that runs
+	// after this site wins an election in its partition. epoch distinguishes
+	// successive (reentrant) invocations.
+	NewTerminator(txn types.TxnID, ws types.Writeset, participants []types.SiteID, epoch uint32) Automaton
+}
+
+// Timeout multiples used across the protocols, as in the paper: a
+// participant that sent a message to the coordinator starts the election
+// protocol if it hears nothing within 3T; the termination coordinator's
+// phase-2 acknowledgement window is 2T.
+const (
+	// AckWindowT is the terminator's phase-2/3 wait, in units of T.
+	AckWindowT = 2
+	// ParticipantPatienceT is the participant's silence tolerance, in units
+	// of T.
+	ParticipantPatienceT = 3
+)
+
+// AckWindow returns 2T for the given Env.
+func AckWindow(env Env) sim.Duration { return sim.Duration(AckWindowT) * env.T() }
+
+// ParticipantPatience returns 3T for the given Env.
+func ParticipantPatience(env Env) sim.Duration {
+	return sim.Duration(ParticipantPatienceT) * env.T()
+}

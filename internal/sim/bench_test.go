@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler(1)
+		for j := 0; j < 100; j++ {
+			s.After(Duration(j%17)*Millisecond, func() {})
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkNestedCascade(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler(1)
+		depth := 0
+		var step func()
+		step = func() {
+			depth++
+			if depth < 1000 {
+				s.After(Millisecond, step)
+			}
+		}
+		s.After(Millisecond, step)
+		s.Run()
+		depth = 0
+	}
+}
+
+func BenchmarkCancel(b *testing.B) {
+	s := NewScheduler(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := s.At(Time(i+1_000_000_000), func() {})
+		s.Cancel(id)
+	}
+}

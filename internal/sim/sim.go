@@ -1,0 +1,181 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All protocol experiments in this repository run on virtual time: events
+// (message deliveries, timer expirations, scripted failures) are ordered in
+// a priority queue keyed by (time, sequence number), so a given seed and
+// scenario always replays identically. The same protocol automata also run
+// under the live goroutine runtime (package live); only the scheduler
+// differs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenience duration units mirroring package time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String renders the time in milliseconds for trace output.
+func (t Time) String() string { return fmt.Sprintf("%.3fms", float64(t)/1e6) }
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among same-time events
+	fn   func()
+	idx  int // heap index, -1 once popped or cancelled
+	dead bool
+}
+
+// eventHeap implements container/heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Scheduler is the simulation event loop. It is not safe for concurrent use;
+// all simulated activity happens inside callbacks run by the scheduler.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	steps  uint64
+	// MaxSteps bounds the number of dispatched events to guard against
+	// livelock in buggy scenarios; 0 means unlimited.
+	MaxSteps uint64
+}
+
+// NewScheduler returns a scheduler whose random source is seeded with seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of events dispatched so far.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) runs the event at the current time, preserving FIFO order.
+func (s *Scheduler) At(t Time, fn func()) EventID {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d Duration, fn func()) EventID {
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an already-run
+// or already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (s *Scheduler) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.dead || ev.idx < 0 {
+		return false
+	}
+	ev.dead = true
+	heap.Remove(&s.events, ev.idx)
+	return true
+}
+
+// Pending returns the number of events waiting to run.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// step dispatches the earliest event. It reports false when no events remain
+// or MaxSteps is exhausted.
+func (s *Scheduler) step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	if s.MaxSteps != 0 && s.steps >= s.MaxSteps {
+		return false
+	}
+	ev := heap.Pop(&s.events).(*event)
+	if ev.dead {
+		return true
+	}
+	s.now = ev.at
+	s.steps++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until none remain (or MaxSteps is reached) and
+// returns the final virtual time.
+func (s *Scheduler) Run() Time {
+	for s.step() {
+	}
+	return s.now
+}
+
+// RunUntil dispatches events with time ≤ deadline and then advances the clock
+// to the deadline. Events scheduled beyond the deadline stay pending.
+func (s *Scheduler) RunUntil(deadline Time) Time {
+	for len(s.events) > 0 && s.events[0].at <= deadline {
+		if !s.step() {
+			break
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}
+
+// RunFor advances virtual time by d, dispatching due events.
+func (s *Scheduler) RunFor(d Duration) Time { return s.RunUntil(s.now.Add(d)) }

@@ -1,0 +1,260 @@
+// Package simnet models the communication network between database sites on
+// top of the deterministic simulation kernel.
+//
+// The model captures exactly the failure classes the paper's protocols are
+// designed for: site failures (crash/recover), lost messages, and network
+// partitioning (the network splits into disjoint components with no
+// communication between them), plus message duplication and variable delay.
+// The longest end-to-end propagation delay T of the paper maps to
+// Config.MaxDelay.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"qcommit/internal/msg"
+	"qcommit/internal/sim"
+	"qcommit/internal/types"
+)
+
+// Handler consumes a delivered message at a site.
+type Handler func(env msg.Envelope)
+
+// DropFilter can veto delivery of specific envelopes (for scripted message
+// loss, e.g. Example 3's "messages between site2 and site3 are lost").
+// Returning true drops the message.
+type DropFilter func(env msg.Envelope) bool
+
+// Config parameterizes the network.
+type Config struct {
+	// MinDelay and MaxDelay bound per-message propagation delay; delays are
+	// drawn uniformly from [MinDelay, MaxDelay]. MaxDelay is the paper's T.
+	MinDelay sim.Duration
+	MaxDelay sim.Duration
+	// LossProb is the independent probability that any message is lost.
+	LossProb float64
+	// DupProb is the probability a delivered message is delivered twice.
+	DupProb float64
+	// Codec, when true, round-trips every message through the binary wire
+	// codec, exercising Marshal/Unmarshal on every hop.
+	Codec bool
+}
+
+// DefaultConfig returns the configuration used by most experiments:
+// 1–10 ms delay, lossless, codec enabled.
+func DefaultConfig() Config {
+	return Config{
+		MinDelay: 1 * sim.Millisecond,
+		MaxDelay: 10 * sim.Millisecond,
+		Codec:    true,
+	}
+}
+
+// MaxDelayOrDefault returns MaxDelay, defaulting to 10ms if unset.
+func (c Config) MaxDelayOrDefault() sim.Duration {
+	if c.MaxDelay <= 0 {
+		return 10 * sim.Millisecond
+	}
+	return c.MaxDelay
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Sent             uint64
+	Delivered        uint64
+	Duplicated       uint64
+	DroppedLoss      uint64
+	DroppedPartition uint64
+	DroppedDown      uint64
+	DroppedFilter    uint64
+	Bytes            uint64
+}
+
+// Network routes messages between sites under the configured failure model.
+type Network struct {
+	sched    *sim.Scheduler
+	cfg      Config
+	handlers map[types.SiteID]Handler
+	down     map[types.SiteID]bool
+	group    map[types.SiteID]int // partition group; all zero = fully connected
+	filter   DropFilter
+	stats    Stats
+}
+
+// New creates a network on the given scheduler.
+func New(sched *sim.Scheduler, cfg Config) *Network {
+	return &Network{
+		sched:    sched,
+		cfg:      cfg,
+		handlers: make(map[types.SiteID]Handler),
+		down:     make(map[types.SiteID]bool),
+		group:    make(map[types.SiteID]int),
+	}
+}
+
+// Scheduler returns the underlying simulation scheduler.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Register installs the message handler for a site. Registering a site marks
+// it up.
+func (n *Network) Register(id types.SiteID, h Handler) {
+	n.handlers[id] = h
+	n.down[id] = false
+}
+
+// Sites returns the registered site IDs in ascending order.
+func (n *Network) Sites() []types.SiteID {
+	out := make([]types.SiteID, 0, len(n.handlers))
+	for id := range n.handlers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Crash marks a site down: it receives nothing and its sends are dropped.
+func (n *Network) Crash(id types.SiteID) { n.down[id] = true }
+
+// Recover marks a site up again.
+func (n *Network) Recover(id types.SiteID) { n.down[id] = false }
+
+// Down reports whether a site is crashed.
+func (n *Network) Down(id types.SiteID) bool { return n.down[id] }
+
+// SetFilter installs (or clears, with nil) a scripted drop filter.
+func (n *Network) SetFilter(f DropFilter) { n.filter = f }
+
+// Partition splits the network into the given disjoint groups. Sites not
+// listed in any group form an implicit final group together. Heal() undoes
+// the split.
+func (n *Network) Partition(groups ...[]types.SiteID) {
+	n.group = make(map[types.SiteID]int)
+	for gi, g := range groups {
+		for _, s := range g {
+			n.group[s] = gi + 1
+		}
+	}
+}
+
+// Heal reconnects all sites.
+func (n *Network) Heal() { n.group = make(map[types.SiteID]int) }
+
+// Connected reports whether a and b can currently exchange messages
+// (same partition group and both up).
+func (n *Network) Connected(a, b types.SiteID) bool {
+	if n.down[a] || n.down[b] {
+		return false
+	}
+	return n.group[a] == n.group[b]
+}
+
+// GroupOf returns the partition group identifier of a site. Sites in the
+// implicit residual group return 0.
+func (n *Network) GroupOf(id types.SiteID) int { return n.group[id] }
+
+// Groups returns the current partition as a list of site groups in
+// deterministic order. A fully connected network returns one group.
+func (n *Network) Groups() [][]types.SiteID {
+	byGroup := make(map[int][]types.SiteID)
+	for _, id := range n.Sites() {
+		g := n.group[id]
+		byGroup[g] = append(byGroup[g], id)
+	}
+	keys := make([]int, 0, len(byGroup))
+	for k := range byGroup {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([][]types.SiteID, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byGroup[k])
+	}
+	return out
+}
+
+// Send routes one message. Delivery (or loss) is decided at send time against
+// the current partition/crash state; delivery happens after a random delay.
+// Messages already in flight when a partition forms are still delivered —
+// checked again at delivery time, modeling messages cut off mid-flight.
+func (n *Network) Send(from, to types.SiteID, m msg.Message) {
+	n.stats.Sent++
+	env := msg.Envelope{From: from, To: to, Msg: m}
+	if n.down[from] {
+		n.stats.DroppedDown++
+		return
+	}
+	if n.cfg.Codec {
+		frame, err := msg.Marshal(m)
+		if err != nil {
+			panic(fmt.Sprintf("simnet: marshal %T: %v", m, err))
+		}
+		n.stats.Bytes += uint64(len(frame))
+		decoded, err := msg.Unmarshal(frame)
+		if err != nil {
+			panic(fmt.Sprintf("simnet: unmarshal %s: %v", m.Kind(), err))
+		}
+		env.Msg = decoded
+	}
+	if n.filter != nil && n.filter(env) {
+		n.stats.DroppedFilter++
+		return
+	}
+	if !n.Connected(from, to) {
+		n.stats.DroppedPartition++
+		return
+	}
+	if n.cfg.LossProb > 0 && n.sched.Rand().Float64() < n.cfg.LossProb {
+		n.stats.DroppedLoss++
+		return
+	}
+	n.deliverAfter(env, n.delay())
+	if n.cfg.DupProb > 0 && n.sched.Rand().Float64() < n.cfg.DupProb {
+		n.stats.Duplicated++
+		n.deliverAfter(env, n.delay())
+	}
+}
+
+// Broadcast sends m from one site to each destination.
+func (n *Network) Broadcast(from types.SiteID, tos []types.SiteID, m msg.Message) {
+	for _, to := range tos {
+		if to == from {
+			continue
+		}
+		n.Send(from, to, m)
+	}
+}
+
+func (n *Network) delay() sim.Duration {
+	lo, hi := n.cfg.MinDelay, n.cfg.MaxDelayOrDefault()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return lo
+	}
+	return lo + sim.Duration(n.sched.Rand().Int63n(int64(hi-lo)+1))
+}
+
+func (n *Network) deliverAfter(env msg.Envelope, d sim.Duration) {
+	n.sched.After(d, func() {
+		// Re-check at delivery time: the receiver may have crashed or the
+		// partition may have separated sender and receiver mid-flight.
+		if n.down[env.To] || !n.Connected(env.From, env.To) {
+			n.stats.DroppedPartition++
+			return
+		}
+		h := n.handlers[env.To]
+		if h == nil {
+			return
+		}
+		n.stats.Delivered++
+		h(env)
+	})
+}

@@ -1,0 +1,260 @@
+package simnet
+
+import (
+	"testing"
+
+	"qcommit/internal/msg"
+	"qcommit/internal/sim"
+	"qcommit/internal/types"
+)
+
+func newNet(cfg Config) (*sim.Scheduler, *Network, map[types.SiteID][]msg.Envelope) {
+	sched := sim.NewScheduler(1)
+	n := New(sched, cfg)
+	got := make(map[types.SiteID][]msg.Envelope)
+	for id := types.SiteID(1); id <= 4; id++ {
+		id := id
+		n.Register(id, func(e msg.Envelope) { got[id] = append(got[id], e) })
+	}
+	return sched, n, got
+}
+
+func TestDeliveryWithinDelayBounds(t *testing.T) {
+	sched, n, got := newNet(Config{MinDelay: 2 * sim.Millisecond, MaxDelay: 5 * sim.Millisecond, Codec: true})
+	n.Send(1, 2, msg.Commit{Txn: 1})
+	end := sched.Run()
+	if len(got[2]) != 1 {
+		t.Fatalf("site2 got %d messages", len(got[2]))
+	}
+	if end < sim.Time(2*sim.Millisecond) || end > sim.Time(5*sim.Millisecond) {
+		t.Errorf("delivery at %v outside [2ms,5ms]", end)
+	}
+	if n.Stats().Delivered != 1 || n.Stats().Sent != 1 {
+		t.Errorf("stats = %+v", n.Stats())
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	sched, n, got := newNet(DefaultConfig())
+	n.Send(3, 3, msg.StateReq{Txn: 1, Coord: 3})
+	sched.Run()
+	if len(got[3]) != 1 {
+		t.Fatalf("self delivery failed: %d", len(got[3]))
+	}
+}
+
+func TestPartitionBlocksAcrossGroups(t *testing.T) {
+	sched, n, got := newNet(DefaultConfig())
+	n.Partition([]types.SiteID{1, 2}, []types.SiteID{3, 4})
+	n.Send(1, 3, msg.Commit{Txn: 1}) // across groups: dropped
+	n.Send(1, 2, msg.Commit{Txn: 1}) // same group: delivered
+	n.Send(3, 4, msg.Commit{Txn: 1}) // same group: delivered
+	sched.Run()
+	if len(got[3]) != 0 {
+		t.Error("cross-partition message delivered")
+	}
+	if len(got[2]) != 1 || len(got[4]) != 1 {
+		t.Error("intra-partition messages lost")
+	}
+	if n.Stats().DroppedPartition != 1 {
+		t.Errorf("stats = %+v", n.Stats())
+	}
+
+	n.Heal()
+	n.Send(1, 3, msg.Commit{Txn: 2})
+	sched.Run()
+	if len(got[3]) != 1 {
+		t.Error("post-heal message lost")
+	}
+}
+
+func TestImplicitResidualGroup(t *testing.T) {
+	_, n, _ := newNet(DefaultConfig())
+	n.Partition([]types.SiteID{1}) // sites 2,3,4 form the residual group
+	if n.Connected(2, 3) != true {
+		t.Error("residual group members should be connected")
+	}
+	if n.Connected(1, 2) {
+		t.Error("explicit and residual groups should be separated")
+	}
+	groups := n.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("Groups = %v", groups)
+	}
+}
+
+func TestMidFlightPartitionCut(t *testing.T) {
+	sched, n, got := newNet(Config{MinDelay: 10 * sim.Millisecond, MaxDelay: 10 * sim.Millisecond, Codec: true})
+	n.Send(1, 2, msg.Commit{Txn: 1})
+	// Partition before the in-flight message lands: it must be cut off.
+	sched.At(sim.Time(5*sim.Millisecond), func() {
+		n.Partition([]types.SiteID{1}, []types.SiteID{2, 3, 4})
+	})
+	sched.Run()
+	if len(got[2]) != 0 {
+		t.Error("mid-flight message crossed a partition formed before delivery")
+	}
+}
+
+func TestCrashDropsSendsAndReceives(t *testing.T) {
+	sched, n, got := newNet(DefaultConfig())
+	n.Crash(2)
+	if !n.Down(2) {
+		t.Error("Down(2) false")
+	}
+	n.Send(1, 2, msg.Commit{Txn: 1}) // to crashed: dropped
+	n.Send(2, 1, msg.Commit{Txn: 1}) // from crashed: dropped
+	sched.Run()
+	if len(got[2]) != 0 || len(got[1]) != 0 {
+		t.Error("crashed site exchanged messages")
+	}
+	n.Recover(2)
+	n.Send(1, 2, msg.Commit{Txn: 2})
+	sched.Run()
+	if len(got[2]) != 1 {
+		t.Error("recovered site got no message")
+	}
+}
+
+func TestLossProbabilityAppliesStatistically(t *testing.T) {
+	sched, n, got := newNet(Config{MinDelay: 1, MaxDelay: 2, LossProb: 0.5, Codec: false})
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Send(1, 2, msg.Commit{Txn: types.TxnID(i)})
+	}
+	sched.Run()
+	delivered := len(got[2])
+	if delivered < total/3 || delivered > 2*total/3 {
+		t.Errorf("delivered %d of %d with 50%% loss — far from expectation", delivered, total)
+	}
+	if n.Stats().DroppedLoss+uint64(delivered) != total {
+		t.Errorf("loss accounting wrong: %+v", n.Stats())
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	sched, n, got := newNet(Config{MinDelay: 1, MaxDelay: 2, DupProb: 1.0, Codec: false})
+	n.Send(1, 2, msg.Commit{Txn: 1})
+	sched.Run()
+	if len(got[2]) != 2 {
+		t.Errorf("with DupProb=1 expected 2 deliveries, got %d", len(got[2]))
+	}
+}
+
+func TestScriptedFilter(t *testing.T) {
+	sched, n, got := newNet(DefaultConfig())
+	n.SetFilter(func(e msg.Envelope) bool { return e.From == 1 && e.To == 2 })
+	n.Send(1, 2, msg.Commit{Txn: 1})
+	n.Send(1, 3, msg.Commit{Txn: 1})
+	sched.Run()
+	if len(got[2]) != 0 || len(got[3]) != 1 {
+		t.Errorf("filter misapplied: %d/%d", len(got[2]), len(got[3]))
+	}
+	if n.Stats().DroppedFilter != 1 {
+		t.Errorf("stats = %+v", n.Stats())
+	}
+	n.SetFilter(nil)
+	n.Send(1, 2, msg.Commit{Txn: 2})
+	sched.Run()
+	if len(got[2]) != 1 {
+		t.Error("cleared filter still dropping")
+	}
+}
+
+func TestBroadcastSkipsSelf(t *testing.T) {
+	sched, n, got := newNet(DefaultConfig())
+	n.Broadcast(1, []types.SiteID{1, 2, 3, 4}, msg.Commit{Txn: 1})
+	sched.Run()
+	if len(got[1]) != 0 {
+		t.Error("broadcast delivered to sender")
+	}
+	if len(got[2]) != 1 || len(got[3]) != 1 || len(got[4]) != 1 {
+		t.Error("broadcast incomplete")
+	}
+}
+
+func TestCodecRoundTripOnWire(t *testing.T) {
+	sched, n, got := newNet(Config{MinDelay: 1, MaxDelay: 1, Codec: true})
+	ws := types.Writeset{{Item: "x", Value: 123}}
+	n.Send(1, 2, msg.VoteReq{Txn: 9, Coord: 1, Participants: []types.SiteID{1, 2}, Writeset: ws})
+	sched.Run()
+	if len(got[2]) != 1 {
+		t.Fatal("no delivery")
+	}
+	req, ok := got[2][0].Msg.(msg.VoteReq)
+	if !ok {
+		t.Fatalf("wrong type %T", got[2][0].Msg)
+	}
+	if req.Txn != 9 || len(req.Writeset) != 1 || req.Writeset[0].Value != 123 {
+		t.Errorf("payload mangled: %+v", req)
+	}
+	if n.Stats().Bytes == 0 {
+		t.Error("no bytes accounted")
+	}
+}
+
+func TestSitesSorted(t *testing.T) {
+	_, n, _ := newNet(DefaultConfig())
+	sites := n.Sites()
+	if len(sites) != 4 {
+		t.Fatalf("Sites = %v", sites)
+	}
+	for i := 1; i < len(sites); i++ {
+		if sites[i] <= sites[i-1] {
+			t.Fatalf("Sites unsorted: %v", sites)
+		}
+	}
+}
+
+func TestDeterministicDelays(t *testing.T) {
+	run := func() []sim.Time {
+		sched := sim.NewScheduler(99)
+		n := New(sched, DefaultConfig())
+		var times []sim.Time
+		n.Register(1, func(msg.Envelope) {})
+		n.Register(2, func(msg.Envelope) { times = append(times, sched.Now()) })
+		for i := 0; i < 20; i++ {
+			n.Send(1, 2, msg.Commit{Txn: types.TxnID(i)})
+		}
+		sched.Run()
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic delivery times at %d", i)
+		}
+	}
+}
+
+func TestGroupOfAndConfigDefaults(t *testing.T) {
+	_, n, _ := newNet(Config{})
+	if n.Config().MaxDelayOrDefault() != 10*sim.Millisecond {
+		t.Error("MaxDelay default wrong")
+	}
+	n.Partition([]types.SiteID{2}, []types.SiteID{3})
+	if n.GroupOf(2) == n.GroupOf(3) {
+		t.Error("explicit groups share an ID")
+	}
+	if n.GroupOf(1) != 0 || n.GroupOf(4) != 0 {
+		t.Error("residual sites should report group 0")
+	}
+}
+
+func TestSendFromUnregisteredHandlerIsSafe(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	n := New(sched, Config{MinDelay: 1, MaxDelay: 1})
+	n.Register(1, func(msg.Envelope) {})
+	// Destination never registered: delivery must be a silent no-op.
+	n.Send(1, 99, msg.Commit{Txn: 1})
+	sched.Run()
+}
+
+func TestZeroDelayConfig(t *testing.T) {
+	sched, n, got := newNet(Config{MinDelay: 0, MaxDelay: 0})
+	n.Send(1, 2, msg.Commit{Txn: 1})
+	sched.Run()
+	if len(got[2]) != 1 {
+		t.Error("zero-delay config must still deliver (defaults applied)")
+	}
+}

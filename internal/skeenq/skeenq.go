@@ -1,0 +1,129 @@
+// Package skeenq implements Skeen's quorum-based commit protocol (Proc. 6th
+// Berkeley Workshop, 1982 — reference [16] of the paper), the prior work the
+// paper improves on.
+//
+// Each site is assigned some number of votes. When failures occur, a
+// transaction is committed only if a commit quorum Vc of site votes is cast
+// for committing, and aborted only if an abort quorum Va is cast for
+// aborting, with Vc + Va > V (the total). Because the quorums are counted in
+// *site* votes regardless of which data items a partition can serve, a
+// partition may block the transaction even though it holds a replica quorum
+// for some written item — the availability gap Example 1 demonstrates and
+// the paper's protocols close.
+package skeenq
+
+import (
+	"fmt"
+
+	"qcommit/internal/protocol"
+	"qcommit/internal/threephase"
+	"qcommit/internal/types"
+	"qcommit/internal/wal"
+)
+
+// Spec is Skeen's quorum protocol with a site-vote assignment.
+type Spec struct {
+	// Votes assigns each site its vote weight. Sites absent from the map
+	// have 0 votes.
+	Votes map[types.SiteID]int
+	// Vc is the commit quorum; Va is the abort quorum; Vc + Va must exceed
+	// the total votes.
+	Vc, Va int
+	// PatienceRounds caps participant-initiated termination attempts.
+	PatienceRounds int
+}
+
+var _ protocol.Spec = Spec{}
+
+// Uniform builds a Spec giving one vote to each site, with quorums Vc, Va.
+func Uniform(sites []types.SiteID, vc, va int) Spec {
+	votes := make(map[types.SiteID]int, len(sites))
+	for _, s := range sites {
+		votes[s] = 1
+	}
+	return Spec{Votes: votes, Vc: vc, Va: va}
+}
+
+// Validate checks the quorum-intersection constraint Vc + Va > V.
+func (s Spec) Validate() error {
+	total := 0
+	for _, v := range s.Votes {
+		if v < 0 {
+			return fmt.Errorf("skeenq: negative site vote")
+		}
+		total += v
+	}
+	if s.Vc <= 0 || s.Va <= 0 {
+		return fmt.Errorf("skeenq: quorums must be positive (Vc=%d Va=%d)", s.Vc, s.Va)
+	}
+	if s.Vc+s.Va <= total {
+		return fmt.Errorf("skeenq: Vc+Va must exceed total votes (Vc=%d Va=%d V=%d)", s.Vc, s.Va, total)
+	}
+	return nil
+}
+
+// Name implements protocol.Spec.
+func (Spec) Name() string { return "SkeenQ" }
+
+// NewCoordinator implements protocol.Spec: the coordinator may commit once
+// PC-ACKs carry Vc site votes.
+func (s Spec) NewCoordinator(txn types.TxnID, ws types.Writeset, participants []types.SiteID) protocol.Automaton {
+	return threephase.NewCoordinator(txn, ws, participants,
+		threephase.SiteVoteQuorum{Votes: s.Votes, Quorum: s.Vc}, threephase.AckTimeoutTerminate)
+}
+
+// NewParticipant implements protocol.Spec.
+func (s Spec) NewParticipant(txn types.TxnID, init *wal.TxnImage) protocol.Automaton {
+	return threephase.NewParticipant(txn, init, threephase.ParticipantOpts{PatienceRounds: s.PatienceRounds})
+}
+
+// NewTerminator implements protocol.Spec.
+func (s Spec) NewTerminator(txn types.TxnID, ws types.Writeset, participants []types.SiteID, epoch uint32) protocol.Automaton {
+	return threephase.NewTerminator(txn, ws, participants, epoch, Rules{Votes: s.Votes, Vc: s.Vc, Va: s.Va})
+}
+
+// Rules is Skeen's quorum termination rule set.
+type Rules struct {
+	Votes  map[types.SiteID]int
+	Vc, Va int
+}
+
+var _ threephase.Rules = Rules{}
+
+// Name implements threephase.Rules.
+func (Rules) Name() string { return "SkeenQ-term" }
+
+func (r Rules) votesOf(sites []types.SiteID) int {
+	total := 0
+	for _, s := range sites {
+		total += r.Votes[s]
+	}
+	return total
+}
+
+// Decide implements threephase.Rules with site-vote quorums.
+func (r Rules) Decide(env protocol.Env, t threephase.StateTally) threephase.Verdict {
+	switch {
+	case t.Any(types.StateCommitted) || r.votesOf(t.In(types.StatePC)) >= r.Vc:
+		return threephase.VerdictCommit
+	case t.Any(types.StateAborted) || t.Any(types.StateInitial) ||
+		r.votesOf(t.In(types.StatePA)) >= r.Va:
+		return threephase.VerdictAbort
+	case t.Any(types.StatePC) && r.votesOf(t.NotIn(types.StatePA)) >= r.Vc:
+		return threephase.VerdictTryCommit
+	case r.votesOf(t.NotIn(types.StatePC)) >= r.Va:
+		return threephase.VerdictTryAbort
+	default:
+		return threephase.VerdictBlock
+	}
+}
+
+// CommitConfirmed implements threephase.Rules.
+func (r Rules) CommitConfirmed(env protocol.Env, sites []types.SiteID) bool {
+	return r.votesOf(sites) >= r.Vc
+}
+
+// AbortConfirmed implements threephase.Rules.
+func (r Rules) AbortConfirmed(env protocol.Env, sites []types.SiteID) bool {
+	return r.votesOf(sites) >= r.Va
+}

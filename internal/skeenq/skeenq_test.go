@@ -1,0 +1,153 @@
+package skeenq
+
+import (
+	"testing"
+
+	"qcommit/internal/protocoltest"
+	"qcommit/internal/threephase"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+func ex1Spec() Spec {
+	// Example 1's configuration: one vote per site, Vc=5, Va=4 (Vc+Va=9 > 8).
+	return Uniform([]types.SiteID{1, 2, 3, 4, 5, 6, 7, 8}, 5, 4)
+}
+
+func env() *protocoltest.Env {
+	return protocoltest.New(1, voting.MustAssignment(
+		voting.Uniform("x", 2, 3, 1, 2, 3, 4),
+		voting.Uniform("y", 2, 3, 5, 6, 7, 8),
+	))
+}
+
+func TestValidate(t *testing.T) {
+	if err := ex1Spec().Validate(); err != nil {
+		t.Errorf("Example 1 spec invalid: %v", err)
+	}
+	bad := Uniform([]types.SiteID{1, 2, 3, 4}, 2, 2) // 2+2 = 4 = V
+	if err := bad.Validate(); err == nil {
+		t.Error("Vc+Va = V accepted")
+	}
+	if err := (Spec{Votes: map[types.SiteID]int{1: 1}, Vc: 0, Va: 2}).Validate(); err == nil {
+		t.Error("zero quorum accepted")
+	}
+	if err := (Spec{Votes: map[types.SiteID]int{1: -1}, Vc: 1, Va: 1}).Validate(); err == nil {
+		t.Error("negative votes accepted")
+	}
+}
+
+func TestRulesDecideExample1Partitions(t *testing.T) {
+	r := Rules{Votes: ex1Spec().Votes, Vc: 5, Va: 4}
+	w, pc := types.StateWait, types.StatePC
+	e := env()
+
+	// G1 = {2,3} both W: 2 votes < Va=4 and < Vc=5 → block.
+	if got := r.Decide(e, threephase.NewStateTally(map[types.SiteID]types.State{2: w, 3: w})); got != threephase.VerdictBlock {
+		t.Errorf("G1 = %v, want block", got)
+	}
+	// G2 = {4 W, 5 PC}: 2 votes → block.
+	if got := r.Decide(e, threephase.NewStateTally(map[types.SiteID]types.State{4: w, 5: pc})); got != threephase.VerdictBlock {
+		t.Errorf("G2 = %v, want block", got)
+	}
+	// G3 = {6,7,8} all W: 3 votes < 4 → block.
+	if got := r.Decide(e, threephase.NewStateTally(map[types.SiteID]types.State{6: w, 7: w, 8: w})); got != threephase.VerdictBlock {
+		t.Errorf("G3 = %v, want block", got)
+	}
+}
+
+func TestRulesQuorumPaths(t *testing.T) {
+	r := Rules{Votes: ex1Spec().Votes, Vc: 5, Va: 4}
+	w, pc, pa := types.StateWait, types.StatePC, types.StatePA
+	e := env()
+
+	// 4 non-PC sites ≥ Va=4 → try-abort.
+	got := r.Decide(e, threephase.NewStateTally(map[types.SiteID]types.State{
+		2: w, 3: w, 4: w, 6: w}))
+	if got != threephase.VerdictTryAbort {
+		t.Errorf("4 W sites = %v, want try-abort", got)
+	}
+	// 5 non-PA sites with one PC ≥ Vc=5 → try-commit.
+	got = r.Decide(e, threephase.NewStateTally(map[types.SiteID]types.State{
+		2: w, 3: w, 4: w, 5: pc, 6: w}))
+	if got != threephase.VerdictTryCommit {
+		t.Errorf("5 sites with PC = %v, want try-commit", got)
+	}
+	// PA sites with Va votes → immediate abort.
+	got = r.Decide(e, threephase.NewStateTally(map[types.SiteID]types.State{
+		2: pa, 3: pa, 4: pa, 6: pa, 7: w}))
+	if got != threephase.VerdictAbort {
+		t.Errorf("4 PA sites = %v, want abort", got)
+	}
+	// PC sites with Vc votes → immediate commit.
+	got = r.Decide(e, threephase.NewStateTally(map[types.SiteID]types.State{
+		2: pc, 3: pc, 4: pc, 5: pc, 6: pc, 7: w}))
+	if got != threephase.VerdictCommit {
+		t.Errorf("5 PC sites = %v, want commit", got)
+	}
+	// Initial state present → immediate abort.
+	got = r.Decide(e, threephase.NewStateTally(map[types.SiteID]types.State{
+		2: types.StateInitial, 3: w}))
+	if got != threephase.VerdictAbort {
+		t.Errorf("q present = %v, want abort", got)
+	}
+}
+
+func TestConfirmations(t *testing.T) {
+	r := Rules{Votes: ex1Spec().Votes, Vc: 5, Va: 4}
+	e := env()
+	if r.CommitConfirmed(e, []types.SiteID{1, 2, 3, 4}) {
+		t.Error("4 votes should not confirm commit (Vc=5)")
+	}
+	if !r.CommitConfirmed(e, []types.SiteID{1, 2, 3, 4, 5}) {
+		t.Error("5 votes should confirm commit")
+	}
+	if !r.AbortConfirmed(e, []types.SiteID{1, 2, 3, 4}) {
+		t.Error("4 votes should confirm abort (Va=4)")
+	}
+	if r.AbortConfirmed(e, []types.SiteID{1, 2, 3}) {
+		t.Error("3 votes should not confirm abort")
+	}
+}
+
+// TestNoDisjointQuorums: with Vc+Va > V, a commit quorum and an abort quorum
+// can never be assembled from disjoint site sets.
+func TestNoDisjointQuorums(t *testing.T) {
+	spec := ex1Spec()
+	r := Rules{Votes: spec.Votes, Vc: spec.Vc, Va: spec.Va}
+	e := env()
+	all := []types.SiteID{1, 2, 3, 4, 5, 6, 7, 8}
+	for mask := 0; mask < 1<<8; mask++ {
+		var s1, s2 []types.SiteID
+		for i, s := range all {
+			if mask&(1<<i) != 0 {
+				s1 = append(s1, s)
+			} else {
+				s2 = append(s2, s)
+			}
+		}
+		if r.CommitConfirmed(e, s1) && r.AbortConfirmed(e, s2) {
+			t.Fatalf("disjoint quorums: commit=%v abort=%v", s1, s2)
+		}
+	}
+}
+
+func TestWeightedVotes(t *testing.T) {
+	// Give site1 weight 3: it alone can veto an abort quorum.
+	spec := Spec{Votes: map[types.SiteID]int{1: 3, 2: 1, 3: 1}, Vc: 3, Va: 3}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := Rules{Votes: spec.Votes, Vc: 3, Va: 3}
+	e := env()
+	got := r.Decide(e, threephase.NewStateTally(map[types.SiteID]types.State{
+		1: types.StateWait}))
+	if got != threephase.VerdictTryAbort {
+		t.Errorf("site1 alone (3 votes) = %v, want try-abort", got)
+	}
+	got = r.Decide(e, threephase.NewStateTally(map[types.SiteID]types.State{
+		2: types.StateWait, 3: types.StateWait}))
+	if got != threephase.VerdictBlock {
+		t.Errorf("sites 2,3 (2 votes) = %v, want block", got)
+	}
+}

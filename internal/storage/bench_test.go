@@ -1,0 +1,50 @@
+package storage
+
+import (
+	"testing"
+
+	"qcommit/internal/types"
+)
+
+func BenchmarkApply(b *testing.B) {
+	s := NewStore(1)
+	s.Init("x", 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Apply("x", int64(i), uint64(i+2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	s := NewStore(1)
+	s.Init("x", 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read("x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyWriteset(b *testing.B) {
+	s := NewStore(1)
+	s.Init("x", 0)
+	s.Init("y", 0)
+	ws := types.Writeset{{Item: "x", Value: 1}, {Item: "y", Value: 2}, {Item: "z", Value: 3}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ApplyWriteset(ws, uint64(i+2))
+	}
+}
+
+func BenchmarkResolveRead(b *testing.B) {
+	copies := []Versioned{{1, 3}, {2, 9}, {3, 7}, {4, 2}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ResolveRead(copies); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package storage implements the per-site versioned store holding physical
+// copies of replicated data items.
+//
+// Each copy carries a version number; weighted-voting reads collect a read
+// quorum of copies and take the value with the highest version, which the
+// Gifford constraint r(x)+w(x) > v(x) guarantees includes the most recent
+// committed write (see package voting).
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"qcommit/internal/types"
+)
+
+// Versioned is a copy's value and version number.
+type Versioned struct {
+	Value   int64
+	Version uint64
+}
+
+// Store holds the copies resident at one site. It is safe for concurrent use
+// (the live runtime accesses it from multiple goroutines).
+type Store struct {
+	mu     sync.RWMutex
+	site   types.SiteID
+	copies map[types.ItemID]Versioned
+}
+
+// NewStore creates an empty store for a site.
+func NewStore(site types.SiteID) *Store {
+	return &Store{site: site, copies: make(map[types.ItemID]Versioned)}
+}
+
+// Site returns the owning site.
+func (s *Store) Site() types.SiteID { return s.site }
+
+// Init places a copy of item with an initial value at version 1. It is used
+// during cluster construction.
+func (s *Store) Init(item types.ItemID, value int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.copies[item] = Versioned{Value: value, Version: 1}
+}
+
+// Has reports whether the site holds a copy of item.
+func (s *Store) Has(item types.ItemID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.copies[item]
+	return ok
+}
+
+// Read returns the local copy of item.
+func (s *Store) Read(item types.ItemID) (Versioned, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.copies[item]
+	if !ok {
+		return Versioned{}, fmt.Errorf("storage: %s holds no copy of %q", s.site, item)
+	}
+	return v, nil
+}
+
+// Apply installs a committed write at the given version. Versions must be
+// monotonically increasing per copy; a stale version is rejected so that a
+// duplicated or reordered COMMIT cannot roll a copy backward.
+func (s *Store) Apply(item types.ItemID, value int64, version uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.copies[item]
+	if !ok {
+		return fmt.Errorf("storage: %s holds no copy of %q", s.site, item)
+	}
+	if version <= cur.Version {
+		return nil // duplicate/stale apply: idempotent no-op
+	}
+	s.copies[item] = Versioned{Value: value, Version: version}
+	return nil
+}
+
+// ApplyWriteset applies every update in ws that this site holds a copy of,
+// at the given version.
+func (s *Store) ApplyWriteset(ws types.Writeset, version uint64) {
+	for _, u := range ws {
+		if s.Has(u.Item) {
+			_ = s.Apply(u.Item, u.Value, version)
+		}
+	}
+}
+
+// Items returns the item IDs stored here in ascending order.
+func (s *Store) Items() []types.ItemID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]types.ItemID, 0, len(s.copies))
+	for id := range s.copies {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot returns a copy of the full store contents.
+func (s *Store) Snapshot() map[types.ItemID]Versioned {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[types.ItemID]Versioned, len(s.copies))
+	for k, v := range s.copies {
+		out[k] = v
+	}
+	return out
+}
+
+// ResolveRead picks the most recent value among quorum copies: the highest
+// version wins. It returns an error on an empty set.
+func ResolveRead(copies []Versioned) (Versioned, error) {
+	if len(copies) == 0 {
+		return Versioned{}, fmt.Errorf("storage: empty read set")
+	}
+	best := copies[0]
+	for _, c := range copies[1:] {
+		if c.Version > best.Version {
+			best = c
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"qcommit/internal/types"
+)
+
+func TestStoreInitReadApply(t *testing.T) {
+	s := NewStore(1)
+	if s.Site() != 1 {
+		t.Error("site wrong")
+	}
+	s.Init("x", 10)
+	if !s.Has("x") || s.Has("y") {
+		t.Error("Has wrong")
+	}
+	v, err := s.Read("x")
+	if err != nil || v.Value != 10 || v.Version != 1 {
+		t.Errorf("Read = %+v, %v", v, err)
+	}
+	if _, err := s.Read("y"); err == nil {
+		t.Error("Read of absent copy should fail")
+	}
+	if err := s.Apply("x", 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Read("x")
+	if v.Value != 20 || v.Version != 5 {
+		t.Errorf("after apply: %+v", v)
+	}
+}
+
+func TestStoreApplyStaleIsNoOp(t *testing.T) {
+	s := NewStore(1)
+	s.Init("x", 0)
+	_ = s.Apply("x", 100, 10)
+	// A duplicated or delayed COMMIT at an older version must not roll back.
+	if err := s.Apply("x", 55, 3); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Read("x")
+	if v.Value != 100 || v.Version != 10 {
+		t.Errorf("stale apply changed copy: %+v", v)
+	}
+	// Same version is also stale.
+	_ = s.Apply("x", 77, 10)
+	v, _ = s.Read("x")
+	if v.Value != 100 {
+		t.Errorf("same-version apply changed copy: %+v", v)
+	}
+}
+
+func TestStoreApplyUnknownItem(t *testing.T) {
+	s := NewStore(1)
+	if err := s.Apply("nope", 1, 2); err == nil {
+		t.Error("apply to absent copy should fail")
+	}
+}
+
+func TestApplyWritesetOnlyLocalCopies(t *testing.T) {
+	s := NewStore(1)
+	s.Init("x", 0)
+	ws := types.Writeset{{Item: "x", Value: 5}, {Item: "y", Value: 9}}
+	s.ApplyWriteset(ws, 2)
+	v, _ := s.Read("x")
+	if v.Value != 5 {
+		t.Errorf("x = %+v", v)
+	}
+	if s.Has("y") {
+		t.Error("y must not appear")
+	}
+}
+
+func TestItemsAndSnapshot(t *testing.T) {
+	s := NewStore(1)
+	s.Init("b", 2)
+	s.Init("a", 1)
+	items := s.Items()
+	if len(items) != 2 || items[0] != "a" || items[1] != "b" {
+		t.Errorf("Items = %v", items)
+	}
+	snap := s.Snapshot()
+	if snap["a"].Value != 1 || snap["b"].Value != 2 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	// Snapshot must be a copy.
+	snap["a"] = Versioned{Value: 99, Version: 9}
+	v, _ := s.Read("a")
+	if v.Value != 1 {
+		t.Error("snapshot aliases store")
+	}
+}
+
+func TestResolveRead(t *testing.T) {
+	if _, err := ResolveRead(nil); err == nil {
+		t.Error("empty read set should fail")
+	}
+	got, err := ResolveRead([]Versioned{
+		{Value: 1, Version: 3},
+		{Value: 2, Version: 7},
+		{Value: 3, Version: 5},
+	})
+	if err != nil || got.Value != 2 || got.Version != 7 {
+		t.Errorf("ResolveRead = %+v, %v", got, err)
+	}
+}
+
+// TestVersionMonotonicityProperty: after any sequence of Apply calls the
+// copy's version never decreases and always equals the max applied version
+// (or 1 if none exceeded the initial version).
+func TestVersionMonotonicityProperty(t *testing.T) {
+	f := func(versions []uint64, values []int64) bool {
+		s := NewStore(1)
+		s.Init("x", 0)
+		maxV := uint64(1)
+		var expect int64 = 0
+		for i, ver := range versions {
+			ver %= 64
+			val := int64(i)
+			if i < len(values) {
+				val = values[i]
+			}
+			_ = s.Apply("x", val, ver)
+			if ver > maxV {
+				maxV = ver
+				expect = val
+			}
+		}
+		got, _ := s.Read("x")
+		return got.Version == maxV && got.Value == expect
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestResolveReadSeesLatestProperty: the Gifford read rule (take the highest
+// version in the quorum) returns the value written at the max version.
+func TestResolveReadSeesLatestProperty(t *testing.T) {
+	f := func(pairs []uint32) bool {
+		if len(pairs) == 0 {
+			return true
+		}
+		copies := make([]Versioned, len(pairs))
+		var best Versioned
+		for i, p := range pairs {
+			copies[i] = Versioned{Value: int64(p % 97), Version: uint64(p)}
+			if copies[i].Version >= best.Version {
+				// Ties: ResolveRead keeps the first max; emulate.
+				if copies[i].Version > best.Version {
+					best = copies[i]
+				}
+			}
+		}
+		if best.Version == 0 {
+			best = copies[0]
+			for _, c := range copies {
+				if c.Version > best.Version {
+					best = c
+				}
+			}
+		}
+		got, err := ResolveRead(copies)
+		return err == nil && got.Version == maxVersion(copies)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func maxVersion(cs []Versioned) uint64 {
+	var m uint64
+	for _, c := range cs {
+		if c.Version > m {
+			m = c.Version
+		}
+	}
+	return m
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore(1)
+	s.Init("x", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.Apply("x", int64(i), uint64(g*100+i))
+				_, _ = s.Read("x")
+				_ = s.Items()
+			}
+		}(g)
+	}
+	wg.Wait()
+	v, _ := s.Read("x")
+	if v.Version == 0 {
+		t.Error("no applies took effect")
+	}
+}

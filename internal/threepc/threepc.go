@@ -1,0 +1,79 @@
+// Package threepc implements Skeen's three-phase commit protocol (Fig. 2 of
+// the paper) together with its termination protocol, which was designed for
+// site failures only.
+//
+// The termination rule is the one quoted in the paper's Example 2: "if there
+// exists a site in PC state or commit state, then the transaction should be
+// committed; else the transaction should be aborted". Under pure site
+// failures this is nonblocking and safe; under network partitioning it
+// terminates transactions inconsistently — partitions with a PC site commit
+// while partitions without one abort. The repository reproduces exactly that
+// misbehaviour (Example 2) as a baseline.
+package threepc
+
+import (
+	"qcommit/internal/protocol"
+	"qcommit/internal/threephase"
+	"qcommit/internal/types"
+	"qcommit/internal/wal"
+)
+
+// Spec is the 3PC protocol family.
+type Spec struct {
+	// PatienceRounds caps participant-initiated termination attempts.
+	PatienceRounds int
+}
+
+var _ protocol.Spec = Spec{}
+
+// Name implements protocol.Spec.
+func (Spec) Name() string { return "3PC" }
+
+// NewCoordinator implements protocol.Spec: plain 3PC waits for every PC-ACK
+// and presumes silent sites failed when the window closes.
+func (s Spec) NewCoordinator(txn types.TxnID, ws types.Writeset, participants []types.SiteID) protocol.Automaton {
+	return threephase.NewCoordinator(txn, ws, participants,
+		threephase.AllAcks{Participants: participants}, threephase.AckTimeoutCommit)
+}
+
+// NewParticipant implements protocol.Spec.
+func (s Spec) NewParticipant(txn types.TxnID, init *wal.TxnImage) protocol.Automaton {
+	return threephase.NewParticipant(txn, init, threephase.ParticipantOpts{PatienceRounds: s.PatienceRounds})
+}
+
+// NewTerminator implements protocol.Spec.
+func (s Spec) NewTerminator(txn types.TxnID, ws types.Writeset, participants []types.SiteID, epoch uint32) protocol.Automaton {
+	return threephase.NewTerminator(txn, ws, participants, epoch, Rules{})
+}
+
+// Rules is 3PC's site-failure termination rule.
+type Rules struct{}
+
+var _ threephase.Rules = Rules{}
+
+// Name implements threephase.Rules.
+func (Rules) Name() string { return "3PC-term" }
+
+// Decide implements threephase.Rules: commit if any participant is in PC or
+// C, else abort.
+func (Rules) Decide(env protocol.Env, t threephase.StateTally) threephase.Verdict {
+	switch {
+	case t.Any(types.StateCommitted):
+		return threephase.VerdictCommit
+	case t.Any(types.StateAborted):
+		return threephase.VerdictAbort
+	case t.Any(types.StatePC):
+		// Move waiting participants to PC first, then commit.
+		return threephase.VerdictTryCommit
+	default:
+		return threephase.VerdictAbort
+	}
+}
+
+// CommitConfirmed implements threephase.Rules: the site-failure termination
+// protocol commits unconditionally once the PC round is over (it assumes
+// silent sites are down, not partitioned away).
+func (Rules) CommitConfirmed(env protocol.Env, sites []types.SiteID) bool { return true }
+
+// AbortConfirmed implements threephase.Rules (unused: aborts are immediate).
+func (Rules) AbortConfirmed(env protocol.Env, sites []types.SiteID) bool { return true }

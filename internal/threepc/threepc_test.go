@@ -1,0 +1,71 @@
+package threepc
+
+import (
+	"testing"
+
+	"qcommit/internal/protocoltest"
+	"qcommit/internal/threephase"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+func env() *protocoltest.Env {
+	return protocoltest.New(1, voting.MustAssignment(
+		voting.Uniform("x", 2, 3, 1, 2, 3, 4),
+	))
+}
+
+func TestRulesDecide(t *testing.T) {
+	r := Rules{}
+	e := env()
+	q, w, pc, c, a := types.StateInitial, types.StateWait, types.StatePC, types.StateCommitted, types.StateAborted
+
+	cases := []struct {
+		name   string
+		states map[types.SiteID]types.State
+		want   threephase.Verdict
+	}{
+		{"committed present", map[types.SiteID]types.State{2: w, 3: c}, threephase.VerdictCommit},
+		{"aborted present", map[types.SiteID]types.State{2: w, 3: a}, threephase.VerdictAbort},
+		{"PC present commits", map[types.SiteID]types.State{2: w, 3: pc}, threephase.VerdictTryCommit},
+		{"all W aborts", map[types.SiteID]types.State{2: w, 3: w}, threephase.VerdictAbort},
+		{"q aborts", map[types.SiteID]types.State{2: q}, threephase.VerdictAbort},
+	}
+	for _, tc := range cases {
+		if got := r.Decide(e, threephase.NewStateTally(tc.states)); got != tc.want {
+			t.Errorf("%s: %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// The site-failure termination protocol never demands quorums: any
+	// confirmation succeeds.
+	if !r.CommitConfirmed(e, nil) || !r.AbortConfirmed(e, nil) {
+		t.Error("3PC termination must confirm unconditionally")
+	}
+}
+
+// TestRulesAreInconsistentUnderPartition documents WHY Example 2 happens:
+// two disjoint partitions of one interrupted run (one holding the PC site,
+// one not) get opposite verdicts.
+func TestRulesAreInconsistentUnderPartition(t *testing.T) {
+	r := Rules{}
+	e := env()
+	w, pc := types.StateWait, types.StatePC
+	gWithPC := r.Decide(e, threephase.NewStateTally(map[types.SiteID]types.State{4: w, 5: pc}))
+	gWithout := r.Decide(e, threephase.NewStateTally(map[types.SiteID]types.State{2: w, 3: w}))
+	if gWithPC != threephase.VerdictTryCommit || gWithout != threephase.VerdictAbort {
+		t.Errorf("verdicts = %v/%v, want try-commit/abort (the Example 2 split)", gWithPC, gWithout)
+	}
+}
+
+func TestSpecConstruction(t *testing.T) {
+	s := Spec{}
+	if s.Name() != "3PC" {
+		t.Errorf("name = %q", s.Name())
+	}
+	ws := types.Writeset{{Item: "x", Value: 1}}
+	parts := []types.SiteID{1, 2}
+	if s.NewCoordinator(1, ws, parts) == nil || s.NewParticipant(1, nil) == nil ||
+		s.NewTerminator(1, ws, parts, 0) == nil {
+		t.Error("spec returned nil automata")
+	}
+}

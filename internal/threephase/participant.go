@@ -1,0 +1,224 @@
+// Package threephase provides the building blocks shared by every
+// three-phase-style protocol in the repository: the participant automaton
+// with the q/W/PC/PA/C/A state machine (Fig. 6 of the paper), a generic
+// commit coordinator parameterized by its early-commit acknowledgement rule
+// (plain 3PC, Skeen's quorum rule, or the paper's CP1/CP2 rules), and the
+// generic three-phase termination coordinator parameterized by its quorum
+// rules (Skeen's site-vote rules, the paper's TP1/TP2 replica-vote rules, or
+// 3PC's site-failure-only rule).
+package threephase
+
+import (
+	"qcommit/internal/msg"
+	"qcommit/internal/protocol"
+	"qcommit/internal/types"
+	"qcommit/internal/wal"
+)
+
+// ParticipantOpts tunes participant behaviour.
+type ParticipantOpts struct {
+	// BuggyBufferCrossing makes the participant respond to PREPARE-TO-ABORT
+	// while in PC and to PREPARE-TO-COMMIT while in PA — the exact rule
+	// violation of the paper's Example 3, kept behind a flag so the
+	// counterexample (two concurrent coordinators terminating the
+	// transaction inconsistently) can be reproduced and asserted.
+	BuggyBufferCrossing bool
+	// PatienceRounds caps how many times the participant will ask for
+	// termination before going quiet (bounds simulations that would
+	// otherwise block forever). Defaults to 4.
+	PatienceRounds int
+}
+
+func (o ParticipantOpts) withDefaults() ParticipantOpts {
+	if o.PatienceRounds <= 0 {
+		o.PatienceRounds = 4
+	}
+	return o
+}
+
+// Participant is the per-site automaton of all three-phase-style protocols.
+// State transitions follow Fig. 6: q→W on a yes vote, q→A on a no vote,
+// W→PC on PREPARE-TO-COMMIT, W→PA on PREPARE-TO-ABORT, PC/W/PA→C on COMMIT,
+// PC/W/PA→A on ABORT. There is no transition between PC and PA: a
+// participant in PC ignores PREPARE-TO-ABORT and one in PA ignores
+// PREPARE-TO-COMMIT (unless BuggyBufferCrossing reproduces Example 3).
+type Participant struct {
+	txn   types.TxnID
+	opts  ParticipantOpts
+	state types.State
+	coord types.SiteID
+
+	patienceLeft int
+	timerSeq     int
+}
+
+// NewParticipant creates a participant. init is non-nil when rejoining after
+// a crash (or when a paper scenario is constructed mid-protocol).
+func NewParticipant(txn types.TxnID, init *wal.TxnImage, opts ParticipantOpts) *Participant {
+	opts = opts.withDefaults()
+	p := &Participant{txn: txn, opts: opts, state: types.StateInitial, patienceLeft: opts.PatienceRounds}
+	if init != nil {
+		p.state = init.State
+		p.coord = init.Coord
+	}
+	return p
+}
+
+// State returns the participant's local state.
+func (p *Participant) State() types.State { return p.state }
+
+// Start implements protocol.Automaton.
+func (p *Participant) Start(env protocol.Env) {
+	if p.state == types.StateWait || p.state == types.StatePC || p.state == types.StatePA {
+		// Mid-protocol (recovery or scripted scenario): watch for silence.
+		p.armPatience(env)
+	}
+}
+
+func (p *Participant) armPatience(env protocol.Env) {
+	p.timerSeq++
+	env.SetTimer(protocol.ParticipantPatience(env), p.timerSeq)
+}
+
+// OnTimer implements protocol.Automaton: patience expiry starts the election
+// protocol, as in the paper ("occurs when the participant does not receive a
+// response from the coordinator within 3T").
+func (p *Participant) OnTimer(token int, env protocol.Env) {
+	if token != p.timerSeq {
+		return // superseded by later coordinator activity
+	}
+	if p.state.Terminal() || p.state == types.StateInitial {
+		return
+	}
+	if p.patienceLeft <= 0 {
+		return
+	}
+	p.patienceLeft--
+	env.Tracef("%s: %s silent too long in %s, invoking termination", p.txn, env.Self(), p.state)
+	env.RequestTermination(p.txn)
+	p.armPatience(env)
+}
+
+// OnMessage implements protocol.Automaton.
+func (p *Participant) OnMessage(from types.SiteID, m msg.Message, env protocol.Env) {
+	switch v := m.(type) {
+	case msg.VoteReq:
+		p.onVoteReq(from, v, env)
+	case msg.PrepareToCommit:
+		p.onPTC(from, env)
+	case msg.PrepareToAbort:
+		p.onPTA(from, env)
+	case msg.Commit:
+		if !p.state.Terminal() && p.state != types.StateInitial {
+			p.state = types.StateCommitted
+			env.Commit(p.txn)
+			env.Send(from, msg.Done{Txn: p.txn})
+		}
+	case msg.Abort:
+		if !p.state.Terminal() {
+			p.state = types.StateAborted
+			env.Abort(p.txn)
+			env.Send(from, msg.Done{Txn: p.txn})
+		}
+	case msg.StateReq:
+		env.Send(from, msg.StateResp{Txn: p.txn, Epoch: v.Epoch, State: p.state})
+		if !p.state.Terminal() {
+			p.armPatience(env) // a termination coordinator is active
+		}
+	case msg.DecisionReq:
+		// Cooperative poll (2PC vocabulary); answer from our state so mixed
+		// protocol stacks still interoperate.
+		resp := msg.DecisionResp{Txn: p.txn}
+		switch p.state {
+		case types.StateCommitted:
+			resp.Decision = types.DecisionCommit
+		case types.StateAborted:
+			resp.Decision = types.DecisionAbort
+		case types.StateInitial:
+			resp.Uncommitted = true
+		}
+		env.Send(from, resp)
+	}
+}
+
+func (p *Participant) onVoteReq(from types.SiteID, v msg.VoteReq, env protocol.Env) {
+	switch p.state {
+	case types.StateInitial:
+		p.coord = v.Coord
+		if env.AcquireLocks(p.txn) {
+			env.Append(wal.Record{
+				Type:         wal.RecVotedYes,
+				Txn:          p.txn,
+				Coord:        v.Coord,
+				Participants: v.Participants,
+				Writeset:     v.Writeset,
+			})
+			p.state = types.StateWait
+			env.Send(from, msg.VoteResp{Txn: p.txn, Vote: types.VoteYes})
+			p.armPatience(env)
+		} else {
+			// Cannot implement the update (e.g. I/O subsystem failure or a
+			// lock conflict): vote no and abort unilaterally.
+			env.Append(wal.Record{Type: wal.RecVotedNo, Txn: p.txn})
+			env.Send(from, msg.VoteResp{Txn: p.txn, Vote: types.VoteNo})
+			p.state = types.StateAborted
+			env.Abort(p.txn)
+		}
+	case types.StateWait:
+		// Duplicate VOTE-REQ: re-send the yes vote.
+		env.Send(from, msg.VoteResp{Txn: p.txn, Vote: types.VoteYes})
+	}
+}
+
+func (p *Participant) onPTC(from types.SiteID, env protocol.Env) {
+	switch p.state {
+	case types.StateWait:
+		env.Append(wal.Record{Type: wal.RecPC, Txn: p.txn})
+		p.state = types.StatePC
+		env.Tracef("%s: %s enters PC", p.txn, env.Self())
+		env.Send(from, msg.PCAck{Txn: p.txn})
+		p.armPatience(env)
+	case types.StatePC:
+		env.Send(from, msg.PCAck{Txn: p.txn}) // idempotent re-ack
+		p.armPatience(env)
+	case types.StatePA:
+		if p.opts.BuggyBufferCrossing {
+			// Example 3's forbidden behaviour: responding to
+			// PREPARE-TO-COMMIT while in PA lets two concurrent termination
+			// coordinators form both quorums.
+			env.Append(wal.Record{Type: wal.RecPC, Txn: p.txn})
+			p.state = types.StatePC
+			env.Tracef("%s: %s BUGGY PA→PC crossing", p.txn, env.Self())
+			env.Send(from, msg.PCAck{Txn: p.txn})
+			p.armPatience(env)
+			return
+		}
+		// Correct rule: a participant in PA ignores PREPARE-TO-COMMIT.
+		env.Tracef("%s: %s in PA ignores PREPARE-TO-COMMIT", p.txn, env.Self())
+	}
+}
+
+func (p *Participant) onPTA(from types.SiteID, env protocol.Env) {
+	switch p.state {
+	case types.StateWait:
+		env.Append(wal.Record{Type: wal.RecPA, Txn: p.txn})
+		p.state = types.StatePA
+		env.Tracef("%s: %s enters PA", p.txn, env.Self())
+		env.Send(from, msg.PAAck{Txn: p.txn})
+		p.armPatience(env)
+	case types.StatePA:
+		env.Send(from, msg.PAAck{Txn: p.txn}) // idempotent re-ack
+		p.armPatience(env)
+	case types.StatePC:
+		if p.opts.BuggyBufferCrossing {
+			env.Append(wal.Record{Type: wal.RecPA, Txn: p.txn})
+			p.state = types.StatePA
+			env.Tracef("%s: %s BUGGY PC→PA crossing", p.txn, env.Self())
+			env.Send(from, msg.PAAck{Txn: p.txn})
+			p.armPatience(env)
+			return
+		}
+		// Correct rule: a participant in PC ignores PREPARE-TO-ABORT.
+		env.Tracef("%s: %s in PC ignores PREPARE-TO-ABORT", p.txn, env.Self())
+	}
+}

@@ -1,0 +1,514 @@
+package threephase
+
+import (
+	"testing"
+
+	"qcommit/internal/msg"
+	"qcommit/internal/protocol"
+	"qcommit/internal/protocoltest"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+	"qcommit/internal/wal"
+)
+
+func ex1() *voting.Assignment {
+	return voting.MustAssignment(
+		voting.Uniform("x", 2, 3, 1, 2, 3, 4),
+		voting.Uniform("y", 2, 3, 5, 6, 7, 8),
+	)
+}
+
+var (
+	ws    = types.Writeset{{Item: "x", Value: 1}, {Item: "y", Value: 2}}
+	parts = []types.SiteID{1, 2, 3, 4, 5, 6, 7, 8}
+)
+
+func voteReq(coord types.SiteID) msg.VoteReq {
+	return msg.VoteReq{Txn: 1, Coord: coord, Participants: parts, Writeset: ws}
+}
+
+func TestParticipantVotesYes(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	p := NewParticipant(1, nil, ParticipantOpts{})
+	p.Start(env)
+	p.OnMessage(1, voteReq(1), env)
+
+	if p.State() != types.StateWait {
+		t.Errorf("state = %v, want W", p.State())
+	}
+	if len(env.Logs) != 1 || env.Logs[0].Type != wal.RecVotedYes {
+		t.Errorf("logs = %v, want one VOTED-YES forced before the vote", env.Logs)
+	}
+	sent := env.SentTo(1)
+	if len(sent) != 1 {
+		t.Fatalf("sent %d messages to coordinator", len(sent))
+	}
+	if v, ok := sent[0].(msg.VoteResp); !ok || v.Vote != types.VoteYes {
+		t.Errorf("vote = %#v", sent[0])
+	}
+	if len(env.Timers) == 0 {
+		t.Error("no patience timer armed")
+	}
+}
+
+func TestParticipantVotesNoOnLockFailure(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	env.LockOK = false
+	p := NewParticipant(1, nil, ParticipantOpts{})
+	p.Start(env)
+	p.OnMessage(1, voteReq(1), env)
+
+	if p.State() != types.StateAborted {
+		t.Errorf("state = %v, want A (unilateral abort on no vote)", p.State())
+	}
+	sent := env.SentTo(1)
+	if v, ok := sent[0].(msg.VoteResp); !ok || v.Vote != types.VoteNo {
+		t.Errorf("vote = %#v", sent[0])
+	}
+	if len(env.Aborted) != 1 {
+		t.Error("host abort not requested")
+	}
+}
+
+func TestParticipantDuplicateVoteReqIdempotent(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	p := NewParticipant(1, nil, ParticipantOpts{})
+	p.Start(env)
+	p.OnMessage(1, voteReq(1), env)
+	n := len(env.Logs)
+	p.OnMessage(1, voteReq(1), env)
+	if len(env.Logs) != n {
+		t.Error("duplicate VOTE-REQ forced another log record")
+	}
+	if got := env.SentTo(1); len(got) != 2 {
+		t.Errorf("expected re-sent yes vote, got %d messages", len(got))
+	}
+}
+
+func TestParticipantPTCAndPTA(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	p := NewParticipant(1, nil, ParticipantOpts{})
+	p.Start(env)
+	p.OnMessage(1, voteReq(1), env)
+
+	p.OnMessage(3, msg.PrepareToCommit{Txn: 1}, env)
+	if p.State() != types.StatePC {
+		t.Fatalf("state = %v, want PC", p.State())
+	}
+	if k := env.SentTo(3); len(k) != 1 || k[0].Kind() != msg.KindPCAck {
+		t.Errorf("PC-ACK not sent: %v", k)
+	}
+	// The paper's rule: a participant in PC ignores PREPARE-TO-ABORT.
+	p.OnMessage(4, msg.PrepareToAbort{Txn: 1}, env)
+	if p.State() != types.StatePC {
+		t.Errorf("PC site moved to %v on PREPARE-TO-ABORT", p.State())
+	}
+	if k := env.SentTo(4); len(k) != 0 {
+		t.Errorf("PC site responded to PREPARE-TO-ABORT: %v", k)
+	}
+	// Re-delivered PTC re-acks without a new log record.
+	n := len(env.Logs)
+	p.OnMessage(3, msg.PrepareToCommit{Txn: 1}, env)
+	if len(env.Logs) != n {
+		t.Error("duplicate PTC logged again")
+	}
+}
+
+func TestParticipantPAIgnoresPTC(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	p := NewParticipant(1, nil, ParticipantOpts{})
+	p.Start(env)
+	p.OnMessage(1, voteReq(1), env)
+	p.OnMessage(3, msg.PrepareToAbort{Txn: 1}, env)
+	if p.State() != types.StatePA {
+		t.Fatalf("state = %v, want PA", p.State())
+	}
+	p.OnMessage(4, msg.PrepareToCommit{Txn: 1}, env)
+	if p.State() != types.StatePA {
+		t.Errorf("PA site moved to %v on PREPARE-TO-COMMIT", p.State())
+	}
+	if k := env.SentTo(4); len(k) != 0 {
+		t.Errorf("PA site responded to PREPARE-TO-COMMIT: %v", k)
+	}
+}
+
+func TestParticipantBuggyCrossings(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	p := NewParticipant(1, nil, ParticipantOpts{BuggyBufferCrossing: true})
+	p.Start(env)
+	p.OnMessage(1, voteReq(1), env)
+	p.OnMessage(3, msg.PrepareToAbort{Txn: 1}, env)
+	p.OnMessage(4, msg.PrepareToCommit{Txn: 1}, env)
+	if p.State() != types.StatePC {
+		t.Errorf("buggy participant state = %v, want PC after crossing", p.State())
+	}
+	if k := env.SentTo(4); len(k) != 1 || k[0].Kind() != msg.KindPCAck {
+		t.Errorf("buggy participant did not ack PTC from PA: %v", k)
+	}
+}
+
+func TestParticipantCommitAndAbort(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	p := NewParticipant(1, nil, ParticipantOpts{})
+	p.Start(env)
+	p.OnMessage(1, voteReq(1), env)
+	p.OnMessage(1, msg.Commit{Txn: 1}, env)
+	if p.State() != types.StateCommitted || len(env.Committed) != 1 {
+		t.Errorf("commit not applied: state=%v", p.State())
+	}
+	// Terminal is irrevocable: a late ABORT must be ignored.
+	p.OnMessage(1, msg.Abort{Txn: 1}, env)
+	if p.State() != types.StateCommitted || len(env.Aborted) != 0 {
+		t.Error("terminal state not irrevocable")
+	}
+}
+
+func TestParticipantCommitInInitialIgnored(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	p := NewParticipant(1, nil, ParticipantOpts{})
+	p.Start(env)
+	p.OnMessage(1, msg.Commit{Txn: 1}, env)
+	if p.State() != types.StateInitial || len(env.Committed) != 0 {
+		t.Error("COMMIT honored in q; a site that never voted cannot commit")
+	}
+}
+
+func TestParticipantStateReqResponse(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	p := NewParticipant(1, nil, ParticipantOpts{})
+	p.Start(env)
+	p.OnMessage(1, voteReq(1), env)
+	p.OnMessage(7, msg.StateReq{Txn: 1, Coord: 7, Epoch: 3}, env)
+	sent := env.SentTo(7)
+	if len(sent) != 1 {
+		t.Fatalf("sent = %v", sent)
+	}
+	resp, ok := sent[0].(msg.StateResp)
+	if !ok || resp.State != types.StateWait || resp.Epoch != 3 {
+		t.Errorf("state resp = %#v", sent[0])
+	}
+}
+
+func TestParticipantPatienceTriggersTermination(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	p := NewParticipant(1, nil, ParticipantOpts{PatienceRounds: 2})
+	p.Start(env)
+	p.OnMessage(1, voteReq(1), env)
+	tm := env.LastTimer()
+	p.OnTimer(tm.Token, env)
+	if len(env.TermReqs) != 1 {
+		t.Fatal("patience expiry did not request termination")
+	}
+	// Budget bounds the retries.
+	p.OnTimer(env.LastTimer().Token, env)
+	p.OnTimer(env.LastTimer().Token, env)
+	p.OnTimer(env.LastTimer().Token, env)
+	if len(env.TermReqs) > 2 {
+		t.Errorf("termination requested %d times, budget was 2", len(env.TermReqs))
+	}
+}
+
+func TestParticipantStaleTimerIgnored(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	p := NewParticipant(1, nil, ParticipantOpts{})
+	p.Start(env)
+	p.OnMessage(1, voteReq(1), env)
+	stale := env.LastTimer().Token
+	// Coordinator activity re-arms patience, superseding the old timer.
+	p.OnMessage(7, msg.StateReq{Txn: 1, Coord: 7, Epoch: 1}, env)
+	p.OnTimer(stale, env)
+	if len(env.TermReqs) != 0 {
+		t.Error("stale patience timer acted")
+	}
+}
+
+func TestParticipantRecoveryImage(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	img := &wal.TxnImage{Txn: 1, State: types.StatePC, Coord: 1, Participants: parts, Writeset: ws}
+	p := NewParticipant(1, img, ParticipantOpts{})
+	p.Start(env)
+	if p.State() != types.StatePC {
+		t.Errorf("recovered state = %v", p.State())
+	}
+	if len(env.Timers) == 0 {
+		t.Error("recovered mid-protocol participant must arm patience")
+	}
+}
+
+// --- coordinator ---
+
+func runVotes(c *Coordinator, env *protocoltest.Env, yes []types.SiteID) {
+	for _, s := range yes {
+		c.OnMessage(s, msg.VoteResp{Txn: 1, Vote: types.VoteYes}, env)
+	}
+}
+
+func TestCoordinatorHappyPathCP1(t *testing.T) {
+	env := protocoltest.New(1, ex1())
+	c := NewCoordinator(1, ws, parts, WriteQuorumEvery{Items: ws.Items()}, AckTimeoutTerminate)
+	c.Start(env)
+
+	// Phase 1: VOTE-REQ to every participant, BEGIN logged first.
+	if env.Logs[0].Type != wal.RecBegin {
+		t.Error("BEGIN not logged")
+	}
+	if got := len(env.Sends); got != len(parts) {
+		t.Fatalf("sent %d VOTE-REQs, want %d", got, len(parts))
+	}
+	env.Reset()
+
+	runVotes(c, env, parts)
+	// Phase 2: PTC to every participant.
+	ptc := 0
+	for _, s := range env.Sends {
+		if s.Msg.Kind() == msg.KindPrepareToCommit {
+			ptc++
+		}
+	}
+	if ptc != len(parts) {
+		t.Fatalf("sent %d PTCs, want %d", ptc, len(parts))
+	}
+	env.Reset()
+
+	// CP1 commits once PC-ACKs cover w(x) for every item: 3 x-sites + 3
+	// y-sites. Two acks of each do not suffice.
+	for _, s := range []types.SiteID{1, 2, 5, 6} {
+		c.OnMessage(s, msg.PCAck{Txn: 1}, env)
+	}
+	if len(env.Sends) != 0 {
+		t.Fatal("committed before the write quorum of acks")
+	}
+	c.OnMessage(3, msg.PCAck{Txn: 1}, env)
+	if len(env.Sends) != 0 {
+		t.Fatal("committed with w votes for x but not y")
+	}
+	c.OnMessage(7, msg.PCAck{Txn: 1}, env)
+	commits := 0
+	for _, s := range env.Sends {
+		if s.Msg.Kind() == msg.KindCommit {
+			commits++
+		}
+	}
+	if commits != len(parts) {
+		t.Errorf("sent %d COMMITs after quorum, want %d", commits, len(parts))
+	}
+	if c.DecidedAtAck != 6 {
+		t.Errorf("DecidedAtAck = %d, want 6", c.DecidedAtAck)
+	}
+}
+
+func TestCoordinatorCP2CommitsFaster(t *testing.T) {
+	env := protocoltest.New(1, ex1())
+	c := NewCoordinator(1, ws, parts, ReadQuorumSome{Items: ws.Items()}, AckTimeoutTerminate)
+	c.Start(env)
+	runVotes(c, env, parts)
+	env.Reset()
+
+	// CP2 needs only r(x) = 2 votes of PC-ACKs for some item.
+	c.OnMessage(1, msg.PCAck{Txn: 1}, env)
+	if len(env.Sends) != 0 {
+		t.Fatal("committed after one ack")
+	}
+	c.OnMessage(2, msg.PCAck{Txn: 1}, env)
+	if len(env.Sends) == 0 {
+		t.Fatal("CP2 should commit after two x acks")
+	}
+	if c.DecidedAtAck != 2 {
+		t.Errorf("DecidedAtAck = %d, want 2", c.DecidedAtAck)
+	}
+}
+
+func TestCoordinatorAbortsOnNoVote(t *testing.T) {
+	env := protocoltest.New(1, ex1())
+	c := NewCoordinator(1, ws, parts, AllAcks{Participants: parts}, AckTimeoutCommit)
+	c.Start(env)
+	env.Reset()
+	c.OnMessage(2, msg.VoteResp{Txn: 1, Vote: types.VoteNo}, env)
+	aborts := 0
+	for _, s := range env.Sends {
+		if s.Msg.Kind() == msg.KindAbort {
+			aborts++
+		}
+	}
+	if aborts != len(parts) {
+		t.Errorf("sent %d ABORTs, want %d", aborts, len(parts))
+	}
+	// Late yes votes must not resurrect the transaction.
+	env.Reset()
+	runVotes(c, env, parts)
+	if len(env.Sends) != 0 {
+		t.Error("decided coordinator kept acting")
+	}
+}
+
+func TestCoordinatorVoteTimeoutAborts(t *testing.T) {
+	env := protocoltest.New(1, ex1())
+	c := NewCoordinator(1, ws, parts, AllAcks{Participants: parts}, AckTimeoutCommit)
+	c.Start(env)
+	env.Reset()
+	c.OnTimer(tokVotes, env)
+	if len(env.Sends) == 0 || env.Sends[0].Msg.Kind() != msg.KindAbort {
+		t.Error("vote timeout did not abort")
+	}
+}
+
+func TestCoordinatorAckTimeoutPolicies(t *testing.T) {
+	// 3PC: commit anyway.
+	env := protocoltest.New(1, ex1())
+	c := NewCoordinator(1, ws, parts, AllAcks{Participants: parts}, AckTimeoutCommit)
+	c.Start(env)
+	runVotes(c, env, parts)
+	env.Reset()
+	c.OnTimer(tokAcks, env)
+	if len(env.Sends) == 0 || env.Sends[0].Msg.Kind() != msg.KindCommit {
+		t.Error("3PC policy should commit on ack timeout")
+	}
+
+	// Quorum protocols: hand over to termination.
+	env2 := protocoltest.New(1, ex1())
+	c2 := NewCoordinator(1, ws, parts, WriteQuorumEvery{Items: ws.Items()}, AckTimeoutTerminate)
+	c2.Start(env2)
+	runVotes(c2, env2, parts)
+	env2.Reset()
+	c2.OnTimer(tokAcks, env2)
+	if len(env2.TermReqs) != 1 {
+		t.Error("terminate policy should request termination on ack timeout")
+	}
+}
+
+// --- terminator ---
+
+type fixedRules struct {
+	verdict Verdict
+	commit  bool
+	abort   bool
+}
+
+func (fixedRules) Name() string                                              { return "fixed" }
+func (f fixedRules) Decide(env protocol.Env, t StateTally) Verdict           { return f.verdict }
+func (f fixedRules) CommitConfirmed(env protocol.Env, s []types.SiteID) bool { return f.commit }
+func (f fixedRules) AbortConfirmed(env protocol.Env, s []types.SiteID) bool  { return f.abort }
+
+func TestTerminatorPollsAndDistributes(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	term := NewTerminator(1, ws, parts, 5, fixedRules{verdict: VerdictCommit})
+	term.Start(env)
+	reqs := 0
+	for _, s := range env.Sends {
+		if r, ok := s.Msg.(msg.StateReq); ok {
+			reqs++
+			if r.Epoch != 5 {
+				t.Errorf("epoch = %d, want 5", r.Epoch)
+			}
+		}
+	}
+	if reqs != len(parts) {
+		t.Fatalf("polled %d, want %d (including self)", reqs, len(parts))
+	}
+	env.Reset()
+	term.OnMessage(2, msg.StateResp{Txn: 1, Epoch: 5, State: types.StateWait}, env)
+	term.OnTimer(tokCollect, env)
+	commits := 0
+	for _, s := range env.Sends {
+		if s.Msg.Kind() == msg.KindCommit {
+			commits++
+		}
+	}
+	if commits != len(parts) {
+		t.Errorf("distributed %d COMMITs, want %d", commits, len(parts))
+	}
+	if len(env.TermDones) != 1 {
+		t.Error("TerminatorDone not signalled")
+	}
+}
+
+func TestTerminatorStaleEpochIgnored(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	term := NewTerminator(1, ws, []types.SiteID{2, 3}, 5, fixedRules{verdict: VerdictBlock})
+	term.Start(env)
+	term.OnMessage(3, msg.StateResp{Txn: 1, Epoch: 4, State: types.StateCommitted}, env)
+	env.Reset()
+	term.OnTimer(tokCollect, env)
+	if len(env.Blocked) != 1 {
+		t.Error("stale-epoch response should not have been counted")
+	}
+}
+
+func TestTerminatorTryCommitConfirmFlow(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	term := NewTerminator(1, ws, parts, 1, fixedRules{verdict: VerdictTryCommit, commit: true})
+	term.Start(env)
+	term.OnMessage(5, msg.StateResp{Txn: 1, Epoch: 1, State: types.StatePC}, env)
+	term.OnMessage(4, msg.StateResp{Txn: 1, Epoch: 1, State: types.StateWait}, env)
+	env.Reset()
+	term.OnTimer(tokCollect, env)
+	// PTC must go to the W reporter only.
+	if got := env.SentTo(4); len(got) != 1 || got[0].Kind() != msg.KindPrepareToCommit {
+		t.Errorf("PTC to site4 = %v", got)
+	}
+	if got := env.SentTo(5); len(got) != 0 {
+		t.Errorf("PC reporter should not get PTC: %v", got)
+	}
+	term.OnMessage(4, msg.PCAck{Txn: 1}, env)
+	env.Reset()
+	term.OnTimer(tokConfirm, env)
+	if len(env.Sends) == 0 || env.Sends[0].Msg.Kind() != msg.KindCommit {
+		t.Error("confirmed try-commit should distribute COMMIT")
+	}
+}
+
+func TestTerminatorReentersOnFailedConfirm(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	term := NewTerminator(1, ws, parts, 1, fixedRules{verdict: VerdictTryAbort, abort: false})
+	term.Start(env)
+	term.OnMessage(4, msg.StateResp{Txn: 1, Epoch: 1, State: types.StateWait}, env)
+	term.OnTimer(tokCollect, env)
+	env.Reset()
+	term.OnTimer(tokConfirm, env)
+	if len(env.TermReqs) != 1 {
+		t.Error("failed confirmation should restart the election protocol")
+	}
+	if len(env.Sends) != 0 {
+		t.Error("no decision should be distributed on failed confirmation")
+	}
+}
+
+func TestTerminatorBlockVerdict(t *testing.T) {
+	env := protocoltest.New(2, ex1())
+	term := NewTerminator(1, ws, parts, 1, fixedRules{verdict: VerdictBlock})
+	term.Start(env)
+	env.Reset()
+	term.OnTimer(tokCollect, env)
+	if len(env.Blocked) != 1 {
+		t.Error("block verdict not reported")
+	}
+}
+
+func TestStateTallyHelpers(t *testing.T) {
+	tl := NewStateTally(map[types.SiteID]types.State{
+		2: types.StateWait, 3: types.StatePC, 4: types.StateWait,
+	})
+	if !tl.Any(types.StatePC) || tl.Any(types.StateAborted) {
+		t.Error("Any wrong")
+	}
+	if got := tl.In(types.StateWait); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("In(W) = %v", got)
+	}
+	if got := tl.NotIn(types.StatePC); len(got) != 2 {
+		t.Errorf("NotIn(PC) = %v", got)
+	}
+	if len(tl.Responders) != 3 {
+		t.Errorf("Responders = %v", tl.Responders)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		VerdictCommit: "commit", VerdictAbort: "abort",
+		VerdictTryCommit: "try-commit", VerdictTryAbort: "try-abort", VerdictBlock: "block",
+	} {
+		if v.String() != want {
+			t.Errorf("verdict %d = %q, want %q", v, v.String(), want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qcommit/internal/types"
+)
+
+// Diagram renders the recorded events as a column-per-site sequence diagram,
+// the textual analogue of the paper's Figs. 1, 2 and 9:
+//
+//	t           site1         site2         site3
+//	3.201ms       o--VOTE-REQ-->|             |
+//	5.914ms       |<----yes-----o             |
+//	12.000ms      |             *enters PC    |
+//
+// Message events draw an arrow from sender (o) to receiver (>); annotations
+// mark the site with * and print the text in place. Sites not in the list
+// are skipped. The width parameter sets the column width (0 = default 14).
+func (r *Recorder) Diagram(sites []types.SiteID, width int) string {
+	if width <= 0 {
+		width = 14
+	}
+	col := make(map[types.SiteID]int, len(sites))
+	sorted := append([]types.SiteID(nil), sites...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, s := range sorted {
+		col[s] = i
+	}
+	timeW := 12
+
+	var b strings.Builder
+	// Header.
+	b.WriteString(pad("t", timeW))
+	for _, s := range sorted {
+		b.WriteString(pad(s.String(), width))
+	}
+	b.WriteByte('\n')
+
+	for _, e := range r.Events() {
+		// Extra tail room so annotations near the right edge are not cut.
+		line := make([]byte, timeW+width*len(sorted)+56)
+		for i := range line {
+			line[i] = ' '
+		}
+		copy(line, pad(e.At.String(), timeW))
+		// Lifelines.
+		for i := range sorted {
+			line[timeW+i*width+width/2] = '|'
+		}
+		switch {
+		case e.IsMessage():
+			fromCol, fromOK := col[e.From]
+			toCol, toOK := col[e.To]
+			if !fromOK || !toOK {
+				continue
+			}
+			fromPos := timeW + fromCol*width + width/2
+			toPos := timeW + toCol*width + width/2
+			if fromPos == toPos {
+				// Self-delivery: mark with a loop glyph.
+				line[fromPos] = '@'
+				drawLabel(line, fromPos+2, e.Label)
+				b.Write(trimRight(line))
+				b.WriteByte('\n')
+				continue
+			}
+			lo, hi := fromPos, toPos
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for i := lo + 1; i < hi; i++ {
+				line[i] = '-'
+			}
+			line[fromPos] = 'o'
+			if toPos > fromPos {
+				line[toPos] = '>'
+			} else {
+				line[toPos] = '<'
+			}
+			drawLabel(line, (lo+hi)/2-len(e.Label)/2, e.Label)
+		default:
+			c, ok := col[e.Site]
+			if !ok {
+				// Cluster-level annotation (partition/heal): full-width note.
+				note := fmt.Sprintf("== %s ==", e.Text)
+				drawLabel(line, timeW, note)
+				b.Write(trimRight(line))
+				b.WriteByte('\n')
+				continue
+			}
+			pos := timeW + c*width + width/2
+			line[pos] = '*'
+			drawLabel(line, pos+1, e.Text)
+		}
+		b.Write(trimRight(line))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// drawLabel writes s into line at pos, clipped to the buffer.
+func drawLabel(line []byte, pos int, s string) {
+	if pos < 0 {
+		pos = 0
+	}
+	for i := 0; i < len(s) && pos+i < len(line); i++ {
+		line[pos+i] = s[i]
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s[:w-1] + " "
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func trimRight(line []byte) []byte {
+	end := len(line)
+	for end > 0 && line[end-1] == ' ' {
+		end--
+	}
+	return line[:end]
+}

@@ -1,0 +1,212 @@
+package voting
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"qcommit/internal/types"
+)
+
+// This file implements the missing-writes scheme (Eager & Sevcik, "Achieving
+// robustness in distributed database systems", ACM TODS 1983 — reference [5]
+// of the paper): an adaptive voting strategy that improves performance when
+// there are no failures.
+//
+// While an item has no *missing writes*, transactions run in optimistic mode
+// — read any single copy, write all copies — which is cheaper than quorum
+// operations. The first write that fails to reach every copy records a
+// missing write for the copies it missed; from then on the item operates in
+// pessimistic (quorum) mode with the item's configured r(x)/w(x), which the
+// Gifford constraints keep correct. When the stale copies catch up, the
+// missing writes are resolved and the item returns to optimistic mode.
+//
+// The paper's conclusion notes its termination-protocol idea "can be
+// generalized to work with other partition-processing strategies"; this
+// module provides the obvious second strategy to generalize to.
+
+// Mode is an item's current missing-writes operating mode.
+type Mode uint8
+
+// Modes.
+const (
+	// Optimistic: read-one / write-all. Requires no missing writes.
+	Optimistic Mode = iota
+	// Pessimistic: quorum reads and writes with the configured r(x)/w(x).
+	Pessimistic
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Optimistic {
+		return "optimistic"
+	}
+	return "pessimistic"
+}
+
+// Adaptive tracks missing writes per item on top of a static Assignment and
+// answers which quorum each operation needs right now. It is safe for
+// concurrent use.
+type Adaptive struct {
+	asgn *Assignment
+
+	mu sync.Mutex
+	// missing[item] is the set of sites whose copy missed at least one
+	// write since the item last left optimistic mode.
+	missing map[types.ItemID]map[types.SiteID]bool
+}
+
+// NewAdaptive wraps an assignment with missing-writes tracking. All items
+// start in optimistic mode.
+func NewAdaptive(asgn *Assignment) *Adaptive {
+	return &Adaptive{
+		asgn:    asgn,
+		missing: make(map[types.ItemID]map[types.SiteID]bool),
+	}
+}
+
+// Assignment returns the underlying static assignment.
+func (a *Adaptive) Assignment() *Assignment { return a.asgn }
+
+// ModeOf returns the item's current mode.
+func (a *Adaptive) ModeOf(item types.ItemID) Mode {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.missing[item]) > 0 {
+		return Pessimistic
+	}
+	return Optimistic
+}
+
+// MissingAt returns the sites currently carrying missing writes for item,
+// ascending.
+func (a *Adaptive) MissingAt(item types.ItemID) []types.SiteID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := a.missing[item]
+	out := make([]types.SiteID, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadQuorumNow returns the votes a read of item must collect right now:
+// in optimistic mode any single copy suffices (1 vote); in pessimistic mode
+// the configured r(x).
+func (a *Adaptive) ReadQuorumNow(item types.ItemID) (int, Mode, error) {
+	ic, ok := a.asgn.Item(item)
+	if !ok {
+		return 0, Optimistic, fmt.Errorf("voting: unknown item %q", item)
+	}
+	if a.ModeOf(item) == Pessimistic {
+		return ic.R, Pessimistic, nil
+	}
+	return 1, Optimistic, nil
+}
+
+// WriteQuorumNow returns the votes a write must collect right now: all
+// copies' votes in optimistic mode (write-all), the configured w(x) in
+// pessimistic mode.
+func (a *Adaptive) WriteQuorumNow(item types.ItemID) (int, Mode, error) {
+	ic, ok := a.asgn.Item(item)
+	if !ok {
+		return 0, Optimistic, fmt.Errorf("voting: unknown item %q", item)
+	}
+	if a.ModeOf(item) == Pessimistic {
+		return ic.W, Pessimistic, nil
+	}
+	return ic.TotalVotes(), Optimistic, nil
+}
+
+// RecordWrite registers the result of a write operation: reached lists the
+// sites whose copies applied it. If any copy of the item was missed, those
+// sites gain missing writes and the item degrades to pessimistic mode. The
+// write is only legal if the reached sites carry the currently required
+// write quorum; RecordWrite reports false (and records nothing) otherwise.
+func (a *Adaptive) RecordWrite(item types.ItemID, reached []types.SiteID) bool {
+	ic, ok := a.asgn.Item(item)
+	if !ok {
+		return false
+	}
+	need, _, _ := a.WriteQuorumNow(item)
+	got := a.asgn.VotesFor(item, reached)
+	if got < need && got < ic.W {
+		// Not even a pessimistic write quorum: the write must not proceed.
+		return false
+	}
+	reachedSet := make(map[types.SiteID]bool, len(reached))
+	for _, s := range reached {
+		reachedSet[s] = true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, cp := range ic.Copies {
+		if !reachedSet[cp.Site] {
+			set := a.missing[item]
+			if set == nil {
+				set = make(map[types.SiteID]bool)
+				a.missing[item] = set
+			}
+			set[cp.Site] = true
+		}
+	}
+	return true
+}
+
+// ResolveMissing clears missing writes for the given sites (their copies
+// caught up, e.g. by copying the latest version during recovery). When the
+// last missing write of an item resolves, the item returns to optimistic
+// mode.
+func (a *Adaptive) ResolveMissing(item types.ItemID, sites ...types.SiteID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := a.missing[item]
+	for _, s := range sites {
+		delete(set, s)
+	}
+	if len(set) == 0 {
+		delete(a.missing, item)
+	}
+}
+
+// CanRead reports whether the given sites can serve a read of item under the
+// current mode. In pessimistic mode the sites must carry r(x) votes; in
+// optimistic mode any copy-holding site works, but it must not be one
+// carrying a missing write (vacuous: optimistic mode implies none).
+func (a *Adaptive) CanRead(item types.ItemID, sites []types.SiteID) bool {
+	need, mode, err := a.ReadQuorumNow(item)
+	if err != nil {
+		return false
+	}
+	if mode == Pessimistic {
+		// Copies carrying missing writes must not serve reads.
+		fresh := a.freshSites(item, sites)
+		return a.asgn.VotesFor(item, fresh) >= need
+	}
+	return a.asgn.VotesFor(item, sites) >= 1
+}
+
+// CanWrite reports whether the given sites can accept a write of item under
+// the current mode.
+func (a *Adaptive) CanWrite(item types.ItemID, sites []types.SiteID) bool {
+	need, _, err := a.WriteQuorumNow(item)
+	if err != nil {
+		return false
+	}
+	return a.asgn.VotesFor(item, sites) >= need
+}
+
+func (a *Adaptive) freshSites(item types.ItemID, sites []types.SiteID) []types.SiteID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := a.missing[item]
+	out := make([]types.SiteID, 0, len(sites))
+	for _, s := range sites {
+		if !set[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package voting
+
+import (
+	"testing"
+
+	"qcommit/internal/types"
+)
+
+func newAdaptive(t *testing.T) *Adaptive {
+	t.Helper()
+	return NewAdaptive(MustAssignment(Uniform("x", 2, 3, 1, 2, 3, 4)))
+}
+
+func TestAdaptiveStartsOptimistic(t *testing.T) {
+	a := newAdaptive(t)
+	if a.ModeOf("x") != Optimistic {
+		t.Fatal("item should start optimistic")
+	}
+	r, mode, err := a.ReadQuorumNow("x")
+	if err != nil || r != 1 || mode != Optimistic {
+		t.Errorf("read quorum = %d,%v,%v; want 1 vote read-one", r, mode, err)
+	}
+	w, _, err := a.WriteQuorumNow("x")
+	if err != nil || w != 4 {
+		t.Errorf("write quorum = %d,%v; want 4 (write-all)", w, err)
+	}
+	// One copy serves a read in optimistic mode.
+	if !a.CanRead("x", []types.SiteID{3}) {
+		t.Error("single copy should serve an optimistic read")
+	}
+	// A write must reach everyone.
+	if a.CanWrite("x", []types.SiteID{1, 2, 3}) {
+		t.Error("3 of 4 copies must not satisfy write-all")
+	}
+}
+
+func TestAdaptiveDegradesOnMissedWrite(t *testing.T) {
+	a := newAdaptive(t)
+	// A write reaches only sites 1-3 (site4's copy missed it). That is a
+	// legal pessimistic write quorum (3 ≥ w=3), so the write proceeds and
+	// the item degrades.
+	if !a.RecordWrite("x", []types.SiteID{1, 2, 3}) {
+		t.Fatal("write with w votes should be accepted")
+	}
+	if a.ModeOf("x") != Pessimistic {
+		t.Fatal("item should be pessimistic after a missing write")
+	}
+	if got := a.MissingAt("x"); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("MissingAt = %v, want [site4]", got)
+	}
+	// Quorums are now the configured r/w.
+	r, mode, _ := a.ReadQuorumNow("x")
+	if r != 2 || mode != Pessimistic {
+		t.Errorf("read quorum = %d,%v; want 2 pessimistic", r, mode)
+	}
+	w, _, _ := a.WriteQuorumNow("x")
+	if w != 3 {
+		t.Errorf("write quorum = %d; want 3", w)
+	}
+}
+
+func TestAdaptiveStaleCopyCannotServeReads(t *testing.T) {
+	a := newAdaptive(t)
+	a.RecordWrite("x", []types.SiteID{1, 2, 3})
+	// Sites {3,4}: 2 votes, but site4 is stale — only 1 fresh vote < r=2.
+	if a.CanRead("x", []types.SiteID{3, 4}) {
+		t.Error("stale copy counted toward the read quorum")
+	}
+	if !a.CanRead("x", []types.SiteID{2, 3}) {
+		t.Error("two fresh copies should serve the read")
+	}
+}
+
+func TestAdaptiveRejectsSubQuorumWrite(t *testing.T) {
+	a := newAdaptive(t)
+	if a.RecordWrite("x", []types.SiteID{1, 2}) {
+		t.Error("write reaching 2 < w=3 votes must be rejected")
+	}
+	if a.ModeOf("x") != Optimistic {
+		t.Error("rejected write must not degrade the item")
+	}
+}
+
+func TestAdaptiveRecoversToOptimistic(t *testing.T) {
+	a := newAdaptive(t)
+	a.RecordWrite("x", []types.SiteID{1, 2, 3})
+	// Another write in pessimistic mode misses site4 again: still one stale
+	// site.
+	if !a.RecordWrite("x", []types.SiteID{1, 2, 3}) {
+		t.Fatal("pessimistic write with w votes should be accepted")
+	}
+	// Site4's copy catches up: back to optimistic.
+	a.ResolveMissing("x", 4)
+	if a.ModeOf("x") != Optimistic {
+		t.Fatal("item should return to optimistic after resolution")
+	}
+	r, _, _ := a.ReadQuorumNow("x")
+	if r != 1 {
+		t.Errorf("read quorum after recovery = %d, want 1", r)
+	}
+}
+
+func TestAdaptiveAccumulatesMissingSites(t *testing.T) {
+	a := newAdaptive(t)
+	a.RecordWrite("x", []types.SiteID{1, 2, 3}) // misses 4
+	a.RecordWrite("x", []types.SiteID{2, 3, 4}) // misses 1... wait: 4 is stale
+	// Site 4 applied the second write but still misses the first; both 1
+	// and 4 now carry missing writes.
+	got := a.MissingAt("x")
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("MissingAt = %v, want [site1 site4]", got)
+	}
+	a.ResolveMissing("x", 1)
+	if a.ModeOf("x") != Pessimistic {
+		t.Error("one unresolved site must keep the item pessimistic")
+	}
+	a.ResolveMissing("x", 4)
+	if a.ModeOf("x") != Optimistic {
+		t.Error("all resolved: item should be optimistic")
+	}
+}
+
+func TestAdaptiveUnknownItem(t *testing.T) {
+	a := newAdaptive(t)
+	if _, _, err := a.ReadQuorumNow("ghost"); err == nil {
+		t.Error("unknown item accepted")
+	}
+	if _, _, err := a.WriteQuorumNow("ghost"); err == nil {
+		t.Error("unknown item accepted")
+	}
+	if a.CanRead("ghost", []types.SiteID{1}) || a.CanWrite("ghost", []types.SiteID{1}) {
+		t.Error("unknown item reported accessible")
+	}
+	if a.RecordWrite("ghost", []types.SiteID{1}) {
+		t.Error("unknown item write accepted")
+	}
+}
+
+func TestAdaptiveModeString(t *testing.T) {
+	if Optimistic.String() != "optimistic" || Pessimistic.String() != "pessimistic" {
+		t.Error("mode strings wrong")
+	}
+}

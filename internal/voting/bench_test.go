@@ -1,0 +1,48 @@
+package voting
+
+import (
+	"testing"
+
+	"qcommit/internal/types"
+)
+
+func benchAssignment() *Assignment {
+	return MustAssignment(
+		Uniform("x", 2, 3, 1, 2, 3, 4),
+		Uniform("y", 2, 3, 5, 6, 7, 8),
+		Uniform("z", 3, 4, 1, 3, 5, 7, 2, 4),
+	)
+}
+
+func BenchmarkQuorumPredicates(b *testing.B) {
+	a := benchAssignment()
+	items := []types.ItemID{"x", "y", "z"}
+	sites := []types.SiteID{2, 3, 5, 6, 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.WriteQuorumForEvery(items, sites)
+		_ = a.ReadQuorumForSome(items, sites)
+	}
+}
+
+func BenchmarkParticipants(b *testing.B) {
+	a := benchAssignment()
+	items := []types.ItemID{"x", "y", "z"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := a.Participants(items); len(got) != 8 {
+			b.Fatal("bad participants")
+		}
+	}
+}
+
+func BenchmarkVotesFor(b *testing.B) {
+	a := benchAssignment()
+	sites := []types.SiteID{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if a.VotesFor("z", sites) != 6 {
+			b.Fatal("bad votes")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+
+	"qcommit/internal/types"
+)
+
+func benchRecord() Record {
+	return Record{
+		Type:         RecVotedYes,
+		Txn:          42,
+		Coord:        1,
+		Participants: []types.SiteID{1, 2, 3, 4, 5, 6, 7, 8},
+		Writeset:     types.Writeset{{Item: "x", Value: 1}, {Item: "y", Value: 2}},
+	}
+}
+
+func BenchmarkMemLogAppend(b *testing.B) {
+	l := NewMemLog()
+	rec := benchRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFileLogAppendSync(b *testing.B) {
+	l, err := OpenFileLog(filepath.Join(b.TempDir(), "bench.wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := benchRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	recs := make([]Record, 0, 1000)
+	for t := types.TxnID(1); t <= 250; t++ {
+		recs = append(recs,
+			Record{Type: RecVotedYes, Txn: t, Writeset: types.Writeset{{Item: "x", Value: 1}}},
+			Record{Type: RecPC, Txn: t},
+			Record{Type: RecCommit, Txn: t},
+		)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		images := Replay(recs)
+		if len(images) != 250 {
+			b.Fatal("bad replay")
+		}
+	}
+}
+
+func BenchmarkEncodeRecord(b *testing.B) {
+	rec := benchRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = encodeRecord(rec)
+	}
+}

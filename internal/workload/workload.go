@@ -1,0 +1,102 @@
+// Package workload generates synthetic transaction streams over a
+// replicated-item assignment, for throughput and availability experiments.
+// The generator is deterministic in its seed, so protocol comparisons replay
+// identical workloads.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+// Mix parameterizes the transaction stream.
+type Mix struct {
+	// WritesPerTxn is how many distinct items each transaction updates.
+	WritesPerTxn int
+	// HotFraction in [0,1) sends that share of writes to the first item
+	// ("hot spot"); the remainder spread uniformly. Zero means uniform.
+	HotFraction float64
+	// ValueRange bounds generated values ([0, ValueRange)). Default 1000.
+	ValueRange int64
+}
+
+// DefaultMix is two writes per transaction, uniform access.
+func DefaultMix() Mix { return Mix{WritesPerTxn: 2, ValueRange: 1000} }
+
+func (m Mix) withDefaults() Mix {
+	if m.WritesPerTxn <= 0 {
+		m.WritesPerTxn = 1
+	}
+	if m.ValueRange <= 0 {
+		m.ValueRange = 1000
+	}
+	return m
+}
+
+// Txn is one generated transaction: a coordinator and a writeset.
+type Txn struct {
+	Coord    types.SiteID
+	Writeset types.Writeset
+}
+
+// Generator produces transactions over an assignment.
+type Generator struct {
+	asgn  *voting.Assignment
+	items []types.ItemID
+	mix   Mix
+	rng   *rand.Rand
+}
+
+// NewGenerator validates the mix against the assignment.
+func NewGenerator(asgn *voting.Assignment, mix Mix, seed int64) (*Generator, error) {
+	mix = mix.withDefaults()
+	items := asgn.Items()
+	if len(items) == 0 {
+		return nil, fmt.Errorf("workload: assignment has no items")
+	}
+	if mix.WritesPerTxn > len(items) {
+		return nil, fmt.Errorf("workload: WritesPerTxn %d exceeds item count %d", mix.WritesPerTxn, len(items))
+	}
+	if mix.HotFraction < 0 || mix.HotFraction >= 1 {
+		return nil, fmt.Errorf("workload: HotFraction %v out of [0,1)", mix.HotFraction)
+	}
+	return &Generator{asgn: asgn, items: items, mix: mix, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next draws one transaction. The coordinator is a random participant of the
+// writeset (the paper's convention: the transaction is issued at a site that
+// stores data it touches).
+func (g *Generator) Next() Txn {
+	chosen := make(map[types.ItemID]bool, g.mix.WritesPerTxn)
+	var ws types.Writeset
+	for len(chosen) < g.mix.WritesPerTxn {
+		var item types.ItemID
+		if g.mix.HotFraction > 0 && g.rng.Float64() < g.mix.HotFraction {
+			item = g.items[0]
+		} else {
+			item = g.items[g.rng.Intn(len(g.items))]
+		}
+		if chosen[item] {
+			continue
+		}
+		chosen[item] = true
+		ws = append(ws, types.Update{Item: item, Value: g.rng.Int63n(g.mix.ValueRange)})
+	}
+	participants := g.asgn.Participants(ws.Items())
+	return Txn{
+		Coord:    participants[g.rng.Intn(len(participants))],
+		Writeset: ws,
+	}
+}
+
+// Batch draws n transactions.
+func (g *Generator) Batch(n int) []Txn {
+	out := make([]Txn, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

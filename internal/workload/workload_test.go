@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+func asgn() *voting.Assignment {
+	return voting.MustAssignment(
+		voting.Uniform("a", 2, 3, 1, 2, 3, 4),
+		voting.Uniform("b", 2, 3, 3, 4, 5, 6),
+		voting.Uniform("c", 2, 3, 5, 6, 7, 8),
+	)
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(asgn(), Mix{WritesPerTxn: 5}, 1); err == nil {
+		t.Error("WritesPerTxn > items accepted")
+	}
+	if _, err := NewGenerator(asgn(), Mix{WritesPerTxn: 1, HotFraction: 1.5}, 1); err == nil {
+		t.Error("HotFraction out of range accepted")
+	}
+	empty, _ := voting.NewAssignment()
+	if _, err := NewGenerator(empty, DefaultMix(), 1); err == nil {
+		t.Error("empty assignment accepted")
+	}
+}
+
+func TestGeneratorShape(t *testing.T) {
+	g, err := NewGenerator(asgn(), Mix{WritesPerTxn: 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		txn := g.Next()
+		if len(txn.Writeset) != 2 {
+			t.Fatalf("writeset size %d", len(txn.Writeset))
+		}
+		items := txn.Writeset.Items()
+		if len(items) != 2 {
+			t.Fatalf("duplicate items in writeset: %v", txn.Writeset)
+		}
+		// Coordinator must be a participant.
+		parts := asgn().Participants(items)
+		found := false
+		for _, p := range parts {
+			if p == txn.Coord {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("coordinator %v not a participant of %v", txn.Coord, items)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1, _ := NewGenerator(asgn(), DefaultMix(), 42)
+	g2, _ := NewGenerator(asgn(), DefaultMix(), 42)
+	if !reflect.DeepEqual(g1.Batch(50), g2.Batch(50)) {
+		t.Error("same seed produced different streams")
+	}
+	g3, _ := NewGenerator(asgn(), DefaultMix(), 43)
+	if reflect.DeepEqual(g1.Batch(50), g3.Batch(50)) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorHotSpot(t *testing.T) {
+	g, _ := NewGenerator(asgn(), Mix{WritesPerTxn: 1, HotFraction: 0.9}, 5)
+	hot := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		txn := g.Next()
+		if txn.Writeset[0].Item == "a" {
+			hot++
+		}
+	}
+	// Expect roughly 90% + (10% uniform)/3 ≈ 93%; accept a broad band.
+	if hot < n*8/10 {
+		t.Errorf("hot item drawn %d/%d times, expected ≈93%%", hot, n)
+	}
+}
+
+func TestGeneratorUniformCoversItems(t *testing.T) {
+	g, _ := NewGenerator(asgn(), Mix{WritesPerTxn: 1}, 9)
+	seen := map[types.ItemID]bool{}
+	for i := 0; i < 300; i++ {
+		seen[g.Next().Writeset[0].Item] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("uniform mix covered %d/3 items", len(seen))
+	}
+}

@@ -1,0 +1,143 @@
+package qcommit
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"qcommit/internal/live"
+	"qcommit/internal/voting"
+)
+
+// LiveOptions configures a live (goroutine-per-site, wall-clock) cluster.
+type LiveOptions struct {
+	// Protocol selects the commit+termination protocol. Default ProtoQC1.
+	Protocol Protocol
+	// Seed drives delay randomness.
+	Seed int64
+	// MinDelay/MaxDelay bound simulated propagation delay (wall clock).
+	// Defaults 200µs–2ms.
+	MinDelay, MaxDelay time.Duration
+	// TimeoutBase is the protocol timeout unit T (default 4×MaxDelay; raise
+	// it on loaded machines).
+	TimeoutBase time.Duration
+	// SkeenVc/SkeenVa as in Options.
+	SkeenVc, SkeenVa int
+}
+
+// LiveCluster runs the same protocols on real goroutines and wall-clock
+// timers — the deployment-shaped runtime, as opposed to the deterministic
+// simulator behind Cluster. Protocol automata are shared between the two.
+type LiveCluster struct {
+	lc *live.Cluster
+}
+
+// NewLiveCluster builds and starts a live cluster (one goroutine per site).
+// Call Stop when done.
+func NewLiveCluster(items []ReplicatedItem, opts LiveOptions) (*LiveCluster, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("qcommit: at least one replicated item is required")
+	}
+	configs := make([]voting.ItemConfig, 0, len(items))
+	siteSet := make(map[SiteID]bool)
+	for _, it := range items {
+		if len(it.Votes) != 0 && len(it.Votes) != len(it.Sites) {
+			return nil, fmt.Errorf("qcommit: item %q: Votes length mismatch", it.Name)
+		}
+		copies := make([]voting.Copy, len(it.Sites))
+		total := 0
+		for i, s := range it.Sites {
+			v := 1
+			if len(it.Votes) > 0 {
+				v = it.Votes[i]
+			}
+			copies[i] = voting.Copy{Site: s, Votes: v}
+			total += v
+			siteSet[s] = true
+		}
+		r, w := it.R, it.W
+		if r == 0 && w == 0 {
+			w = total/2 + 1
+			r = total + 1 - w
+		}
+		configs = append(configs, voting.ItemConfig{Item: it.Name, Copies: copies, R: r, W: w})
+	}
+	asgn, err := voting.NewAssignment(configs...)
+	if err != nil {
+		return nil, err
+	}
+	sites := make([]SiteID, 0, len(siteSet))
+	for s := range siteSet {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	spec, err := buildSpec(Options{Protocol: opts.Protocol, SkeenVc: opts.SkeenVc, SkeenVa: opts.SkeenVa}, sites)
+	if err != nil {
+		return nil, err
+	}
+	lc := live.New(live.Config{
+		Assignment:  asgn,
+		Spec:        spec,
+		MinDelay:    opts.MinDelay,
+		MaxDelay:    opts.MaxDelay,
+		TimeoutBase: opts.TimeoutBase,
+		Seed:        opts.Seed,
+	})
+	// Apply initial values.
+	for _, it := range items {
+		for _, s := range it.Sites {
+			lc.Node(s).Store().Init(it.Name, it.Initial)
+		}
+	}
+	return &LiveCluster{lc: lc}, nil
+}
+
+// Submit starts a transaction at the coordinator site.
+func (c *LiveCluster) Submit(coord SiteID, writes map[ItemID]int64) TxnID {
+	items := make([]ItemID, 0, len(writes))
+	for it := range writes {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	ws := make(Writeset, 0, len(items))
+	for _, it := range items {
+		ws = append(ws, Update{Item: it, Value: writes[it]})
+	}
+	return c.lc.Begin(coord, ws)
+}
+
+// WaitOutcome blocks until the transaction reaches a uniform terminal
+// outcome at all up sites, or the deadline passes.
+func (c *LiveCluster) WaitOutcome(txn TxnID, deadline time.Duration) Outcome {
+	return c.lc.WaitOutcome(txn, deadline)
+}
+
+// OutcomeAt reads txn's fate at one site.
+func (c *LiveCluster) OutcomeAt(id SiteID, txn TxnID) Outcome { return c.lc.OutcomeAt(id, txn) }
+
+// Violated reports whether txn terminated inconsistently anywhere.
+func (c *LiveCluster) Violated(txn TxnID) bool { return c.lc.Violated(txn) }
+
+// Crash takes a site down.
+func (c *LiveCluster) Crash(id SiteID) { c.lc.Crash(id) }
+
+// Restart recovers a crashed site from its WAL.
+func (c *LiveCluster) Restart(id SiteID) { c.lc.Restart(id) }
+
+// Partition splits the network.
+func (c *LiveCluster) Partition(groups ...[]SiteID) { c.lc.Partition(groups...) }
+
+// Heal reconnects the network.
+func (c *LiveCluster) Heal() { c.lc.Heal() }
+
+// CopyAt reads the raw copy at one site.
+func (c *LiveCluster) CopyAt(id SiteID, item ItemID) (int64, uint64, error) {
+	v, err := c.lc.Node(id).Store().Read(item)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v.Value, v.Version, nil
+}
+
+// Stop shuts down all site goroutines.
+func (c *LiveCluster) Stop() { c.lc.Stop() }

@@ -1,0 +1,69 @@
+package qcommit
+
+import (
+	"testing"
+	"time"
+)
+
+func liveItems() []ReplicatedItem {
+	return []ReplicatedItem{
+		{Name: "x", Sites: []SiteID{1, 2, 3, 4}, R: 2, W: 3, Initial: 10},
+		{Name: "y", Sites: []SiteID{2, 3, 4, 5}, R: 2, W: 3, Initial: 20},
+	}
+}
+
+func TestLiveClusterPublicAPI(t *testing.T) {
+	c, err := NewLiveCluster(liveItems(), LiveOptions{
+		Protocol:    ProtoQC2,
+		Seed:        1,
+		TimeoutBase: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	txn := c.Submit(1, map[ItemID]int64{"x": 11, "y": 22})
+	if got := c.WaitOutcome(txn, 5*time.Second); got != OutcomeCommitted {
+		t.Fatalf("outcome = %v", got)
+	}
+	if c.Violated(txn) {
+		t.Fatal("violated")
+	}
+	if v, _, err := c.CopyAt(2, "x"); err != nil || v != 11 {
+		t.Errorf("x at site2 = %d, %v", v, err)
+	}
+	if got := c.OutcomeAt(3, txn); got != OutcomeCommitted {
+		t.Errorf("site3 = %v", got)
+	}
+
+	// Partition: a cross-partition transaction must not commit.
+	c.Partition([]SiteID{1, 2}, []SiteID{3, 4, 5})
+	txn2 := c.Submit(1, map[ItemID]int64{"x": 99})
+	if got := c.WaitOutcome(txn2, 5*time.Second); got == OutcomeCommitted {
+		t.Error("committed without a full vote across the partition")
+	}
+	c.Heal()
+
+	// Crash + restart: the site catches up.
+	c.Crash(5)
+	c.Restart(5)
+	txn3 := c.Submit(2, map[ItemID]int64{"y": 33})
+	if got := c.WaitOutcome(txn3, 5*time.Second); got != OutcomeCommitted {
+		t.Fatalf("post-restart txn = %v", got)
+	}
+}
+
+func TestLiveClusterValidation(t *testing.T) {
+	if _, err := NewLiveCluster(nil, LiveOptions{}); err == nil {
+		t.Error("empty items accepted")
+	}
+	if _, err := NewLiveCluster([]ReplicatedItem{
+		{Name: "x", Sites: []SiteID{1, 2}, Votes: []int{1}},
+	}, LiveOptions{}); err == nil {
+		t.Error("votes length mismatch accepted")
+	}
+	if _, err := NewLiveCluster(liveItems(), LiveOptions{Protocol: "bogus"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}

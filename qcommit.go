@@ -1,0 +1,115 @@
+// Package qcommit is a library implementation of the quorum-based commit and
+// termination protocols of Huang & Li, "A Quorum-based Commit and
+// Termination Protocol for Distributed Database Systems" (ICDE 1988),
+// together with the baselines the paper compares against: two-phase commit
+// with cooperative termination, Skeen's three-phase commit with its
+// site-failure termination protocol, and Skeen's quorum-based commit
+// protocol.
+//
+// The library simulates a replicated distributed database: data items have
+// weighted-voting replicas (Gifford quorums r(x)/w(x)), sites keep
+// write-ahead logs, lock tables and versioned stores, and transactions
+// commit atomically through a pluggable commit+termination protocol. The
+// deterministic discrete-event network lets you crash sites, lose messages
+// and partition the network at exact points, then measure what the paper
+// cares about: which partitions can terminate the transaction and which
+// data items remain accessible.
+//
+// # Quick start
+//
+//	cluster, err := qcommit.NewCluster([]qcommit.ReplicatedItem{
+//		{Name: "x", Sites: []qcommit.SiteID{1, 2, 3, 4}, R: 2, W: 3},
+//	}, qcommit.Options{Protocol: qcommit.ProtoQC1, Seed: 1})
+//	...
+//	txn := cluster.Submit(1, map[qcommit.ItemID]int64{"x": 42})
+//	cluster.Run()
+//	fmt.Println(cluster.Outcome(txn)) // committed
+//
+// See the examples directory for partition and failure scenarios.
+package qcommit
+
+import (
+	"qcommit/internal/avail"
+	"qcommit/internal/sim"
+	"qcommit/internal/types"
+)
+
+// Re-exported identifier and result types.
+type (
+	// SiteID identifies a database site (sites are numbered from 1).
+	SiteID = types.SiteID
+	// ItemID names a replicated data item.
+	ItemID = types.ItemID
+	// TxnID identifies a transaction.
+	TxnID = types.TxnID
+	// State is a participant's local protocol state (q/W/PC/PA/C/A).
+	State = types.State
+	// Outcome is a transaction's fate at a site or partition.
+	Outcome = types.Outcome
+	// Writeset is a transaction's ordered list of updates.
+	Writeset = types.Writeset
+	// Update is one write in a writeset.
+	Update = types.Update
+	// Duration is virtual time (nanoseconds).
+	Duration = sim.Duration
+	// Time is a virtual timestamp.
+	Time = sim.Time
+	// AvailabilityReport is the per-partition, per-item accessibility
+	// analysis of a transaction's aftermath.
+	AvailabilityReport = avail.Report
+)
+
+// Local state constants.
+const (
+	StateInitial   = types.StateInitial
+	StateWait      = types.StateWait
+	StatePC        = types.StatePC
+	StatePA        = types.StatePA
+	StateCommitted = types.StateCommitted
+	StateAborted   = types.StateAborted
+)
+
+// Outcome constants.
+const (
+	OutcomeUnknown   = types.OutcomeUnknown
+	OutcomeCommitted = types.OutcomeCommitted
+	OutcomeAborted   = types.OutcomeAborted
+	OutcomeBlocked   = types.OutcomeBlocked
+)
+
+// Duration units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Protocol selects the commit + termination protocol family.
+type Protocol string
+
+// Supported protocols.
+const (
+	// Proto2PC is the two-phase commit protocol (Fig. 1) with cooperative
+	// termination. Blocking under coordinator failure.
+	Proto2PC Protocol = "2PC"
+	// Proto3PC is Skeen's three-phase commit (Fig. 2) with the site-failure
+	// termination protocol. Nonblocking for site failures but INCONSISTENT
+	// under network partitioning (the paper's Example 2); provided as a
+	// baseline only.
+	Proto3PC Protocol = "3PC"
+	// ProtoSkeenQuorum is Skeen's quorum-based commit protocol with
+	// site-vote quorums Vc/Va (reference [16] of the paper).
+	ProtoSkeenQuorum Protocol = "SkeenQ"
+	// ProtoQC1 is the paper's commit protocol 1 + termination protocol 1:
+	// commit side counts w(x) replica votes for every written item, abort
+	// side counts r(x) votes for some written item.
+	ProtoQC1 Protocol = "QC1"
+	// ProtoQC2 is the paper's commit protocol 2 + termination protocol 2,
+	// with the r/w roles swapped; commits faster than QC1.
+	ProtoQC2 Protocol = "QC2"
+)
+
+// AllProtocols lists every supported protocol in comparison order.
+func AllProtocols() []Protocol {
+	return []Protocol{Proto2PC, Proto3PC, ProtoSkeenQuorum, ProtoQC1, ProtoQC2}
+}

@@ -1,0 +1,96 @@
+package qcommit
+
+import (
+	"errors"
+	"fmt"
+
+	"qcommit/internal/storage"
+)
+
+// Data-access errors.
+var (
+	// ErrNoQuorum means the reachable, unlocked copies do not carry enough
+	// votes for the operation.
+	ErrNoQuorum = errors.New("qcommit: replica quorum not reachable")
+	// ErrUnknownItem means the item has no replica configuration.
+	ErrUnknownItem = errors.New("qcommit: unknown item")
+)
+
+// QuorumRead performs a weighted-voting read of item as seen from the given
+// site: it collects copies from up sites in the same partition group whose
+// copies are not locked by a pending transaction, requires r(x) votes, and
+// returns the value with the highest version number (which the constraint
+// r+w > v guarantees is the most recently committed one).
+func (c *Cluster) QuorumRead(from SiteID, item ItemID) (int64, error) {
+	asgn := c.eng.Assignment()
+	ic, ok := asgn.Item(item)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownItem, item)
+	}
+	net := c.eng.Network()
+	votes := 0
+	var copies []storage.Versioned
+	for _, cp := range ic.Copies {
+		if net.Down(cp.Site) || !net.Connected(from, cp.Site) {
+			continue
+		}
+		site := c.eng.Site(cp.Site)
+		if locked := site.Locks().Locked(item); locked {
+			continue // held by a pending (possibly blocked) transaction
+		}
+		v, err := site.Store().Read(item)
+		if err != nil {
+			continue
+		}
+		copies = append(copies, v)
+		votes += cp.Votes
+	}
+	if votes < ic.R {
+		return 0, fmt.Errorf("%w: item %q has %d free votes reachable from %s, read quorum is %d",
+			ErrNoQuorum, item, votes, from, ic.R)
+	}
+	best, err := storage.ResolveRead(copies)
+	if err != nil {
+		return 0, err
+	}
+	return best.Value, nil
+}
+
+// CanWrite reports whether a transaction writing item could assemble a write
+// quorum from the given site's partition right now (up, connected, unlocked
+// copies carrying ≥ w(x) votes).
+func (c *Cluster) CanWrite(from SiteID, item ItemID) bool {
+	asgn := c.eng.Assignment()
+	ic, ok := asgn.Item(item)
+	if !ok {
+		return false
+	}
+	net := c.eng.Network()
+	votes := 0
+	for _, cp := range ic.Copies {
+		if net.Down(cp.Site) || !net.Connected(from, cp.Site) {
+			continue
+		}
+		if c.eng.Site(cp.Site).Locks().Locked(item) {
+			continue
+		}
+		votes += cp.Votes
+	}
+	return votes >= ic.W
+}
+
+// CanRead is the read-quorum counterpart of CanWrite.
+func (c *Cluster) CanRead(from SiteID, item ItemID) bool {
+	_, err := c.QuorumRead(from, item)
+	return err == nil
+}
+
+// CopyAt returns the raw copy (value, version) stored at one site, without
+// quorum checking — a debugging/verification helper.
+func (c *Cluster) CopyAt(id SiteID, item ItemID) (value int64, version uint64, err error) {
+	v, err := c.eng.Site(id).Store().Read(item)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v.Value, v.Version, nil
+}
