@@ -145,23 +145,19 @@ func BenchmarkExample2ThreePCInconsistent(b *testing.B) {
 
 // BenchmarkClaimC1AvailabilityMonteCarlo runs the availability sweep (claim
 // C1: the paper's protocols terminate more partitions and keep more items
-// accessible than Skeen's quorum protocol).
+// accessible than Skeen's quorum protocol) through the parallel Monte Carlo
+// engine; the b.N trials use the same seeds (1..N) the serial loop used.
 func BenchmarkClaimC1AvailabilityMonteCarlo(b *testing.B) {
 	builders := avail.StandardBuilders()
 	for _, bl := range builders {
 		bl := bl
 		b.Run(bl.Label, func(b *testing.B) {
-			var counts avail.Counts
-			trials := 0
-			for i := 0; i < b.N; i++ {
-				sc, err := avail.GenerateScenario(avail.DefaultScenarioParams(), int64(i+1))
-				if err != nil {
-					b.Fatal(err)
-				}
-				rep, _ := avail.Replay(sc, bl.Build(sc))
-				counts.Add(rep.Tally())
-				trials++
+			results, err := avail.MonteCarloParallel(avail.DefaultScenarioParams(), b.N, 1,
+				[]avail.SpecBuilder{bl}, avail.MCOptions{})
+			if err != nil {
+				b.Fatal(err)
 			}
+			counts := results[0].Counts
 			b.ReportMetric(100*counts.TerminationRate(), "term-rate-pct")
 			b.ReportMetric(100*counts.ReadAvailability(), "read-avail-pct")
 			b.ReportMetric(100*counts.WriteAvailability(), "write-avail-pct")

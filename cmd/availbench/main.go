@@ -6,6 +6,11 @@
 //	availbench -trials 500 -sites 12 -copies 5 -items 6 -writes 3 -groups 4
 //	availbench -sweep groups     sweep the number of partition groups
 //	availbench -sweep copies     sweep the replication degree
+//	availbench -sweep sites      sweep the cluster size
+//	availbench -sweep writes     sweep the transaction writeset size
+//	availbench -workers 8        parallel trial replay (0 = all cores)
+//	availbench -ci               print 95% Wilson confidence intervals
+//	availbench -progress         report trial completion on stderr
 package main
 
 import (
@@ -16,6 +21,14 @@ import (
 	"qcommit/internal/avail"
 )
 
+type runConfig struct {
+	trials   int
+	seed     int64
+	workers  int
+	ci       bool
+	progress bool
+}
+
 func main() {
 	trials := flag.Int("trials", 200, "number of random scenarios")
 	seed := flag.Int64("seed", 1, "base seed")
@@ -24,8 +37,11 @@ func main() {
 	copies := flag.Int("copies", 4, "copies per item")
 	writes := flag.Int("writes", 2, "items written per transaction")
 	groups := flag.Int("groups", 3, "max partition groups")
-	votePhase := flag.Int("votephase", 25, "percent of scenarios interrupted during the vote phase")
-	sweep := flag.String("sweep", "", "sweep a parameter: 'groups' or 'copies'")
+	votePhase := flag.Int("votephase", 25, "percent of scenarios interrupted during the vote phase (0-100)")
+	sweep := flag.String("sweep", "", "sweep a parameter: 'groups', 'copies', 'sites' or 'writes'")
+	workers := flag.Int("workers", 0, "trial-replay worker goroutines (0 = GOMAXPROCS)")
+	ci := flag.Bool("ci", false, "print 95% Wilson confidence intervals")
+	progress := flag.Bool("progress", false, "report trial completion on stderr")
 	flag.Parse()
 
 	base := avail.ScenarioParams{
@@ -36,23 +52,51 @@ func main() {
 		MaxGroups:     *groups,
 		VotePhasePct:  *votePhase,
 	}
+	cfg := runConfig{trials: *trials, seed: *seed, workers: *workers, ci: *ci, progress: *progress}
 
 	switch *sweep {
 	case "":
-		run(base, *trials, *seed)
+		run(base, cfg)
 	case "groups":
 		for g := 2; g <= 5; g++ {
 			p := base
 			p.MaxGroups = g
 			fmt.Printf("--- max partition groups = %d ---\n", g)
-			run(p, *trials, *seed)
+			run(p, cfg)
 		}
 	case "copies":
-		for c := 3; c <= *sites; c += 2 {
+		// Odd degrees from 3 up, always ending at full replication so an
+		// even -sites still exercises copies == sites.
+		for _, c := range sweepValues(3, *sites, 2) {
 			p := base
 			p.CopiesPerItem = c
 			fmt.Printf("--- copies per item = %d ---\n", c)
-			run(p, *trials, *seed)
+			run(p, cfg)
+		}
+	case "sites":
+		lo := *copies // smallest cluster that can hold every replica
+		if lo < 2 {
+			lo = 2
+		}
+		hi := 16 // default ceiling: double the default cluster size
+		if *sites > hi {
+			hi = *sites
+		}
+		if lo > hi {
+			hi = lo
+		}
+		for _, s := range sweepValues(lo, hi, 2) {
+			p := base
+			p.NumSites = s
+			fmt.Printf("--- sites = %d ---\n", s)
+			run(p, cfg)
+		}
+	case "writes":
+		for w := 1; w <= *items; w++ {
+			p := base
+			p.ItemsPerTxn = w
+			fmt.Printf("--- items written per transaction = %d ---\n", w)
+			run(p, cfg)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
@@ -60,15 +104,40 @@ func main() {
 	}
 }
 
-func run(params avail.ScenarioParams, trials int, seed int64) {
-	results, err := avail.MonteCarlo(params, trials, seed, avail.StandardBuilders())
+// sweepValues steps from lo by step, always including hi as the endpoint.
+func sweepValues(lo, hi, step int) []int {
+	var vs []int
+	for v := lo; v < hi; v += step {
+		vs = append(vs, v)
+	}
+	if len(vs) == 0 || vs[len(vs)-1] != hi {
+		vs = append(vs, hi)
+	}
+	return vs
+}
+
+func run(params avail.ScenarioParams, cfg runConfig) {
+	opts := avail.MCOptions{Workers: cfg.workers}
+	if cfg.progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d trials", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	results, err := avail.MonteCarloParallel(params, cfg.trials, cfg.seed, avail.StandardBuilders(), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("scenarios: %d sites, %d items ×%d copies, %d written, ≤%d groups, %d trials\n",
-		params.NumSites, params.NumItems, params.CopiesPerItem, params.ItemsPerTxn, params.MaxGroups, trials)
-	fmt.Print(avail.FormatMCTable(results))
+		params.NumSites, params.NumItems, params.CopiesPerItem, params.ItemsPerTxn, params.MaxGroups, cfg.trials)
+	if cfg.ci {
+		fmt.Print(avail.FormatMCTableCI(results))
+	} else {
+		fmt.Print(avail.FormatMCTable(results))
+	}
 	fmt.Println("note: 3PC terminates every partition but its violation count shows the price (Example 2).")
 	fmt.Println()
 }

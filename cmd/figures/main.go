@@ -13,6 +13,7 @@
 //	figures -example 2  Example 2: 3PC terminates inconsistently
 //	figures -example 3  Example 3 (alias of -fig 7)
 //	figures -example 4  Example 4: TP1 restores availability in G1 and G3
+//	figures -mc         claim C1 Monte Carlo availability table (parallel)
 //	figures -all        everything in order
 package main
 
@@ -22,12 +23,16 @@ import (
 	"os"
 
 	"qcommit"
+	"qcommit/internal/avail"
 	"qcommit/internal/core"
 )
 
 func main() {
 	fig := flag.Int("fig", 0, "figure number (1-9)")
 	example := flag.Int("example", 0, "example number (1-4)")
+	mc := flag.Bool("mc", false, "claim C1 Monte Carlo availability table")
+	trials := flag.Int("trials", 300, "Monte Carlo trials for -mc")
+	workers := flag.Int("workers", 0, "Monte Carlo worker goroutines for -mc (0 = GOMAXPROCS)")
 	all := flag.Bool("all", false, "print every figure and example")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
@@ -39,6 +44,9 @@ func main() {
 		}
 		render(0, 2, *seed)
 		render(0, 4, *seed)
+		monteCarloTable(*trials, *seed, *workers)
+	case *mc:
+		monteCarloTable(*trials, *seed, *workers)
 	case *fig != 0:
 		render(*fig, 0, *seed)
 	case *example != 0:
@@ -47,6 +55,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// monteCarloTable prints the claim C1 comparison (the paper's availability
+// argument in aggregate) using the parallel Monte Carlo engine.
+func monteCarloTable(trials int, seed int64, workers int) {
+	header(fmt.Sprintf("Claim C1 — Monte Carlo availability comparison (%d trials)", trials))
+	results, err := avail.MonteCarloParallel(avail.DefaultScenarioParams(), trials, seed,
+		avail.StandardBuilders(), avail.MCOptions{Workers: workers})
+	check(err)
+	fmt.Print(avail.FormatMCTableCI(results))
+	fmt.Println()
 }
 
 func render(fig, example int, seed int64) {

@@ -1,0 +1,3 @@
+module qcommit
+
+go 1.24

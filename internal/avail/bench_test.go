@@ -1,0 +1,43 @@
+package avail
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchTrials is the sweep size each benchmark iteration replays: large
+// enough that worker-pool startup is amortized, small enough for quick runs.
+const benchTrials = 64
+
+// BenchmarkMonteCarlo measures the serial engine — the oracle baseline the
+// parallel speedup is judged against.
+func BenchmarkMonteCarlo(b *testing.B) {
+	params := DefaultScenarioParams()
+	builders := StandardBuilders()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MonteCarlo(params, benchTrials, 1, builders); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonteCarloParallel measures the worker-pool engine at several
+// worker counts on the default scenario params. Compare ns/op against
+// BenchmarkMonteCarlo; on an 8-way machine the workers=8 case should run
+// ≥3× faster than serial (per-trial scenario replay dominates, and trials
+// are embarrassingly parallel).
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	params := DefaultScenarioParams()
+	builders := StandardBuilders()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := MonteCarloParallel(params, benchTrials, 1, builders, MCOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -54,6 +54,9 @@ func (p ScenarioParams) validate() error {
 	if p.NumSites < 2 || p.NumItems < 1 || p.CopiesPerItem < 1 || p.ItemsPerTxn < 1 || p.MaxGroups < 2 {
 		return fmt.Errorf("avail: invalid scenario params %+v", p)
 	}
+	if p.VotePhasePct < 0 || p.VotePhasePct > 100 {
+		return fmt.Errorf("avail: VotePhasePct %d outside 0-100", p.VotePhasePct)
+	}
 	if p.CopiesPerItem > p.NumSites {
 		return fmt.Errorf("avail: CopiesPerItem %d exceeds NumSites %d", p.CopiesPerItem, p.NumSites)
 	}
@@ -175,26 +178,47 @@ type MCResult struct {
 	Violations int
 }
 
+// accumulate replays trial t (seeded seed+t) under every builder and adds
+// the tallies into results. It is the shared per-trial kernel of the serial
+// and parallel Monte Carlo paths: because trials are independently seeded
+// and Counts aggregation is pure integer addition, replaying the same trial
+// set in any arrangement produces identical results.
+func accumulate(params ScenarioParams, seed int64, t int, builders []SpecBuilder, results []MCResult) error {
+	sc, err := GenerateScenario(params, seed+int64(t))
+	if err != nil {
+		return err
+	}
+	for i, b := range builders {
+		rep, violations := Replay(sc, b.Build(sc))
+		results[i].Trials++
+		results[i].Counts.Add(rep.Tally())
+		results[i].Violations += len(violations)
+	}
+	return nil
+}
+
 // MonteCarlo replays Trials random scenarios under every builder and
 // aggregates availability counts. All builders see identical scenarios.
+// This serial path is the determinism oracle for MonteCarloParallel.
 func MonteCarlo(params ScenarioParams, trials int, seed int64, builders []SpecBuilder) ([]MCResult, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	results := newMCResults(builders)
+	for t := 0; t < trials; t++ {
+		if err := accumulate(params, seed, t, builders, results); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func newMCResults(builders []SpecBuilder) []MCResult {
 	results := make([]MCResult, len(builders))
 	for i, b := range builders {
 		results[i].Label = b.Label
 	}
-	for t := 0; t < trials; t++ {
-		sc, err := GenerateScenario(params, seed+int64(t))
-		if err != nil {
-			return nil, err
-		}
-		for i, b := range builders {
-			rep, violations := Replay(sc, b.Build(sc))
-			results[i].Trials++
-			results[i].Counts.Add(rep.Tally())
-			results[i].Violations += len(violations)
-		}
-	}
-	return results, nil
+	return results
 }
 
 // FormatMCTable renders Monte Carlo results as an aligned text table.

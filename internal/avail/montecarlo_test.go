@@ -102,6 +102,8 @@ func TestGenerateScenarioValidation(t *testing.T) {
 		{NumSites: 4, NumItems: 1, CopiesPerItem: 5, ItemsPerTxn: 1, MaxGroups: 2},
 		{NumSites: 4, NumItems: 1, CopiesPerItem: 2, ItemsPerTxn: 2, MaxGroups: 2},
 		{NumSites: 4, NumItems: 1, CopiesPerItem: 2, ItemsPerTxn: 1, MaxGroups: 1},
+		{NumSites: 4, NumItems: 1, CopiesPerItem: 2, ItemsPerTxn: 1, MaxGroups: 2, VotePhasePct: -5},
+		{NumSites: 4, NumItems: 1, CopiesPerItem: 2, ItemsPerTxn: 1, MaxGroups: 2, VotePhasePct: 150},
 	}
 	for i, p := range bad {
 		if _, err := GenerateScenario(p, 1); err == nil {

@@ -1,0 +1,121 @@
+package avail
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MCOptions tunes MonteCarloParallel.
+type MCOptions struct {
+	// Workers is the number of goroutines replaying trials. Zero or negative
+	// means runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, if non-nil, is called as chunks of trials complete with the
+	// number of trials finished so far and the total. Calls are serialized
+	// (the callback need not be goroutine-safe) and done is nondecreasing.
+	Progress func(done, total int)
+}
+
+// chunkSize bounds how many trials a worker claims at once: small enough to
+// load-balance and keep progress reports frequent, large enough that the
+// claim counter is not contended.
+const chunkSize = 16
+
+// MonteCarloParallel is the worker-pool version of MonteCarlo: it fans the
+// trials out across opts.Workers goroutines and merges the per-chunk
+// accumulators in ascending trial order. Because every trial is
+// independently seeded (seed+t) and replayed hermetically, the result is
+// bit-for-bit identical to the serial MonteCarlo for any worker count.
+func MonteCarloParallel(params ScenarioParams, trials int, seed int64, builders []SpecBuilder, opts MCOptions) ([]MCResult, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		// One worker is exactly the serial path; skip the pool machinery.
+		results := newMCResults(builders)
+		for t := 0; t < trials; t++ {
+			if err := accumulate(params, seed, t, builders, results); err != nil {
+				return nil, err
+			}
+			if opts.Progress != nil {
+				opts.Progress(t+1, trials)
+			}
+		}
+		return results, nil
+	}
+
+	// Workers claim contiguous chunks of trial indices from an atomic
+	// counter; each chunk accumulates into its own slot so the merge below
+	// can proceed in trial order regardless of completion order.
+	numChunks := (trials + chunkSize - 1) / chunkSize
+	chunks := make([][]MCResult, numChunks)
+	errs := make([]error, numChunks)
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	var progressMu sync.Mutex // guards done and serializes Progress calls
+	done := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= numChunks || failed.Load() {
+					return
+				}
+				lo := ci * chunkSize
+				hi := lo + chunkSize
+				if hi > trials {
+					hi = trials
+				}
+				acc := newMCResults(builders)
+				for t := lo; t < hi; t++ {
+					if err := accumulate(params, seed, t, builders, acc); err != nil {
+						errs[ci] = err
+						failed.Store(true)
+						return
+					}
+				}
+				chunks[ci] = acc
+				if opts.Progress != nil {
+					progressMu.Lock()
+					done += hi - lo
+					opts.Progress(done, trials)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic merge by trial index: chunk ci covers trials
+	// [ci*chunkSize, ...), so walking chunks in order replays the serial
+	// aggregation order. On failure, report the error of the lowest failing
+	// trial range, as the serial path would have.
+	results := newMCResults(builders)
+	for ci := 0; ci < numChunks; ci++ {
+		if errs[ci] != nil {
+			return nil, errs[ci]
+		}
+		if chunks[ci] == nil {
+			// A later worker raced past a failed chunk; the error is ahead.
+			continue
+		}
+		for i := range results {
+			results[i].Trials += chunks[ci][i].Trials
+			results[i].Counts.Add(chunks[ci][i].Counts)
+			results[i].Violations += chunks[ci][i].Violations
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,77 @@
+package avail
+
+import (
+	"fmt"
+	"math"
+)
+
+// Z95 is the standard normal quantile for a two-sided 95% interval.
+const Z95 = 1.959963984540054
+
+// WilsonInterval returns the Wilson score interval [lo, hi] for a binomial
+// proportion with the given successes out of trials, at critical value z
+// (use Z95 for 95%). Unlike the normal approximation it stays inside [0, 1]
+// and behaves sensibly near 0%, 100% and small trial counts. With trials ==
+// 0 it returns the vacuous interval [0, 1].
+func WilsonInterval(successes, trials int, z float64) (lo, hi float64) {
+	if trials <= 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// The MCResult intervals below treat each group (or item-group pair) as an
+// independent Bernoulli trial. Observations from the same scenario share a
+// partition cut and so are positively correlated, which makes these
+// intervals anticonservative (narrower than a scenario-clustered interval
+// would be); read them as precision-of-the-pool, not strict 95% coverage.
+
+// TerminationRateCI is the 95% Wilson interval around TerminationRate,
+// treating each participant-holding partition group as one Bernoulli trial.
+func (r MCResult) TerminationRateCI() (lo, hi float64) {
+	return WilsonInterval(r.Counts.Terminated, r.Counts.GroupsWithParticipants, Z95)
+}
+
+// ReadAvailabilityCI is the 95% Wilson interval around ReadAvailability,
+// treating each (item, group) pair as one Bernoulli trial.
+func (r MCResult) ReadAvailabilityCI() (lo, hi float64) {
+	return WilsonInterval(r.Counts.Readable, r.Counts.ItemGroupPairs, Z95)
+}
+
+// WriteAvailabilityCI is the 95% Wilson interval around WriteAvailability.
+func (r MCResult) WriteAvailabilityCI() (lo, hi float64) {
+	return WilsonInterval(r.Counts.Writable, r.Counts.ItemGroupPairs, Z95)
+}
+
+// FormatMCTableCI renders Monte Carlo results like FormatMCTable but with a
+// 95% Wilson confidence interval after each rate column.
+func FormatMCTableCI(results []MCResult) string {
+	s := fmt.Sprintf("%-8s %7s %22s %8s %22s %22s %6s\n",
+		"protocol", "trials", "term-rate [95% CI]", "blocked", "read-avail [95% CI]", "write-avail [95% CI]", "viol")
+	for _, r := range results {
+		tl, th := r.TerminationRateCI()
+		rl, rh := r.ReadAvailabilityCI()
+		wl, wh := r.WriteAvailabilityCI()
+		s += fmt.Sprintf("%-8s %7d %6.1f%% [%5.1f,%5.1f]%% %8d %6.1f%% [%5.1f,%5.1f]%% %6.1f%% [%5.1f,%5.1f]%% %6d\n",
+			r.Label, r.Trials,
+			100*r.Counts.TerminationRate(), 100*tl, 100*th,
+			r.Counts.Blocked,
+			100*r.Counts.ReadAvailability(), 100*rl, 100*rh,
+			100*r.Counts.WriteAvailability(), 100*wl, 100*wh,
+			r.Violations)
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+package avail
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWilsonInterval(t *testing.T) {
+	cases := []struct {
+		successes, trials int
+		lo, hi            float64 // reference values for the Wilson score interval
+	}{
+		{0, 0, 0, 1},
+		{0, 10, 0, 0.2775},      // never negative at p=0
+		{10, 10, 0.7225, 1},     // never above 1 at p=1
+		{5, 10, 0.2366, 0.7634}, // symmetric at p=0.5
+		{80, 100, 0.7112, 0.8667},
+	}
+	for _, c := range cases {
+		lo, hi := WilsonInterval(c.successes, c.trials, Z95)
+		if math.Abs(lo-c.lo) > 5e-4 || math.Abs(hi-c.hi) > 5e-4 {
+			t.Errorf("Wilson(%d/%d) = [%.4f, %.4f], want [%.4f, %.4f]",
+				c.successes, c.trials, lo, hi, c.lo, c.hi)
+		}
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("Wilson(%d/%d) = [%.4f, %.4f] not a sub-interval of [0,1]",
+				c.successes, c.trials, lo, hi)
+		}
+	}
+}
+
+func TestWilsonIntervalContainsPointEstimate(t *testing.T) {
+	for trials := 1; trials <= 50; trials++ {
+		for s := 0; s <= trials; s++ {
+			lo, hi := WilsonInterval(s, trials, Z95)
+			p := float64(s) / float64(trials)
+			if p < lo-1e-12 || p > hi+1e-12 {
+				t.Fatalf("Wilson(%d/%d) = [%f, %f] excludes p=%f", s, trials, lo, hi, p)
+			}
+		}
+	}
+}
+
+func TestMCResultCIs(t *testing.T) {
+	r := MCResult{Label: "QC1", Trials: 10, Counts: Counts{
+		GroupsWithParticipants: 20, Terminated: 15, Blocked: 5,
+		ItemGroupPairs: 40, Readable: 30, Writable: 10,
+	}}
+	lo, hi := r.TerminationRateCI()
+	if !(lo < 0.75 && 0.75 < hi) {
+		t.Errorf("termination CI [%f, %f] excludes 0.75", lo, hi)
+	}
+	lo, hi = r.ReadAvailabilityCI()
+	if !(lo < 0.75 && 0.75 < hi) {
+		t.Errorf("read CI [%f, %f] excludes 0.75", lo, hi)
+	}
+	lo, hi = r.WriteAvailabilityCI()
+	if !(lo < 0.25 && 0.25 < hi) {
+		t.Errorf("write CI [%f, %f] excludes 0.25", lo, hi)
+	}
+}
+
+func TestFormatMCTableCI(t *testing.T) {
+	results := []MCResult{{Label: "QC1", Trials: 10, Counts: Counts{
+		GroupsWithParticipants: 20, Terminated: 15, Blocked: 5,
+		ItemGroupPairs: 40, Readable: 30, Writable: 10,
+	}}}
+	out := FormatMCTableCI(results)
+	for _, want := range []string{"QC1", "75.0%", "95% CI", "["} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CI table missing %q:\n%s", want, out)
+		}
+	}
+	// The narrower 40-trial read interval and wider 20-trial termination
+	// interval should both be present and properly bracketed.
+	if strings.Count(out, "[") < 4 {
+		t.Errorf("expected bracketed intervals in every rate column:\n%s", out)
+	}
+}
