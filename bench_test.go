@@ -146,22 +146,26 @@ func BenchmarkExample2ThreePCInconsistent(b *testing.B) {
 // BenchmarkClaimC1AvailabilityMonteCarlo runs the availability sweep (claim
 // C1: the paper's protocols terminate more partitions and keep more items
 // accessible than Skeen's quorum protocol) through the parallel Monte Carlo
-// engine; the b.N trials use the same seeds (1..N) the serial loop used.
+// sweep under both evaluation engines; the b.N trials use the same seeds
+// (1..N) the serial loop used, and both engines report identical
+// availability metrics (the differential tests enforce it).
 func BenchmarkClaimC1AvailabilityMonteCarlo(b *testing.B) {
 	builders := avail.StandardBuilders()
-	for _, bl := range builders {
-		bl := bl
-		b.Run(bl.Label, func(b *testing.B) {
-			results, err := avail.MonteCarloParallel(avail.DefaultScenarioParams(), b.N, 1,
-				[]avail.SpecBuilder{bl}, avail.MCOptions{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			counts := results[0].Counts
-			b.ReportMetric(100*counts.TerminationRate(), "term-rate-pct")
-			b.ReportMetric(100*counts.ReadAvailability(), "read-avail-pct")
-			b.ReportMetric(100*counts.WriteAvailability(), "write-avail-pct")
-		})
+	for _, eng := range []avail.Engine{avail.EngineReplay, avail.EngineAnalytic} {
+		for _, bl := range builders {
+			bl := bl
+			b.Run(eng.String()+"/"+bl.Label, func(b *testing.B) {
+				results, err := avail.MonteCarloParallel(avail.DefaultScenarioParams(), b.N, 1,
+					[]avail.SpecBuilder{bl}, avail.MCOptions{Engine: eng})
+				if err != nil {
+					b.Fatal(err)
+				}
+				counts := results[0].Counts
+				b.ReportMetric(100*counts.TerminationRate(), "term-rate-pct")
+				b.ReportMetric(100*counts.ReadAvailability(), "read-avail-pct")
+				b.ReportMetric(100*counts.WriteAvailability(), "write-avail-pct")
+			})
+		}
 	}
 }
 

@@ -8,15 +8,25 @@
 //	availbench -sweep copies     sweep the replication degree
 //	availbench -sweep sites      sweep the cluster size
 //	availbench -sweep writes     sweep the transaction writeset size
-//	availbench -workers 8        parallel trial replay (0 = all cores)
+//	availbench -workers 8        parallel trial evaluation (0 = all cores)
+//	availbench -engine replay    evaluate trials through the discrete-event
+//	                             simulator instead of the analytic quorum
+//	                             kernel (the default, "analytic", computes
+//	                             identical counts ~40× faster; replay is the
+//	                             oracle and the only engine for custom specs)
 //	availbench -ci               print 95% Wilson confidence intervals
+//	availbench -json PATH        also write machine-readable results with
+//	                             trials/sec throughput (e.g. BENCH_avail.json)
 //	availbench -progress         report trial completion on stderr
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"qcommit/internal/avail"
 )
@@ -25,8 +35,40 @@ type runConfig struct {
 	trials   int
 	seed     int64
 	workers  int
+	engine   avail.Engine
 	ci       bool
 	progress bool
+}
+
+// jsonProtocol is one protocol column of a run in -json output.
+type jsonProtocol struct {
+	Label      string       `json:"label"`
+	Trials     int          `json:"trials"`
+	TermRate   float64      `json:"term_rate"`
+	Blocked    int          `json:"blocked"`
+	ReadAvail  float64      `json:"read_avail"`
+	WriteAvail float64      `json:"write_avail"`
+	Violations int          `json:"violations"`
+	Counts     avail.Counts `json:"counts"`
+}
+
+// jsonRun is one parameter point of a (possibly swept) benchmark invocation.
+type jsonRun struct {
+	Params       avail.ScenarioParams `json:"params"`
+	Engine       string               `json:"engine"`
+	Workers      int                  `json:"workers"`
+	Trials       int                  `json:"trials"`
+	Seed         int64                `json:"seed"`
+	ElapsedSec   float64              `json:"elapsed_sec"`
+	TrialsPerSec float64              `json:"trials_per_sec"`
+	Protocols    []jsonProtocol       `json:"protocols"`
+}
+
+// jsonDoc is the top-level -json document, suitable for tracking the perf
+// trajectory (trials_per_sec) and result stability across commits.
+type jsonDoc struct {
+	Command string    `json:"command"`
+	Runs    []jsonRun `json:"runs"`
 }
 
 func main() {
@@ -39,10 +81,18 @@ func main() {
 	groups := flag.Int("groups", 3, "max partition groups")
 	votePhase := flag.Int("votephase", 25, "percent of scenarios interrupted during the vote phase (0-100)")
 	sweep := flag.String("sweep", "", "sweep a parameter: 'groups', 'copies', 'sites' or 'writes'")
-	workers := flag.Int("workers", 0, "trial-replay worker goroutines (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "trial-evaluation worker goroutines (0 = GOMAXPROCS)")
+	engineFlag := flag.String("engine", "analytic", "trial evaluation engine: 'analytic' (quorum arithmetic) or 'replay' (discrete-event oracle)")
 	ci := flag.Bool("ci", false, "print 95% Wilson confidence intervals")
+	jsonPath := flag.String("json", "", "write machine-readable results (with trials/sec) to this path")
 	progress := flag.Bool("progress", false, "report trial completion on stderr")
 	flag.Parse()
+
+	eng, err := avail.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	base := avail.ScenarioParams{
 		NumSites:      *sites,
@@ -52,17 +102,21 @@ func main() {
 		MaxGroups:     *groups,
 		VotePhasePct:  *votePhase,
 	}
-	cfg := runConfig{trials: *trials, seed: *seed, workers: *workers, ci: *ci, progress: *progress}
+	cfg := runConfig{trials: *trials, seed: *seed, workers: *workers, engine: eng, ci: *ci, progress: *progress}
+
+	var doc jsonDoc
+	doc.Command = "availbench " + strings.Join(os.Args[1:], " ")
+	record := func(r jsonRun) { doc.Runs = append(doc.Runs, r) }
 
 	switch *sweep {
 	case "":
-		run(base, cfg)
+		record(run(base, cfg))
 	case "groups":
 		for g := 2; g <= 5; g++ {
 			p := base
 			p.MaxGroups = g
 			fmt.Printf("--- max partition groups = %d ---\n", g)
-			run(p, cfg)
+			record(run(p, cfg))
 		}
 	case "copies":
 		// Odd degrees from 3 up, always ending at full replication so an
@@ -71,7 +125,7 @@ func main() {
 			p := base
 			p.CopiesPerItem = c
 			fmt.Printf("--- copies per item = %d ---\n", c)
-			run(p, cfg)
+			record(run(p, cfg))
 		}
 	case "sites":
 		lo := *copies // smallest cluster that can hold every replica
@@ -89,18 +143,32 @@ func main() {
 			p := base
 			p.NumSites = s
 			fmt.Printf("--- sites = %d ---\n", s)
-			run(p, cfg)
+			record(run(p, cfg))
 		}
 	case "writes":
 		for w := 1; w <= *items; w++ {
 			p := base
 			p.ItemsPerTxn = w
 			fmt.Printf("--- items written per transaction = %d ---\n", w)
-			run(p, cfg)
+			record(run(p, cfg))
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }
 
@@ -116,8 +184,8 @@ func sweepValues(lo, hi, step int) []int {
 	return vs
 }
 
-func run(params avail.ScenarioParams, cfg runConfig) {
-	opts := avail.MCOptions{Workers: cfg.workers}
+func run(params avail.ScenarioParams, cfg runConfig) jsonRun {
+	opts := avail.MCOptions{Workers: cfg.workers, Engine: cfg.engine}
 	if cfg.progress {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d trials", done, total)
@@ -126,13 +194,16 @@ func run(params avail.ScenarioParams, cfg runConfig) {
 			}
 		}
 	}
+	start := time.Now()
 	results, err := avail.MonteCarloParallel(params, cfg.trials, cfg.seed, avail.StandardBuilders(), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("scenarios: %d sites, %d items ×%d copies, %d written, ≤%d groups, %d trials\n",
-		params.NumSites, params.NumItems, params.CopiesPerItem, params.ItemsPerTxn, params.MaxGroups, cfg.trials)
+	elapsed := time.Since(start)
+	fmt.Printf("scenarios: %d sites, %d items ×%d copies, %d written, ≤%d groups, %d trials (engine %s, %.0f trials/s)\n",
+		params.NumSites, params.NumItems, params.CopiesPerItem, params.ItemsPerTxn, params.MaxGroups, cfg.trials,
+		cfg.engine, float64(cfg.trials)/elapsed.Seconds())
 	if cfg.ci {
 		fmt.Print(avail.FormatMCTableCI(results))
 	} else {
@@ -140,4 +211,27 @@ func run(params avail.ScenarioParams, cfg runConfig) {
 	}
 	fmt.Println("note: 3PC terminates every partition but its violation count shows the price (Example 2).")
 	fmt.Println()
+
+	rec := jsonRun{
+		Params:       params,
+		Engine:       cfg.engine.String(),
+		Workers:      cfg.workers,
+		Trials:       cfg.trials,
+		Seed:         cfg.seed,
+		ElapsedSec:   elapsed.Seconds(),
+		TrialsPerSec: float64(cfg.trials) / elapsed.Seconds(),
+	}
+	for _, r := range results {
+		rec.Protocols = append(rec.Protocols, jsonProtocol{
+			Label:      r.Label,
+			Trials:     r.Trials,
+			TermRate:   r.Counts.TerminationRate(),
+			Blocked:    r.Counts.Blocked,
+			ReadAvail:  r.Counts.ReadAvailability(),
+			WriteAvail: r.Counts.WriteAvailability(),
+			Violations: r.Violations,
+			Counts:     r.Counts,
+		})
+	}
+	return rec
 }

@@ -58,11 +58,13 @@ func main() {
 }
 
 // monteCarloTable prints the claim C1 comparison (the paper's availability
-// argument in aggregate) using the parallel Monte Carlo engine.
+// argument in aggregate) using the parallel Monte Carlo sweep on the
+// analytic engine — the quorum-arithmetic fast path that the differential
+// tests pin count-for-count to full engine replay.
 func monteCarloTable(trials int, seed int64, workers int) {
 	header(fmt.Sprintf("Claim C1 — Monte Carlo availability comparison (%d trials)", trials))
 	results, err := avail.MonteCarloParallel(avail.DefaultScenarioParams(), trials, seed,
-		avail.StandardBuilders(), avail.MCOptions{Workers: workers})
+		avail.StandardBuilders(), avail.MCOptions{Workers: workers, Engine: avail.EngineAnalytic})
 	check(err)
 	fmt.Print(avail.FormatMCTableCI(results))
 	fmt.Println()

@@ -34,7 +34,7 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("=== Monte Carlo: 300 random interrupted commits ===")
-	results, err := avail.MonteCarlo(avail.DefaultScenarioParams(), 300, 99, avail.StandardBuilders())
+	results, err := avail.MonteCarlo(avail.DefaultScenarioParams(), 300, 99, avail.StandardBuilders(), avail.EngineReplay)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -110,7 +110,7 @@ func TestExample4Accessibility(t *testing.T) {
 // terminate at least as often as Skeen's quorum protocol, which beats 2PC;
 // and QC1/QC2 never violate atomicity while 3PC (under partitions) does.
 func TestMonteCarloOrdering(t *testing.T) {
-	results, err := MonteCarlo(DefaultScenarioParams(), 60, 12345, StandardBuilders())
+	results, err := MonteCarlo(DefaultScenarioParams(), 60, 12345, StandardBuilders(), EngineReplay)
 	if err != nil {
 		t.Fatalf("MonteCarlo: %v", err)
 	}
@@ -154,7 +154,7 @@ func TestMonteCarloStress(t *testing.T) {
 		NumSites: 10, NumItems: 5, CopiesPerItem: 5,
 		ItemsPerTxn: 3, MaxGroups: 4, VotePhasePct: 30,
 	}
-	results, err := MonteCarlo(params, 150, 777, StandardBuilders())
+	results, err := MonteCarlo(params, 150, 777, StandardBuilders(), EngineReplay)
 	if err != nil {
 		t.Fatal(err)
 	}

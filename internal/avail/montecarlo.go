@@ -3,9 +3,11 @@ package avail
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"qcommit/internal/engine"
 	"qcommit/internal/protocol"
+	"qcommit/internal/quorumcalc"
 	"qcommit/internal/types"
 	"qcommit/internal/voting"
 )
@@ -16,9 +18,11 @@ import (
 // partition. The same scenario is replayed under every protocol under test,
 // so the comparison isolates the termination protocols' quorum rules.
 type Scenario struct {
-	Seed         int64
-	Assignment   *voting.Assignment
-	Writeset     types.Writeset
+	Seed       int64
+	Assignment *voting.Assignment
+	Writeset   types.Writeset
+	// Items caches Writeset.Items() — the distinct written item IDs.
+	Items        []types.ItemID
 	Coord        types.SiteID
 	Participants []types.SiteID
 	States       map[types.SiteID]types.State
@@ -66,44 +70,108 @@ func (p ScenarioParams) validate() error {
 	return nil
 }
 
-// GenerateScenario draws one scenario with the given seed. Generation is
-// deterministic in (params, seed).
-func GenerateScenario(params ScenarioParams, seed int64) (Scenario, error) {
+// ScenarioGen draws scenarios for one fixed ScenarioParams. It precomputes
+// the item-name table and reuses permutation, replica and state scratch
+// buffers across draws, so the per-trial allocation cost is dominated by the
+// (trial-lived) vote assignment rather than generator bookkeeping.
+//
+// A generator is not safe for concurrent use, and each generated Scenario
+// aliases the generator's buffers: it is valid only until the next Generate
+// call. Use the standalone GenerateScenario for an independent, long-lived
+// scenario.
+type ScenarioGen struct {
+	params    ScenarioParams
+	src       rand.Source
+	rng       *rand.Rand
+	sites     []types.SiteID
+	itemNames []types.ItemID
+	r, w      int
+
+	permBuf  []int
+	copies   []voting.Copy
+	configs  []voting.ItemConfig
+	writeset types.Writeset
+	states   map[types.SiteID]types.State
+	groups   [][]types.SiteID
+	groupBuf []types.SiteID
+}
+
+// NewScenarioGen validates params and builds a generator for them.
+func NewScenarioGen(params ScenarioParams) (*ScenarioGen, error) {
 	if err := params.validate(); err != nil {
-		return Scenario{}, err
+		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
+	g := &ScenarioGen{params: params, src: rand.NewSource(0)}
+	g.rng = rand.New(g.src)
+	g.sites = make([]types.SiteID, params.NumSites)
+	for i := range g.sites {
+		g.sites[i] = types.SiteID(i + 1)
+	}
+	g.itemNames = make([]types.ItemID, params.NumItems)
+	for i := range g.itemNames {
+		g.itemNames[i] = types.ItemID(fmt.Sprintf("item%d", i+1))
+	}
+	g.r, g.w = voting.MajorityQuorums(params.CopiesPerItem)
+	permLen := params.NumSites
+	if params.NumItems > permLen {
+		permLen = params.NumItems
+	}
+	g.permBuf = make([]int, permLen)
+	g.copies = make([]voting.Copy, params.NumItems*params.CopiesPerItem)
+	g.configs = make([]voting.ItemConfig, params.NumItems)
+	g.writeset = make(types.Writeset, 0, params.ItemsPerTxn)
+	g.states = make(map[types.SiteID]types.State, params.NumSites)
+	g.groups = make([][]types.SiteID, params.MaxGroups)
+	g.groupBuf = make([]types.SiteID, params.NumSites)
+	return g, nil
+}
+
+// perm fills the scratch buffer with a random permutation of 0..n-1,
+// consuming exactly the random stream math/rand.(*Rand).Perm would, so
+// generation stays bit-identical to the historical per-trial allocation.
+func (g *ScenarioGen) perm(n int) []int {
+	p := g.permBuf[:n]
+	for i := 0; i < n; i++ {
+		j := g.rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Generate draws the scenario for the given seed. Generation is
+// deterministic in (params, seed). The returned scenario aliases the
+// generator's scratch buffers and is valid until the next Generate call.
+func (g *ScenarioGen) Generate(seed int64) (Scenario, error) {
+	params := g.params
+	g.src.Seed(seed)
+	rng := g.rng
 	sc := Scenario{Seed: seed}
 
-	sites := make([]types.SiteID, params.NumSites)
-	for i := range sites {
-		sites[i] = types.SiteID(i + 1)
-	}
-
 	// Random replica placement with majority quorums.
-	r, w := voting.MajorityQuorums(params.CopiesPerItem)
-	configs := make([]voting.ItemConfig, params.NumItems)
 	for i := 0; i < params.NumItems; i++ {
-		perm := rng.Perm(params.NumSites)
-		holders := make([]types.SiteID, params.CopiesPerItem)
-		for j := 0; j < params.CopiesPerItem; j++ {
-			holders[j] = sites[perm[j]]
+		perm := g.perm(params.NumSites)
+		copies := g.copies[i*params.CopiesPerItem : (i+1)*params.CopiesPerItem]
+		for j := range copies {
+			copies[j] = voting.Copy{Site: g.sites[perm[j]], Votes: 1}
 		}
-		configs[i] = voting.Uniform(types.ItemID(fmt.Sprintf("item%d", i+1)), r, w, holders...)
+		g.configs[i] = voting.ItemConfig{Item: g.itemNames[i], Copies: copies, R: g.r, W: g.w}
 	}
-	asgn, err := voting.NewAssignment(configs...)
+	asgn, err := voting.NewAssignment(g.configs...)
 	if err != nil {
 		return Scenario{}, err
 	}
 	sc.Assignment = asgn
 
 	// Random writeset.
-	itemPerm := rng.Perm(params.NumItems)
+	itemPerm := g.perm(params.NumItems)
+	g.writeset = g.writeset[:0]
 	for j := 0; j < params.ItemsPerTxn; j++ {
-		item := types.ItemID(fmt.Sprintf("item%d", itemPerm[j]+1))
-		sc.Writeset = append(sc.Writeset, types.Update{Item: item, Value: rng.Int63n(1000)})
+		g.writeset = append(g.writeset, types.Update{Item: g.itemNames[itemPerm[j]], Value: rng.Int63n(1000)})
 	}
-	sc.Participants = asgn.Participants(sc.Writeset.Items())
+	sc.Writeset = g.writeset
+	sc.Items = sc.Writeset.Items()
+	sc.Participants = asgn.Participants(sc.Items)
 	sc.Coord = sc.Participants[rng.Intn(len(sc.Participants))]
 
 	// Mid-protocol cut. With probability VotePhasePct% the coordinator
@@ -111,11 +179,12 @@ func GenerateScenario(params ScenarioParams, seed int64) (Scenario, error) {
 	// is still in q, the rest voted yes); otherwise it crashed partway
 	// through distributing PREPARE-TO-COMMIT (a random prefix of a random
 	// participant order is in PC, possibly none, possibly all).
-	sc.States = make(map[types.SiteID]types.State, len(sc.Participants))
+	clear(g.states)
+	sc.States = g.states
 	for _, s := range sc.Participants {
 		sc.States[s] = types.StateWait
 	}
-	cutPerm := rng.Perm(len(sc.Participants))
+	cutPerm := g.perm(len(sc.Participants))
 	if rng.Intn(100) < params.VotePhasePct {
 		numQ := 1 + rng.Intn(len(sc.Participants))
 		for j := 0; j < numQ; j++ {
@@ -128,19 +197,77 @@ func GenerateScenario(params ScenarioParams, seed int64) (Scenario, error) {
 		}
 	}
 
-	// Random partition of all sites into 2..MaxGroups non-empty groups.
+	// Random partition of all sites into 2..MaxGroups non-empty groups,
+	// carved out of the group arena: round-robin assignment fixes each
+	// group's size up front, so the per-group slices never reallocate.
 	numGroups := 2 + rng.Intn(params.MaxGroups-1)
 	if numGroups > params.NumSites {
 		numGroups = params.NumSites
 	}
-	perm := rng.Perm(params.NumSites)
-	groups := make([][]types.SiteID, numGroups)
+	perm := g.perm(params.NumSites)
+	groups := g.groups[:numGroups]
+	offset := 0
+	for gi := range groups {
+		size := (params.NumSites - gi + numGroups - 1) / numGroups
+		groups[gi] = g.groupBuf[offset : offset : offset+size]
+		offset += size
+	}
 	for i, pi := range perm {
-		g := i % numGroups // guarantees non-empty groups
-		groups[g] = append(groups[g], sites[pi])
+		gi := i % numGroups // guarantees non-empty groups
+		groups[gi] = append(groups[gi], g.sites[pi])
 	}
 	sc.Partition = groups
 	return sc, nil
+}
+
+// GenerateScenario draws one independent scenario with the given seed.
+// Generation is deterministic in (params, seed). Callers drawing many
+// scenarios should hold a ScenarioGen instead, which reuses scratch buffers
+// across draws.
+func GenerateScenario(params ScenarioParams, seed int64) (Scenario, error) {
+	g, err := NewScenarioGen(params)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return g.Generate(seed)
+}
+
+// Engine selects how a Monte Carlo trial is evaluated.
+type Engine uint8
+
+// Engines.
+const (
+	// EngineReplay replays every trial through the discrete-event simulator
+	// (engine.New + termination automata). It is the oracle: it observes
+	// violations from actual message ladders and supports arbitrary protocol
+	// specs, at the cost of simulating every WAL append, election and
+	// timeout.
+	EngineReplay Engine = iota
+	// EngineAnalytic computes each trial's Counts by pure quorum arithmetic
+	// (package quorumcalc) — no simulation. Differential tests pin it
+	// count-for-count to EngineReplay; it requires every SpecBuilder to
+	// provide a Decider.
+	EngineAnalytic
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	if e == EngineAnalytic {
+		return "analytic"
+	}
+	return "replay"
+}
+
+// ParseEngine parses an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "replay":
+		return EngineReplay, nil
+	case "analytic":
+		return EngineAnalytic, nil
+	default:
+		return 0, fmt.Errorf("avail: unknown engine %q (want \"replay\" or \"analytic\")", s)
+	}
 }
 
 // SpecBuilder constructs a protocol spec for a scenario. Quorum-per-site
@@ -148,13 +275,17 @@ func GenerateScenario(params ScenarioParams, seed int64) (Scenario, error) {
 type SpecBuilder struct {
 	// Label names the column in result tables.
 	Label string
-	// Build returns the spec for the given scenario.
+	// Build returns the spec for the given scenario (EngineReplay).
 	Build func(sc Scenario) protocol.Spec
+	// Decider returns the analytic decision kernel equivalent to Build's
+	// termination automaton (EngineAnalytic). A nil Decider restricts the
+	// builder to EngineReplay.
+	Decider func(sc Scenario) quorumcalc.Decider
 }
 
-// Replay runs one scenario under one protocol and returns the availability
-// report plus any correctness violations (atomicity violations and
-// store-level consistency issues).
+// Replay runs one scenario under one protocol through the discrete-event
+// engine and returns the availability report plus any correctness violations
+// (atomicity violations and store-level consistency issues).
 func Replay(sc Scenario, spec protocol.Spec) (Report, []string) {
 	cl := engine.New(engine.Config{
 		Seed:       sc.Seed,
@@ -178,17 +309,53 @@ type MCResult struct {
 	Violations int
 }
 
-// accumulate replays trial t (seeded seed+t) under every builder and adds
-// the tallies into results. It is the shared per-trial kernel of the serial
-// and parallel Monte Carlo paths: because trials are independently seeded
-// and Counts aggregation is pure integer addition, replaying the same trial
-// set in any arrangement produces identical results.
-func accumulate(params ScenarioParams, seed int64, t int, builders []SpecBuilder, results []MCResult) error {
-	sc, err := GenerateScenario(params, seed+int64(t))
+// trialRunner is the shared per-trial kernel of the serial and parallel
+// Monte Carlo paths: it generates trial t (seeded seed+t) and evaluates it
+// under every builder with the selected engine, adding the tallies into
+// results. Because trials are independently seeded and Counts aggregation is
+// pure integer addition, evaluating the same trial set in any arrangement
+// produces identical results. A trialRunner owns scratch state (generator
+// buffers, analytic tallies) and must not be shared between goroutines.
+type trialRunner struct {
+	gen      *ScenarioGen
+	builders []SpecBuilder
+	engine   Engine
+	eval     *analyticEval // scratch for EngineAnalytic
+	deciders []quorumcalc.Decider
+}
+
+func newTrialRunner(params ScenarioParams, builders []SpecBuilder, eng Engine) (*trialRunner, error) {
+	gen, err := NewScenarioGen(params)
+	if err != nil {
+		return nil, err
+	}
+	r := &trialRunner{gen: gen, builders: builders, engine: eng}
+	if eng == EngineAnalytic {
+		for i, b := range builders {
+			if b.Decider == nil {
+				return nil, fmt.Errorf("avail: builder %d (%q) has no analytic Decider; use EngineReplay", i, b.Label)
+			}
+		}
+		r.eval = newAnalyticEval()
+		r.deciders = make([]quorumcalc.Decider, len(builders))
+	}
+	return r, nil
+}
+
+// accumulate evaluates trial t into results.
+func (r *trialRunner) accumulate(seed int64, t int, results []MCResult) error {
+	sc, err := r.gen.Generate(seed + int64(t))
 	if err != nil {
 		return err
 	}
-	for i, b := range builders {
+	if r.engine == EngineAnalytic {
+		for i, b := range r.builders {
+			r.deciders[i] = b.Decider(sc)
+		}
+		r.eval.run(sc, r.deciders, results)
+		return nil
+	}
+	for i, b := range r.builders {
 		rep, violations := Replay(sc, b.Build(sc))
 		results[i].Trials++
 		results[i].Counts.Add(rep.Tally())
@@ -197,16 +364,19 @@ func accumulate(params ScenarioParams, seed int64, t int, builders []SpecBuilder
 	return nil
 }
 
-// MonteCarlo replays Trials random scenarios under every builder and
-// aggregates availability counts. All builders see identical scenarios.
-// This serial path is the determinism oracle for MonteCarloParallel.
-func MonteCarlo(params ScenarioParams, trials int, seed int64, builders []SpecBuilder) ([]MCResult, error) {
-	if err := params.validate(); err != nil {
+// MonteCarlo evaluates Trials random scenarios under every builder with the
+// selected engine and aggregates availability counts. All builders see
+// identical scenarios. This serial path is the determinism oracle for
+// MonteCarloParallel; with EngineReplay it is also the correctness oracle
+// for EngineAnalytic.
+func MonteCarlo(params ScenarioParams, trials int, seed int64, builders []SpecBuilder, eng Engine) ([]MCResult, error) {
+	runner, err := newTrialRunner(params, builders, eng)
+	if err != nil {
 		return nil, err
 	}
 	results := newMCResults(builders)
 	for t := 0; t < trials; t++ {
-		if err := accumulate(params, seed, t, builders, results); err != nil {
+		if err := runner.accumulate(seed, t, results); err != nil {
 			return nil, err
 		}
 	}
@@ -223,14 +393,15 @@ func newMCResults(builders []SpecBuilder) []MCResult {
 
 // FormatMCTable renders Monte Carlo results as an aligned text table.
 func FormatMCTable(results []MCResult) string {
-	s := fmt.Sprintf("%-8s %8s %12s %12s %12s %12s %10s\n",
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %12s %12s %12s %12s %10s\n",
 		"protocol", "trials", "term-rate", "blocked", "read-avail", "write-avail", "violations")
 	for _, r := range results {
-		s += fmt.Sprintf("%-8s %8d %11.1f%% %12d %11.1f%% %11.1f%% %10d\n",
+		fmt.Fprintf(&b, "%-8s %8d %11.1f%% %12d %11.1f%% %11.1f%% %10d\n",
 			r.Label, r.Trials,
 			100*r.Counts.TerminationRate(), r.Counts.Blocked,
 			100*r.Counts.ReadAvailability(), 100*r.Counts.WriteAvailability(),
 			r.Violations)
 	}
-	return s
+	return b.String()
 }

@@ -8,9 +8,13 @@ import (
 
 // MCOptions tunes MonteCarloParallel.
 type MCOptions struct {
-	// Workers is the number of goroutines replaying trials. Zero or negative
+	// Workers is the number of goroutines evaluating trials. Zero or negative
 	// means runtime.GOMAXPROCS(0).
 	Workers int
+	// Engine selects trial evaluation: EngineReplay (the default, full
+	// discrete-event simulation) or EngineAnalytic (pure quorum arithmetic,
+	// differentially validated against replay).
+	Engine Engine
 	// Progress, if non-nil, is called as chunks of trials complete with the
 	// number of trials finished so far and the total. Calls are serialized
 	// (the callback need not be goroutine-safe) and done is nondecreasing.
@@ -25,8 +29,9 @@ const chunkSize = 16
 // MonteCarloParallel is the worker-pool version of MonteCarlo: it fans the
 // trials out across opts.Workers goroutines and merges the per-chunk
 // accumulators in ascending trial order. Because every trial is
-// independently seeded (seed+t) and replayed hermetically, the result is
-// bit-for-bit identical to the serial MonteCarlo for any worker count.
+// independently seeded (seed+t) and evaluated hermetically, the result is
+// bit-for-bit identical to the serial MonteCarlo for any worker count and
+// either engine.
 func MonteCarloParallel(params ScenarioParams, trials int, seed int64, builders []SpecBuilder, opts MCOptions) ([]MCResult, error) {
 	if err := params.validate(); err != nil {
 		return nil, err
@@ -40,9 +45,13 @@ func MonteCarloParallel(params ScenarioParams, trials int, seed int64, builders 
 	}
 	if workers <= 1 {
 		// One worker is exactly the serial path; skip the pool machinery.
+		runner, err := newTrialRunner(params, builders, opts.Engine)
+		if err != nil {
+			return nil, err
+		}
 		results := newMCResults(builders)
 		for t := 0; t < trials; t++ {
-			if err := accumulate(params, seed, t, builders, results); err != nil {
+			if err := runner.accumulate(seed, t, results); err != nil {
 				return nil, err
 			}
 			if opts.Progress != nil {
@@ -50,6 +59,17 @@ func MonteCarloParallel(params ScenarioParams, trials int, seed int64, builders 
 			}
 		}
 		return results, nil
+	}
+
+	// Per-worker scratch (scenario generator buffers, analytic tallies),
+	// constructed before spawning so a misconfigured run fails up front.
+	runners := make([]*trialRunner, workers)
+	for w := range runners {
+		runner, err := newTrialRunner(params, builders, opts.Engine)
+		if err != nil {
+			return nil, err
+		}
+		runners[w] = runner
 	}
 
 	// Workers claim contiguous chunks of trial indices from an atomic
@@ -66,6 +86,7 @@ func MonteCarloParallel(params ScenarioParams, trials int, seed int64, builders 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		runner := runners[w]
 		go func() {
 			defer wg.Done()
 			for {
@@ -80,7 +101,7 @@ func MonteCarloParallel(params ScenarioParams, trials int, seed int64, builders 
 				}
 				acc := newMCResults(builders)
 				for t := lo; t < hi; t++ {
-					if err := accumulate(params, seed, t, builders, acc); err != nil {
+					if err := runner.accumulate(seed, t, acc); err != nil {
 						errs[ci] = err
 						failed.Store(true)
 						return

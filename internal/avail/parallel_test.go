@@ -14,7 +14,7 @@ func TestMonteCarloParallelMatchesSerial(t *testing.T) {
 	params := DefaultScenarioParams()
 	builders := StandardBuilders()
 	const trials = 60
-	want, err := MonteCarlo(params, trials, 1, builders)
+	want, err := MonteCarlo(params, trials, 1, builders, EngineReplay)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +87,11 @@ func TestMonteCarloParallelEdgeCases(t *testing.T) {
 	if _, err := MonteCarloParallel(bad, 10, 1, builders, MCOptions{}); err == nil {
 		t.Error("VotePhasePct=150 accepted by parallel path")
 	}
-	if _, err := MonteCarlo(bad, 10, 1, builders); err == nil {
+	if _, err := MonteCarlo(bad, 10, 1, builders, EngineReplay); err == nil {
 		t.Error("VotePhasePct=150 accepted by serial path")
 	}
 	// Default worker count (0 → GOMAXPROCS) still matches serial.
-	want, err := MonteCarlo(DefaultScenarioParams(), 20, 3, builders)
+	want, err := MonteCarlo(DefaultScenarioParams(), 20, 3, builders, EngineReplay)
 	if err != nil {
 		t.Fatal(err)
 	}

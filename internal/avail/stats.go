@@ -3,6 +3,7 @@ package avail
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Z95 is the standard normal quantile for a two-sided 95% interval.
@@ -59,13 +60,14 @@ func (r MCResult) WriteAvailabilityCI() (lo, hi float64) {
 // FormatMCTableCI renders Monte Carlo results like FormatMCTable but with a
 // 95% Wilson confidence interval after each rate column.
 func FormatMCTableCI(results []MCResult) string {
-	s := fmt.Sprintf("%-8s %7s %22s %8s %22s %22s %6s\n",
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %7s %22s %8s %22s %22s %6s\n",
 		"protocol", "trials", "term-rate [95% CI]", "blocked", "read-avail [95% CI]", "write-avail [95% CI]", "viol")
 	for _, r := range results {
 		tl, th := r.TerminationRateCI()
 		rl, rh := r.ReadAvailabilityCI()
 		wl, wh := r.WriteAvailabilityCI()
-		s += fmt.Sprintf("%-8s %7d %6.1f%% [%5.1f,%5.1f]%% %8d %6.1f%% [%5.1f,%5.1f]%% %6.1f%% [%5.1f,%5.1f]%% %6d\n",
+		fmt.Fprintf(&b, "%-8s %7d %6.1f%% [%5.1f,%5.1f]%% %8d %6.1f%% [%5.1f,%5.1f]%% %6.1f%% [%5.1f,%5.1f]%% %6d\n",
 			r.Label, r.Trials,
 			100*r.Counts.TerminationRate(), 100*tl, 100*th,
 			r.Counts.Blocked,
@@ -73,5 +75,5 @@ func FormatMCTableCI(results []MCResult) string {
 			100*r.Counts.WriteAvailability(), 100*wl, 100*wh,
 			r.Violations)
 	}
-	return s
+	return b.String()
 }

@@ -1,0 +1,302 @@
+// Package quorumcalc is the analytic counterpart of the termination
+// automata: for each protocol family it computes, by pure quorum arithmetic,
+// the outcome a partition group's termination attempt reaches — no
+// discrete-event engine, no messages, no WAL.
+//
+// The availability Monte Carlo (package avail) replays an "interrupted
+// commit" scenario under a static partition: the commit coordinator has
+// crashed, every other site stays up, and intra-group message delivery is
+// reliable. Under that model the event-driven termination protocols are
+// fully determined by each group's initial state tally:
+//
+//   - phase 1 always collects the local state of every up participant in the
+//     group (reachable sites answer within the 2T window, nothing is lost);
+//   - a VerdictTryCommit round moves every waiting (W) participant to PC and
+//     collects their PC-ACKs, so the confirmation set equals exactly the
+//     site set whose votes satisfied the try-commit condition — the quorum
+//     is always confirmed, and symmetrically for VerdictTryAbort;
+//   - a VerdictBlock round changes no state, so re-entering the election
+//     yields the same verdict until the round budget runs out.
+//
+// Each Decider below therefore folds the poll → classify → confirm →
+// distribute ladder of Figs. 5 and 8 into a single decision over the tally,
+// mirroring rule for rule the corresponding threephase.Rules implementation
+// (twopc.Terminator, threepc.Rules, skeenq.Rules, core.TP1Rules,
+// core.TP2Rules). The discrete-event engine remains the oracle — package
+// avail's differential tests assert count-for-count equality between the two
+// — and stays required whenever the model above does not hold: lossy or
+// duplicating networks, mid-round crashes or heals, the buggy
+// buffer-crossing participant of Example 3, or whenever message ladders and
+// violation traces are wanted.
+package quorumcalc
+
+import (
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+// numStates is the size of the per-state tables (q, W, PC, PA, C, A).
+const numStates = int(types.StateAborted) + 1
+
+// Tally is the termination-relevant summary of one partition group: which
+// up participants occupy each local protocol state. It is the analytic
+// analogue of threephase.StateTally, shaped for reuse across trials (Reset
+// keeps the per-state site slices).
+type Tally struct {
+	sites [numStates][]types.SiteID
+}
+
+// Reset clears the tally for a new group, retaining allocated capacity.
+func (t *Tally) Reset() {
+	for i := range t.sites {
+		t.sites[i] = t.sites[i][:0]
+	}
+}
+
+// Add records one participant in the given local state.
+func (t *Tally) Add(site types.SiteID, st types.State) {
+	t.sites[st] = append(t.sites[st], site)
+}
+
+// Count returns the number of participants tallied in the given state.
+func (t *Tally) Count(st types.State) int { return len(t.sites[st]) }
+
+// Sites returns the participants tallied in the given state. The slice is
+// owned by the tally and valid until the next Reset.
+func (t *Tally) Sites(st types.State) []types.SiteID { return t.sites[st] }
+
+// Empty reports whether no participant was tallied at all.
+func (t *Tally) Empty() bool {
+	for i := range t.sites {
+		if len(t.sites[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// uncertain returns the number of participants holding locks while awaiting
+// a decision (W, PC or PA) — the states whose presence makes an undecided
+// group report "blocked".
+func (t *Tally) uncertain() int {
+	return t.Count(types.StateWait) + t.Count(types.StatePC) + t.Count(types.StatePA)
+}
+
+// Decider computes the outcome one partition group's termination attempt
+// reaches, given the group's state tally. The assignment carries the replica
+// vote configuration for deciders that count replica votes (TP1, TP2);
+// site-vote and state-only deciders ignore it.
+//
+// The returned outcome is what engine.Cluster.GroupOutcome reports after the
+// simulation quiesces: OutcomeCommitted/OutcomeAborted when the group
+// terminates, OutcomeBlocked when participants keep holding locks, and
+// OutcomeUnknown when no tallied participant ever voted (nothing to
+// terminate, nothing locked).
+type Decider func(a *voting.Assignment, t *Tally) types.Outcome
+
+// passiveOutcome is the group outcome when no site can initiate termination:
+// states are frozen, so the group reports whatever its terminal sites
+// already decided, blocked if undecided participants hold locks, and unknown
+// when only unvoted (q) participants — or none at all — are present.
+func passiveOutcome(t *Tally) types.Outcome {
+	switch {
+	case t.Count(types.StateCommitted) > 0:
+		return types.OutcomeCommitted
+	case t.Count(types.StateAborted) > 0:
+		return types.OutcomeAborted
+	case t.uncertain() > 0:
+		return types.OutcomeBlocked
+	default:
+		return types.OutcomeUnknown
+	}
+}
+
+// TwoPC mirrors 2PC's cooperative termination protocol (twopc.Terminator):
+// poll every reachable participant for the decision; adopt it if anyone
+// knows it; abort if anyone never voted (the coordinator cannot have
+// committed); otherwise every reachable site is uncertain and the group
+// blocks. Only uncertain participants in W arm the patience timers that
+// invoke termination — a group whose undecided sites all sit in PC (2PC
+// participants reconstructed mid-3PC-style cut) has no initiator and blocks
+// passively.
+func TwoPC() Decider {
+	return func(_ *voting.Assignment, t *Tally) types.Outcome {
+		if t.Count(types.StateWait) == 0 {
+			return passiveOutcome(t)
+		}
+		switch {
+		case t.Count(types.StateCommitted) > 0:
+			return types.OutcomeCommitted
+		case t.Count(types.StateAborted) > 0:
+			return types.OutcomeAborted
+		case t.Count(types.StateInitial) > 0:
+			return types.OutcomeAborted
+		default:
+			return types.OutcomeBlocked
+		}
+	}
+}
+
+// threePhase wraps a three-phase-style decision: any participant in W, PC or
+// PA arms a patience timer and eventually elects a termination coordinator;
+// without one the group stays passive.
+func threePhase(decide func(a *voting.Assignment, t *Tally) types.Outcome) Decider {
+	return func(a *voting.Assignment, t *Tally) types.Outcome {
+		if t.uncertain() == 0 {
+			return passiveOutcome(t)
+		}
+		return decide(a, t)
+	}
+}
+
+// ThreePC mirrors 3PC's site-failure termination rule (threepc.Rules): "if
+// there exists a site in PC state or commit state, then the transaction
+// should be committed; else the transaction should be aborted". The
+// try-commit round always succeeds because 3PC's confirmation is
+// unconditional (silent sites are presumed crashed, not partitioned away) —
+// which is exactly why 3PC terminates every partition and violates atomicity
+// across them (Example 2).
+func ThreePC() Decider {
+	return threePhase(func(_ *voting.Assignment, t *Tally) types.Outcome {
+		switch {
+		case t.Count(types.StateCommitted) > 0:
+			return types.OutcomeCommitted
+		case t.Count(types.StateAborted) > 0:
+			return types.OutcomeAborted
+		case t.Count(types.StatePC) > 0:
+			return types.OutcomeCommitted
+		default:
+			return types.OutcomeAborted
+		}
+	})
+}
+
+// Skeen mirrors Skeen's quorum termination rules (skeenq.Rules) with the
+// given per-site vote weights and commit/abort quorums Vc, Va. Sites absent
+// from votes carry zero weight.
+func Skeen(votes map[types.SiteID]int, vc, va int) Decider {
+	weigh := func(sites []types.SiteID) int {
+		total := 0
+		for _, s := range sites {
+			total += votes[s]
+		}
+		return total
+	}
+	return skeenRules(weigh, vc, va)
+}
+
+// SkeenUniform is Skeen with one vote per site (the configuration
+// avail.StandardBuilders uses), avoiding the per-trial vote map.
+func SkeenUniform(vc, va int) Decider {
+	return skeenRules(func(sites []types.SiteID) int { return len(sites) }, vc, va)
+}
+
+// skeenRules folds skeenq.Rules.Decide plus its always-confirmed try rounds.
+// At the try-commit branch the responders not in PA are exactly W∪PC (any
+// q, C or A responder was caught by an earlier branch), and every W site
+// acknowledges PREPARE-TO-COMMIT, so the confirmation set equals the site
+// set the branch condition counted; symmetrically for try-abort with W∪PA.
+func skeenRules(weigh func([]types.SiteID) int, vc, va int) Decider {
+	return threePhase(func(_ *voting.Assignment, t *Tally) types.Outcome {
+		vPC := weigh(t.Sites(types.StatePC))
+		vW := weigh(t.Sites(types.StateWait))
+		vPA := weigh(t.Sites(types.StatePA))
+		switch {
+		case t.Count(types.StateCommitted) > 0 || vPC >= vc:
+			return types.OutcomeCommitted
+		case t.Count(types.StateAborted) > 0 || t.Count(types.StateInitial) > 0 || vPA >= va:
+			return types.OutcomeAborted
+		case t.Count(types.StatePC) > 0 && vPC+vW >= vc:
+			return types.OutcomeCommitted // try-commit, always confirmed
+		case vW+vPA >= va:
+			return types.OutcomeAborted // try-abort, always confirmed
+		default:
+			return types.OutcomeBlocked
+		}
+	})
+}
+
+// itemVotes sums, for one item, the replica votes held by the sites of the
+// given tally states.
+func itemVotes(a *voting.Assignment, x types.ItemID, t *Tally, states ...types.State) int {
+	total := 0
+	for _, st := range states {
+		for _, s := range t.Sites(st) {
+			total += a.VotesAt(s, x)
+		}
+	}
+	return total
+}
+
+// writeQuorumEvery reports whether the sites in the given states jointly
+// hold ≥ w(x) replica votes for every written item.
+func writeQuorumEvery(a *voting.Assignment, items []types.ItemID, t *Tally, states ...types.State) bool {
+	if len(items) == 0 {
+		return false
+	}
+	for _, x := range items {
+		if !a.WriteQuorumMet(x, itemVotes(a, x, t, states...)) {
+			return false
+		}
+	}
+	return true
+}
+
+// readQuorumSome reports whether the sites in the given states jointly hold
+// ≥ r(x) replica votes for at least one written item.
+func readQuorumSome(a *voting.Assignment, items []types.ItemID, t *Tally, states ...types.State) bool {
+	for _, x := range items {
+		if a.ReadQuorumMet(x, itemVotes(a, x, t, states...)) {
+			return true
+		}
+	}
+	return false
+}
+
+// TP1 mirrors the paper's Termination Protocol 1 (core.TP1Rules, Fig. 5)
+// over the transaction's written items: commit needs w(x) replica votes for
+// every x ∈ W(TR), abort needs r(x) votes for some x. As in skeenRules, the
+// try branches count exactly the sites that then confirm the quorum, so
+// they fold into immediate decisions.
+func TP1(items []types.ItemID) Decider {
+	return threePhase(func(a *voting.Assignment, t *Tally) types.Outcome {
+		switch {
+		case t.Count(types.StateCommitted) > 0 ||
+			writeQuorumEvery(a, items, t, types.StatePC):
+			return types.OutcomeCommitted
+		case t.Count(types.StateAborted) > 0 || t.Count(types.StateInitial) > 0 ||
+			readQuorumSome(a, items, t, types.StatePA):
+			return types.OutcomeAborted
+		case t.Count(types.StatePC) > 0 &&
+			writeQuorumEvery(a, items, t, types.StateWait, types.StatePC):
+			return types.OutcomeCommitted // try-commit, always confirmed
+		case readQuorumSome(a, items, t, types.StateWait, types.StatePA):
+			return types.OutcomeAborted // try-abort, always confirmed
+		default:
+			return types.OutcomeBlocked
+		}
+	})
+}
+
+// TP2 mirrors Termination Protocol 2 (core.TP2Rules, Fig. 8): TP1 with the
+// r/w roles swapped — commit needs r(x) votes for some x, abort needs w(x)
+// votes for every x.
+func TP2(items []types.ItemID) Decider {
+	return threePhase(func(a *voting.Assignment, t *Tally) types.Outcome {
+		switch {
+		case t.Count(types.StateCommitted) > 0 ||
+			readQuorumSome(a, items, t, types.StatePC):
+			return types.OutcomeCommitted
+		case t.Count(types.StateAborted) > 0 || t.Count(types.StateInitial) > 0 ||
+			writeQuorumEvery(a, items, t, types.StatePA):
+			return types.OutcomeAborted
+		case t.Count(types.StatePC) > 0 &&
+			readQuorumSome(a, items, t, types.StateWait, types.StatePC):
+			return types.OutcomeCommitted // try-commit, always confirmed
+		case writeQuorumEvery(a, items, t, types.StateWait, types.StatePA):
+			return types.OutcomeAborted // try-abort, always confirmed
+		default:
+			return types.OutcomeBlocked
+		}
+	})
+}

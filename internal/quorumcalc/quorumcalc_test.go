@@ -1,0 +1,192 @@
+package quorumcalc
+
+import (
+	"testing"
+
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+// exampleAssignment mirrors the paper's Example 1 shape: one item x with
+// four single-vote copies, r(x)=2, w(x)=3.
+func exampleAssignment(t *testing.T) *voting.Assignment {
+	t.Helper()
+	a, err := voting.NewAssignment(voting.Uniform("x", 2, 3, 1, 2, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func tallyOf(states map[types.SiteID]types.State) *Tally {
+	t := &Tally{}
+	for s, st := range states {
+		t.Add(s, st)
+	}
+	return t
+}
+
+func TestTallyReuse(t *testing.T) {
+	ta := tallyOf(map[types.SiteID]types.State{1: types.StateWait, 2: types.StatePC})
+	if ta.Count(types.StateWait) != 1 || ta.Count(types.StatePC) != 1 || ta.Empty() {
+		t.Fatalf("unexpected tally: %+v", ta)
+	}
+	ta.Reset()
+	if !ta.Empty() || ta.Count(types.StateWait) != 0 {
+		t.Fatal("Reset did not clear the tally")
+	}
+	ta.Add(3, types.StateInitial)
+	if ta.Count(types.StateInitial) != 1 {
+		t.Fatal("Add after Reset lost the site")
+	}
+}
+
+func TestTwoPC(t *testing.T) {
+	d := TwoPC()
+	cases := []struct {
+		name   string
+		states map[types.SiteID]types.State
+		want   types.Outcome
+	}{
+		{"all uncertain blocks", map[types.SiteID]types.State{2: types.StateWait, 3: types.StateWait}, types.OutcomeBlocked},
+		{"unvoted site enables abort", map[types.SiteID]types.State{2: types.StateWait, 3: types.StateInitial}, types.OutcomeAborted},
+		{"known commit adopted", map[types.SiteID]types.State{2: types.StateWait, 3: types.StateCommitted}, types.OutcomeCommitted},
+		{"known abort adopted", map[types.SiteID]types.State{2: types.StateWait, 3: types.StateAborted}, types.OutcomeAborted},
+		// 2PC participants only watch for coordinator silence in W; a group
+		// cut entirely in PC has no initiator and blocks passively.
+		{"PC-only group has no initiator", map[types.SiteID]types.State{2: types.StatePC, 3: types.StatePC}, types.OutcomeBlocked},
+		{"q-only group never terminates", map[types.SiteID]types.State{2: types.StateInitial}, types.OutcomeUnknown},
+		{"empty group", nil, types.OutcomeUnknown},
+	}
+	for _, tc := range cases {
+		if got := d(nil, tallyOf(tc.states)); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestThreePC(t *testing.T) {
+	d := ThreePC()
+	cases := []struct {
+		name   string
+		states map[types.SiteID]types.State
+		want   types.Outcome
+	}{
+		// "If there exists a site in PC state or commit state, commit; else
+		// abort" — terminates every partition, never blocks.
+		{"PC commits", map[types.SiteID]types.State{2: types.StateWait, 3: types.StatePC}, types.OutcomeCommitted},
+		{"W-only aborts", map[types.SiteID]types.State{2: types.StateWait, 3: types.StateWait}, types.OutcomeAborted},
+		{"q aborts", map[types.SiteID]types.State{2: types.StateWait, 3: types.StateInitial}, types.OutcomeAborted},
+		{"terminal commit wins", map[types.SiteID]types.State{2: types.StateCommitted, 3: types.StateWait}, types.OutcomeCommitted},
+		{"no initiator", map[types.SiteID]types.State{2: types.StateInitial}, types.OutcomeUnknown},
+	}
+	for _, tc := range cases {
+		if got := d(nil, tallyOf(tc.states)); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSkeenUniform(t *testing.T) {
+	// Four single-vote participants: Vc = 3, Va = 2.
+	d := SkeenUniform(3, 2)
+	cases := []struct {
+		name   string
+		states map[types.SiteID]types.State
+		want   types.Outcome
+	}{
+		{"PC quorum commits", map[types.SiteID]types.State{1: types.StatePC, 2: types.StatePC, 3: types.StatePC}, types.OutcomeCommitted},
+		{"try-commit via W", map[types.SiteID]types.State{1: types.StatePC, 2: types.StateWait, 3: types.StateWait}, types.OutcomeCommitted},
+		{"try-abort via W", map[types.SiteID]types.State{1: types.StateWait, 2: types.StateWait}, types.OutcomeAborted},
+		{"q aborts immediately", map[types.SiteID]types.State{1: types.StateWait, 2: types.StateInitial}, types.OutcomeAborted},
+		// The Example 1 failure: a small partition with a PC site has
+		// neither quorum — Skeen's protocol blocks it.
+		{"PC minority blocks", map[types.SiteID]types.State{1: types.StatePC}, types.OutcomeBlocked},
+		{"lone W blocks", map[types.SiteID]types.State{1: types.StateWait}, types.OutcomeBlocked},
+	}
+	for _, tc := range cases {
+		if got := d(nil, tallyOf(tc.states)); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSkeenWeighted(t *testing.T) {
+	// Site 1 carries 3 votes, sites 2-3 one each: Vc = 3, Va = 3.
+	d := Skeen(map[types.SiteID]int{1: 3, 2: 1, 3: 1}, 3, 3)
+	if got := d(nil, tallyOf(map[types.SiteID]types.State{1: types.StatePC})); got != types.OutcomeCommitted {
+		t.Errorf("heavy PC site: got %v, want committed", got)
+	}
+	if got := d(nil, tallyOf(map[types.SiteID]types.State{2: types.StateWait, 3: types.StateWait})); got != types.OutcomeBlocked {
+		t.Errorf("light W sites: got %v, want blocked", got)
+	}
+}
+
+func TestTP1(t *testing.T) {
+	a := exampleAssignment(t)
+	d := TP1([]types.ItemID{"x"})
+	cases := []struct {
+		name   string
+		states map[types.SiteID]types.State
+		want   types.Outcome
+	}{
+		// Sites 2,3,4 hold 3 = w(x) votes: with a PC site present the
+		// try-commit branch reaches the write quorum — the availability gain
+		// over Skeen's site-vote quorums (Example 4).
+		{"w(x) votes with PC commit", map[types.SiteID]types.State{2: types.StatePC, 3: types.StateWait, 4: types.StateWait}, types.OutcomeCommitted},
+		{"w(x) votes all W abort", map[types.SiteID]types.State{2: types.StateWait, 3: types.StateWait, 4: types.StateWait}, types.OutcomeAborted},
+		{"r(x) votes abort", map[types.SiteID]types.State{2: types.StateWait, 3: types.StateWait}, types.OutcomeAborted},
+		{"q aborts immediately", map[types.SiteID]types.State{2: types.StatePC, 3: types.StateInitial}, types.OutcomeAborted},
+		// One vote reaches neither w(x)=3 (commit) nor r(x)=2 (abort).
+		{"single vote blocks", map[types.SiteID]types.State{2: types.StatePC}, types.OutcomeBlocked},
+		{"no initiator", map[types.SiteID]types.State{2: types.StateInitial}, types.OutcomeUnknown},
+	}
+	for _, tc := range cases {
+		if got := d(a, tallyOf(tc.states)); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTP2(t *testing.T) {
+	a := exampleAssignment(t)
+	d := TP2([]types.ItemID{"x"})
+	cases := []struct {
+		name   string
+		states map[types.SiteID]types.State
+		want   types.Outcome
+	}{
+		// TP2 swaps the roles: commit needs only r(x)=2 votes (with a PC
+		// site), abort needs w(x)=3.
+		{"r(x) votes with PC commit", map[types.SiteID]types.State{2: types.StatePC, 3: types.StateWait}, types.OutcomeCommitted},
+		{"w(x) votes all W abort", map[types.SiteID]types.State{2: types.StateWait, 3: types.StateWait, 4: types.StateWait}, types.OutcomeAborted},
+		{"r(x) votes all W block", map[types.SiteID]types.State{2: types.StateWait, 3: types.StateWait}, types.OutcomeBlocked},
+		{"single PC blocks", map[types.SiteID]types.State{2: types.StatePC}, types.OutcomeBlocked},
+		{"q aborts immediately", map[types.SiteID]types.State{2: types.StatePC, 3: types.StateInitial}, types.OutcomeAborted},
+	}
+	for _, tc := range cases {
+		if got := d(a, tallyOf(tc.states)); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestTP1VsSkeenExample1 pins the paper's headline comparison: the same
+// partition group (w(x) replica votes present, one site in PC) commits under
+// TP1's replica-vote quorums but blocks under Skeen's site-vote quorums when
+// the site majority lies elsewhere.
+func TestTP1VsSkeenExample1(t *testing.T) {
+	a := exampleAssignment(t)
+	// Five participants overall → Vc = 3, Va = 3 site votes; the group holds
+	// only sites 2,3,4 (3 of 5 sites, but suppose Vc were 4: use 6
+	// participants → Vc = 4, Va = 3 to make Skeen block).
+	skeen := SkeenUniform(4, 3)
+	tp1 := TP1([]types.ItemID{"x"})
+	group := map[types.SiteID]types.State{2: types.StatePC, 3: types.StateWait, 4: types.StateWait}
+	if got := tp1(a, tallyOf(group)); got != types.OutcomeCommitted {
+		t.Errorf("TP1: got %v, want committed", got)
+	}
+	if got := skeen(a, tallyOf(group)); got != types.OutcomeBlocked {
+		t.Errorf("Skeen: got %v, want blocked", got)
+	}
+}

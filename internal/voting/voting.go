@@ -183,6 +183,29 @@ func (a *Assignment) VotesFor(x types.ItemID, sites []types.SiteID) int {
 	return total
 }
 
+// ReadQuorumMet reports whether a precomputed vote sum reaches r(x). It is
+// the allocation-free primitive behind HasReadQuorum for callers (the
+// analytic Monte Carlo engine) that tally votes incrementally instead of
+// materializing site lists.
+func (a *Assignment) ReadQuorumMet(x types.ItemID, votes int) bool {
+	ic, ok := a.items[x]
+	return ok && votes >= ic.R
+}
+
+// WriteQuorumMet reports whether a precomputed vote sum reaches w(x).
+func (a *Assignment) WriteQuorumMet(x types.ItemID, votes int) bool {
+	ic, ok := a.items[x]
+	return ok && votes >= ic.W
+}
+
+// ForEachItem calls f for every item configuration in declaration order,
+// without copying the item list (unlike Items).
+func (a *Assignment) ForEachItem(f func(ItemConfig)) {
+	for _, x := range a.order {
+		f(a.items[x])
+	}
+}
+
 // HasReadQuorum reports whether the sites jointly hold ≥ r(x) votes for x.
 func (a *Assignment) HasReadQuorum(x types.ItemID, sites []types.SiteID) bool {
 	ic, ok := a.items[x]

@@ -246,3 +246,48 @@ func TestVotesForAdditivityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestQuorumMetAgainstHasQuorum: the vote-sum primitives agree with the
+// site-list quorum checks for every subset of holders.
+func TestQuorumMetAgainstHasQuorum(t *testing.T) {
+	a := MustAssignment(Uniform("x", 3, 4, 1, 2, 3, 4, 5, 6))
+	for mask := 0; mask < 1<<6; mask++ {
+		var sites []types.SiteID
+		for i := 0; i < 6; i++ {
+			if mask&(1<<i) != 0 {
+				sites = append(sites, types.SiteID(i+1))
+			}
+		}
+		votes := a.VotesFor("x", sites)
+		if got, want := a.ReadQuorumMet("x", votes), a.HasReadQuorum("x", sites); got != want {
+			t.Fatalf("ReadQuorumMet(%d) = %v, HasReadQuorum(%v) = %v", votes, got, sites, want)
+		}
+		if got, want := a.WriteQuorumMet("x", votes), a.HasWriteQuorum("x", sites); got != want {
+			t.Fatalf("WriteQuorumMet(%d) = %v, HasWriteQuorum(%v) = %v", votes, got, sites, want)
+		}
+	}
+	if a.ReadQuorumMet("missing", 100) || a.WriteQuorumMet("missing", 100) {
+		t.Error("quorum met for unknown item")
+	}
+}
+
+// TestForEachItemOrder: ForEachItem visits every item in declaration order,
+// matching Items().
+func TestForEachItemOrder(t *testing.T) {
+	a := MustAssignment(
+		Uniform("b", 1, 2, 1, 2),
+		Uniform("a", 1, 2, 2, 3),
+		Uniform("c", 1, 2, 3, 4),
+	)
+	var seen []types.ItemID
+	a.ForEachItem(func(ic ItemConfig) { seen = append(seen, ic.Item) })
+	want := a.Items()
+	if len(seen) != len(want) {
+		t.Fatalf("visited %d items, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("order diverged at %d: %v vs %v", i, seen, want)
+		}
+	}
+}
