@@ -1,0 +1,43 @@
+package qcommit
+
+import (
+	"qcommit/internal/churn"
+)
+
+// Re-exported churn-study types. A churn study measures steady-state
+// availability: sites fail and repair (exponential MTTF/MTTR), partitions
+// form and heal, and a continuous transaction stream experiences blocking
+// as lost time rather than a one-shot verdict. See internal/churn for the
+// timeline model and determinism guarantee.
+type (
+	// ChurnParams parameterizes a steady-state availability study.
+	ChurnParams = churn.Params
+	// ChurnOptions tunes the study's worker pool and progress reporting.
+	ChurnOptions = churn.Options
+	// ChurnResult is one protocol column of a study.
+	ChurnResult = churn.Result
+	// ChurnCounts aggregates what the transaction stream experienced.
+	ChurnCounts = churn.Counts
+)
+
+// DefaultChurnParams returns the paper-scale configuration with moderate
+// site churn (8 sites, 4 items ×4 copies, MTTF 2s, MTTR 400ms, 5s horizon)
+// and partition churn disabled.
+func DefaultChurnParams() ChurnParams { return churn.DefaultParams() }
+
+// ChurnStudy evaluates runs independent churn runs under all five standard
+// protocols (2PC, 3PC, SkeenQ, QC1, QC2) and aggregates per-protocol
+// steady-state metrics: committed/aborted/blocked fractions,
+// time-to-termination percentiles, blocked-time share, and safety
+// violations. Results are deterministic in (params, runs, seed) for any
+// worker count.
+func ChurnStudy(params ChurnParams, runs int, seed int64, opts ChurnOptions) ([]ChurnResult, error) {
+	return churn.StudyParallel(params, runs, seed, churn.StandardBuilders(), opts)
+}
+
+// FormatChurnTable renders churn study results as an aligned text table.
+func FormatChurnTable(results []ChurnResult) string { return churn.FormatTable(results) }
+
+// FormatChurnTableCI renders churn study results with 95% Wilson intervals
+// on the committed and terminated fractions.
+func FormatChurnTableCI(results []ChurnResult) string { return churn.FormatTableCI(results) }

@@ -1,0 +1,76 @@
+package qcommit
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestChurnStudySmoke drives the root churn API end to end: deterministic
+// results, all five protocol columns, zero safety violations under site
+// churn.
+func TestChurnStudySmoke(t *testing.T) {
+	params := DefaultChurnParams()
+	params.Horizon = 2 * Second
+	res, err := ChurnStudy(params, 3, 1, ChurnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]string, len(res))
+	for i, r := range res {
+		labels[i] = r.Label
+		if r.Violations != 0 {
+			t.Errorf("%s: %d violations under site churn", r.Label, r.Violations)
+		}
+		if r.Counts.Submitted == 0 {
+			t.Errorf("%s: no transactions submitted", r.Label)
+		}
+	}
+	want := []string{"2PC", "3PC", "SkeenQ", "QC1", "QC2"}
+	if !reflect.DeepEqual(labels, want) {
+		t.Errorf("protocol columns = %v, want %v", labels, want)
+	}
+	again, err := ChurnStudy(params, 3, 1, ChurnOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Error("ChurnStudy not deterministic across worker counts")
+	}
+	table := FormatChurnTable(res)
+	ci := FormatChurnTableCI(res)
+	if table == "" || ci == "" {
+		t.Error("empty churn tables")
+	}
+}
+
+// TestKickAt scripts a full recovery scenario through the root API: a
+// partition blocks the minority side of an interrupted transaction, the
+// heal is scheduled, and a KickAt right after lets the stragglers learn the
+// decision.
+func TestKickAt(t *testing.T) {
+	cluster, err := NewCluster(PaperItems(), Options{Protocol: ProtoQC1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := cluster.SetupInterrupted(1, map[ItemID]int64{"x": 1, "y": 2},
+		map[SiteID]State{
+			1: StateWait, 2: StateWait, 3: StateWait, 4: StateWait,
+			5: StateWait, 6: StateWait, 7: StateWait, 8: StateWait,
+		})
+	cluster.Crash(1)
+	// {2,3} lacks any replica quorum: blocked there, aborted in the large
+	// group.
+	cluster.Partition([]SiteID{2, 3}, []SiteID{4, 5, 6, 7, 8})
+	healAt := Time(0).Add(500 * Millisecond)
+	cluster.HealAt(healAt)
+	cluster.KickAt(healAt, txn)
+	cluster.Run()
+	for _, id := range []SiteID{2, 3, 4, 5, 6, 7, 8} {
+		if got := cluster.OutcomeAt(id, txn); got != OutcomeAborted {
+			t.Errorf("site%d = %v after heal+kick, want aborted", id, got)
+		}
+	}
+	if v := cluster.Violations(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}

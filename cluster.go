@@ -269,6 +269,10 @@ func (c *Cluster) HealAt(t Time) { c.eng.HealAt(t) }
 // for txn (use after healing or recovering sites).
 func (c *Cluster) Kick(txn TxnID) { c.eng.Kick(txn) }
 
+// KickAt schedules a Kick (pair with RestartAt/HealAt to script a recovery
+// scenario end to end).
+func (c *Cluster) KickAt(t Time, txn TxnID) { c.eng.KickAt(t, txn) }
+
 // DropMessages installs a scripted message filter: messages for which drop
 // returns true are lost. Pass nil to clear.
 func (c *Cluster) DropMessages(drop func(from, to SiteID) bool) {

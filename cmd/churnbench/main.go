@@ -1,0 +1,258 @@
+// Command churnbench runs the steady-state availability study: sites fail
+// and repair (exponential MTTF/MTTR), partitions optionally form and heal,
+// and a continuous transaction stream runs the full commit protocol while
+// the fault timeline plays out. It prints per-protocol comparison tables
+// and tracks machine-readable results.
+//
+//	churnbench -runs 16
+//	churnbench -mttf 2s -mttr 400ms -horizon 5s
+//	churnbench -partmtbf 1500ms -partmttr 500ms     enable partition churn
+//	churnbench -protocol QC1,QC2,2PC                study a subset
+//	churnbench -sweep mttr                          MTTR sensitivity: repair
+//	                                                speed from mttr/4 to 4×mttr
+//	churnbench -sweep mttf                          failure-rate sensitivity
+//	churnbench -workers 8                           parallel run evaluation
+//	churnbench -ci                                  95% Wilson intervals
+//	churnbench -json PATH                           write results + runs/sec
+//	                                                (e.g. BENCH_churn.json)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qcommit/internal/churn"
+	"qcommit/internal/sim"
+)
+
+type runConfig struct {
+	runs     int
+	seed     int64
+	workers  int
+	builders []churn.Builder
+	ci       bool
+	progress bool
+}
+
+// jsonProtocol is one protocol column of a study in -json output.
+type jsonProtocol struct {
+	Label           string       `json:"label"`
+	Runs            int          `json:"runs"`
+	Submitted       int          `json:"submitted"`
+	CommittedFrac   float64      `json:"committed_frac"`
+	AbortedFrac     float64      `json:"aborted_frac"`
+	BlockedFrac     float64      `json:"blocked_frac"`
+	BlockedShare    float64      `json:"blocked_time_share"`
+	P50Ms           float64      `json:"p50_ms"`
+	P95Ms           float64      `json:"p95_ms"`
+	P99Ms           float64      `json:"p99_ms"`
+	Violations      int          `json:"violations"`
+	Counts          churn.Counts `json:"counts"`
+	CommittedCILo   float64      `json:"committed_ci_lo"`
+	CommittedCIHi   float64      `json:"committed_ci_hi"`
+	TerminatedCILo  float64      `json:"terminated_ci_lo"`
+	TerminatedCIHi  float64      `json:"terminated_ci_hi"`
+	TerminatedCount int          `json:"terminated"`
+}
+
+// jsonRun is one parameter point of a (possibly swept) invocation.
+type jsonRun struct {
+	Params     churn.Params   `json:"params"`
+	MTTFMs     float64        `json:"mttf_ms"`
+	MTTRMs     float64        `json:"mttr_ms"`
+	Runs       int            `json:"runs"`
+	Seed       int64          `json:"seed"`
+	Workers    int            `json:"workers"`
+	ElapsedSec float64        `json:"elapsed_sec"`
+	RunsPerSec float64        `json:"runs_per_sec"`
+	Protocols  []jsonProtocol `json:"protocols"`
+}
+
+// jsonDoc is the top-level -json document.
+type jsonDoc struct {
+	Command string    `json:"command"`
+	Runs    []jsonRun `json:"runs"`
+}
+
+func main() {
+	runs := flag.Int("runs", 16, "independent timeline runs per parameter point")
+	seed := flag.Int64("seed", 1, "base seed (run r draws from seed+r)")
+	protocols := flag.String("protocol", "all", "comma-separated protocols (2PC,3PC,SkeenQ,QC1,QC2) or 'all'")
+	sites := flag.Int("sites", 8, "number of database sites")
+	items := flag.Int("items", 4, "number of replicated items")
+	copies := flag.Int("copies", 4, "copies per item")
+	writes := flag.Int("writes", 2, "items written per transaction")
+	hot := flag.Float64("hot", 0, "fraction of writes hitting the first item (hot spot)")
+	arrival := flag.Duration("arrival", 100*time.Millisecond, "mean transaction inter-arrival time (virtual)")
+	mttf := flag.Duration("mttf", 2*time.Second, "per-site mean time to failure (0 disables site churn)")
+	mttr := flag.Duration("mttr", 400*time.Millisecond, "per-site mean time to repair")
+	partMTBF := flag.Duration("partmtbf", 0, "mean time between partitions (0 disables partition churn)")
+	partMTTR := flag.Duration("partmttr", 500*time.Millisecond, "mean partition duration")
+	groups := flag.Int("groups", 3, "max partition groups")
+	horizon := flag.Duration("horizon", 5*time.Second, "virtual-time length of each run")
+	sweep := flag.String("sweep", "", "sweep a parameter: 'mttr' (repair speed) or 'mttf' (failure rate)")
+	workers := flag.Int("workers", 0, "run-evaluation worker goroutines (0 = GOMAXPROCS)")
+	ci := flag.Bool("ci", false, "print 95% Wilson confidence intervals")
+	jsonPath := flag.String("json", "", "write machine-readable results (with runs/sec) to this path")
+	progress := flag.Bool("progress", false, "report run completion on stderr")
+	flag.Parse()
+
+	builders, err := selectBuilders(*protocols)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	base := churn.Params{
+		NumSites:         *sites,
+		NumItems:         *items,
+		CopiesPerItem:    *copies,
+		WritesPerTxn:     *writes,
+		HotFraction:      *hot,
+		MeanInterarrival: sim.Duration(arrival.Nanoseconds()),
+		MTTF:             sim.Duration(mttf.Nanoseconds()),
+		MTTR:             sim.Duration(mttr.Nanoseconds()),
+		PartitionMTBF:    sim.Duration(partMTBF.Nanoseconds()),
+		PartitionMTTR:    sim.Duration(partMTTR.Nanoseconds()),
+		MaxGroups:        *groups,
+		Horizon:          sim.Duration(horizon.Nanoseconds()),
+	}
+	cfg := runConfig{runs: *runs, seed: *seed, workers: *workers, builders: builders, ci: *ci, progress: *progress}
+
+	var doc jsonDoc
+	doc.Command = "churnbench " + strings.Join(os.Args[1:], " ")
+	record := func(r jsonRun) { doc.Runs = append(doc.Runs, r) }
+
+	// Sensitivity sweeps scale the swept mean by ¼, ½, 1, 2 and 4.
+	multipliers := []struct {
+		num, den sim.Duration
+	}{{1, 4}, {1, 2}, {1, 1}, {2, 1}, {4, 1}}
+
+	switch *sweep {
+	case "":
+		record(run(base, cfg))
+	case "mttr":
+		for _, m := range multipliers {
+			p := base
+			p.MTTR = base.MTTR * m.num / m.den
+			fmt.Printf("--- MTTR = %v (MTTF %v) ---\n", time.Duration(p.MTTR), time.Duration(p.MTTF))
+			record(run(p, cfg))
+		}
+	case "mttf":
+		for _, m := range multipliers {
+			p := base
+			p.MTTF = base.MTTF * m.num / m.den
+			fmt.Printf("--- MTTF = %v (MTTR %v) ---\n", time.Duration(p.MTTF), time.Duration(p.MTTR))
+			record(run(p, cfg))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q (want 'mttr' or 'mttf')\n", *sweep)
+		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+func selectBuilders(arg string) ([]churn.Builder, error) {
+	all := churn.StandardBuilders()
+	if arg == "" || arg == "all" {
+		return all, nil
+	}
+	byLabel := make(map[string]churn.Builder, len(all))
+	for _, b := range all {
+		byLabel[strings.ToLower(b.Label)] = b
+	}
+	var out []churn.Builder
+	for _, name := range strings.Split(arg, ",") {
+		b, ok := byLabel[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return nil, fmt.Errorf("unknown protocol %q (want 2PC, 3PC, SkeenQ, QC1 or QC2)", name)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func run(params churn.Params, cfg runConfig) jsonRun {
+	opts := churn.Options{Workers: cfg.workers}
+	if cfg.progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	start := time.Now()
+	results, err := churn.StudyParallel(params, cfg.runs, cfg.seed, cfg.builders, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("churn: %d sites, %d items ×%d copies, %d written, arrival %v, MTTF %v, MTTR %v",
+		params.NumSites, params.NumItems, params.CopiesPerItem, params.WritesPerTxn,
+		time.Duration(params.MeanInterarrival), time.Duration(params.MTTF), time.Duration(params.MTTR))
+	if params.PartitionMTBF > 0 {
+		fmt.Printf(", partitions every %v for %v", time.Duration(params.PartitionMTBF), time.Duration(params.PartitionMTTR))
+	}
+	fmt.Printf("\nhorizon %v ×%d runs (%.1f runs/s)\n",
+		time.Duration(params.Horizon), cfg.runs, float64(cfg.runs)/elapsed.Seconds())
+	if cfg.ci {
+		fmt.Print(churn.FormatTableCI(results))
+	} else {
+		fmt.Print(churn.FormatTable(results))
+	}
+	fmt.Println()
+
+	rec := jsonRun{
+		Params:     params,
+		MTTFMs:     float64(params.MTTF) / 1e6,
+		MTTRMs:     float64(params.MTTR) / 1e6,
+		Runs:       cfg.runs,
+		Seed:       cfg.seed,
+		Workers:    cfg.workers,
+		ElapsedSec: elapsed.Seconds(),
+		RunsPerSec: float64(cfg.runs) / elapsed.Seconds(),
+	}
+	for _, r := range results {
+		clo, chi := r.CommittedCI()
+		tlo, thi := r.TerminatedCI()
+		rec.Protocols = append(rec.Protocols, jsonProtocol{
+			Label:           r.Label,
+			Runs:            r.Runs,
+			Submitted:       r.Counts.Submitted,
+			CommittedFrac:   r.Counts.CommittedFraction(),
+			AbortedFrac:     r.Counts.AbortedFraction(),
+			BlockedFrac:     r.Counts.BlockedFraction(),
+			BlockedShare:    r.Counts.BlockedTimeShare(),
+			P50Ms:           float64(r.LatencyPercentile(50)) / 1e6,
+			P95Ms:           float64(r.LatencyPercentile(95)) / 1e6,
+			P99Ms:           float64(r.LatencyPercentile(99)) / 1e6,
+			Violations:      r.Violations,
+			Counts:          r.Counts,
+			CommittedCILo:   clo,
+			CommittedCIHi:   chi,
+			TerminatedCILo:  tlo,
+			TerminatedCIHi:  thi,
+			TerminatedCount: r.Counts.Committed + r.Counts.Aborted,
+		})
+	}
+	return rec
+}

@@ -5,6 +5,8 @@
 //	qsim -protocol QC1
 //	qsim -protocol SkeenQ -crash 1 -crashat 15ms -partition "1,2,3|4,5|6,7,8" -partat 15ms
 //	qsim -protocol QC2 -loss 0.1 -ladder
+//	qsim -protocol QC1 -crash 1 -crashat 15ms -restart "1:300ms"    crash then recover
+//	qsim -protocol 2PC -partition "1,2,3,4|5,6,7,8" -partat 15ms -heal 300ms
 package main
 
 import (
@@ -27,6 +29,8 @@ func main() {
 	crashAt := flag.Duration("crashat", 15*time.Millisecond, "virtual time of the crash")
 	partition := flag.String("partition", "", "partition groups, e.g. \"1,2,3|4,5|6,7,8\"")
 	partAt := flag.Duration("partat", 15*time.Millisecond, "virtual time of the partition")
+	restart := flag.String("restart", "", "scheduled recoveries as site:time pairs, e.g. \"1:300ms,2:400ms\"")
+	heal := flag.Duration("heal", 0, "virtual time to heal the partition (0 = never)")
 	ladder := flag.Bool("ladder", false, "print the full message ladder")
 	flag.Parse()
 
@@ -48,6 +52,18 @@ func main() {
 	}
 	if groups := parseGroups(*partition); groups != nil {
 		c.PartitionAt(qcommit.Time(partAt.Nanoseconds()), groups...)
+	}
+	// Each recovery (restart or heal) is followed by a Kick at the same
+	// virtual instant, so a transaction the failure blocked re-enters the
+	// termination protocol with a fresh round budget.
+	for _, r := range parseRestarts(*restart) {
+		c.RestartAt(r.at, r.site)
+		c.KickAt(r.at, txn)
+	}
+	if *heal > 0 {
+		healAt := qcommit.Time(heal.Nanoseconds())
+		c.HealAt(healAt)
+		c.KickAt(healAt, txn)
 	}
 
 	end := c.Run()
@@ -83,6 +99,37 @@ func parseSites(s string) []qcommit.SiteID {
 			os.Exit(2)
 		}
 		out = append(out, qcommit.SiteID(n))
+	}
+	return out
+}
+
+type restartSpec struct {
+	site qcommit.SiteID
+	at   qcommit.Time
+}
+
+func parseRestarts(s string) []restartSpec {
+	if s == "" {
+		return nil
+	}
+	var out []restartSpec
+	for _, pair := range strings.Split(s, ",") {
+		site, at, ok := strings.Cut(strings.TrimSpace(pair), ":")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bad restart %q (want site:time, e.g. 1:300ms)\n", pair)
+			os.Exit(2)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(site))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad restart site %q\n", site)
+			os.Exit(2)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(at))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad restart time %q: %v\n", at, err)
+			os.Exit(2)
+		}
+		out = append(out, restartSpec{site: qcommit.SiteID(n), at: qcommit.Time(d.Nanoseconds())})
 	}
 	return out
 }

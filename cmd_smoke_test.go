@@ -40,6 +40,27 @@ func TestCommandsSmoke(t *testing.T) {
 				"-partition", "1,2,3|4,5|6,7,8", "-partat", "15ms"},
 			want: []string{"protocol: QC1", "outcome:", "network:"},
 		},
+		{
+			// Scripted recovery: the partition heals and the crashed
+			// coordinator restarts, so the interrupted transaction must
+			// terminate at every site (no "blocked" in the per-site map).
+			name: "qsim-recovery",
+			args: []string{"run", "./cmd/qsim", "-protocol", "QC1",
+				"-crash", "1", "-crashat", "15ms",
+				"-partition", "1,2,3|4,5|6,7,8", "-partat", "15ms",
+				"-heal", "300ms", "-restart", "1:350ms"},
+			want: []string{"protocol: QC1", "outcome: aborted", "site1:aborted"},
+		},
+		{
+			name: "churnbench",
+			args: []string{"run", "./cmd/churnbench", "-runs", "4", "-horizon", "2s"},
+			want: []string{"protocol", "2PC", "3PC", "SkeenQ", "QC1", "QC2", "p95(ms)", "blkshare"},
+		},
+		{
+			name: "churnstudy-example",
+			args: []string{"run", "./examples/churnstudy"},
+			want: []string{"repair-speed sweep", "MTTR = 100ms", "partition churn", "3PC violated atomicity"},
+		},
 	}
 	for _, tc := range cases {
 		tc := tc

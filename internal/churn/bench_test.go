@@ -1,0 +1,56 @@
+package churn
+
+import (
+	"fmt"
+	"testing"
+
+	"qcommit/internal/sim"
+)
+
+func benchParams() Params {
+	p := DefaultParams()
+	p.Horizon = 2 * sim.Second
+	return p
+}
+
+// BenchmarkStudy measures the serial study kernel (one run is a full
+// 5-protocol timeline replay).
+func BenchmarkStudy(b *testing.B) {
+	params := benchParams()
+	builders := StandardBuilders()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Study(params, 1, 1, builders); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStudyParallel measures the worker-pool study at several worker
+// counts.
+func BenchmarkStudyParallel(b *testing.B) {
+	params := benchParams()
+	builders := StandardBuilders()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := StudyParallel(params, 4, 1, builders, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerateScript isolates script generation (placement + timeline +
+// workload draw) from simulation.
+func BenchmarkGenerateScript(b *testing.B) {
+	params := benchParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := generateScript(params, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

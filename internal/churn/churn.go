@@ -1,0 +1,312 @@
+// Package churn measures steady-state availability under failure and repair
+// timelines — the time-axis counterpart of package avail's frozen-snapshot
+// Monte Carlo.
+//
+// Where avail replays a single interrupted commit against a static partition,
+// a churn study drives a continuous transaction stream through a cluster
+// whose world keeps changing: each site alternates between up and down
+// through an exponential renewal process (mean up time MTTF, mean repair
+// time MTTR), and the network optionally alternates between connected and
+// partitioned (PartitionMTBF/PartitionMTTR, with a fresh random partition
+// layout per split). Transactions arrive with exponential spacing, are
+// submitted at a live replica of the data they write, and run the full
+// commit protocol; when failures interrupt them, the termination protocol
+// fights for a decision, and every repair event re-kicks whatever is still
+// blocked. At the horizon the study tallies what a client of the system
+// would have experienced: committed/aborted/blocked fractions,
+// time-to-termination percentiles in virtual time, the share of
+// post-submission time spent awaiting a decision, and safety violations.
+//
+// # Timeline model
+//
+// A run's world is drawn up front from its seed: replica placement (random
+// CopiesPerItem sites per item, majority quorums), the per-site
+// crash/restart timeline, the partition form/heal timeline, and the
+// transaction stream. Every protocol column replays the identical world, so
+// differences between columns isolate the commit and termination protocols
+// — exactly the avail sweep's discipline, extended over time.
+//
+// # Determinism
+//
+// A study is a pure function of (Params, runs, seed, builders): run r draws
+// its script from seed+r, all scheduling happens through the deterministic
+// simulator, and aggregation is integer addition plus an order-insensitive
+// sort of latencies. StudyParallel exploits this: runs are evaluated by a
+// worker pool and merged in run order, making its results bit-for-bit
+// identical to the serial Study for any worker count.
+package churn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"qcommit/internal/avail"
+	"qcommit/internal/sim"
+)
+
+// Params parameterizes a churn study.
+type Params struct {
+	// NumSites is the number of database sites.
+	NumSites int
+	// NumItems is the number of replicated data items.
+	NumItems int
+	// CopiesPerItem is the replication degree (majority quorums).
+	CopiesPerItem int
+	// WritesPerTxn is how many distinct items each transaction updates.
+	WritesPerTxn int
+	// HotFraction in [0,1) skews that share of writes onto the first item.
+	HotFraction float64
+	// MeanInterarrival is the mean spacing between transaction submissions
+	// (exponential arrivals).
+	MeanInterarrival sim.Duration
+	// MTTF is each site's mean time to failure (mean up time). Zero
+	// disables site churn.
+	MTTF sim.Duration
+	// MTTR is each site's mean time to repair (mean down time). Required
+	// when MTTF is set.
+	MTTR sim.Duration
+	// PartitionMTBF is the mean time the network stays fully connected
+	// between partition events. Zero disables partition churn.
+	PartitionMTBF sim.Duration
+	// PartitionMTTR is the mean duration of a partition. Required when
+	// PartitionMTBF is set.
+	PartitionMTTR sim.Duration
+	// MaxGroups bounds the number of groups a partition event splits the
+	// network into (≥2; only used with partition churn).
+	MaxGroups int
+	// Horizon is the virtual-time length of each run.
+	Horizon sim.Duration
+}
+
+// DefaultParams mirrors the avail sweep's scale (8 sites, 4 items ×4
+// copies, 2 writes per transaction) with moderate site churn: sites fail
+// every ~2s of virtual time and repair in ~400ms, transactions arrive every
+// ~100ms, and each run observes 5s. Partition churn is off by default so
+// the default study isolates the site-failure/repair axis (enable it via
+// PartitionMTBF/PartitionMTTR).
+func DefaultParams() Params {
+	return Params{
+		NumSites:         8,
+		NumItems:         4,
+		CopiesPerItem:    4,
+		WritesPerTxn:     2,
+		MeanInterarrival: 100 * sim.Millisecond,
+		MTTF:             2 * sim.Second,
+		MTTR:             400 * sim.Millisecond,
+		MaxGroups:        3,
+		Horizon:          5 * sim.Second,
+	}
+}
+
+func (p Params) validate() error {
+	if p.NumSites < 2 || p.NumItems < 1 || p.CopiesPerItem < 1 || p.WritesPerTxn < 1 {
+		return fmt.Errorf("churn: invalid params %+v", p)
+	}
+	if p.CopiesPerItem > p.NumSites {
+		return fmt.Errorf("churn: CopiesPerItem %d exceeds NumSites %d", p.CopiesPerItem, p.NumSites)
+	}
+	if p.WritesPerTxn > p.NumItems {
+		return fmt.Errorf("churn: WritesPerTxn %d exceeds NumItems %d", p.WritesPerTxn, p.NumItems)
+	}
+	if p.HotFraction < 0 || p.HotFraction >= 1 {
+		return fmt.Errorf("churn: HotFraction %v outside [0,1)", p.HotFraction)
+	}
+	if p.MeanInterarrival <= 0 {
+		return fmt.Errorf("churn: MeanInterarrival must be positive, got %d", p.MeanInterarrival)
+	}
+	if p.Horizon <= 0 {
+		return fmt.Errorf("churn: Horizon must be positive, got %d", p.Horizon)
+	}
+	if p.MTTF < 0 || p.MTTR < 0 || p.PartitionMTBF < 0 || p.PartitionMTTR < 0 {
+		return fmt.Errorf("churn: negative timeline parameter in %+v", p)
+	}
+	if p.MTTF > 0 && p.MTTR == 0 {
+		return fmt.Errorf("churn: MTTF set but MTTR zero (repairs would never finish)")
+	}
+	if p.PartitionMTBF > 0 {
+		if p.PartitionMTTR == 0 {
+			return fmt.Errorf("churn: PartitionMTBF set but PartitionMTTR zero")
+		}
+		if p.MaxGroups < 2 {
+			return fmt.Errorf("churn: MaxGroups %d < 2 with partition churn enabled", p.MaxGroups)
+		}
+	}
+	return nil
+}
+
+// Counts aggregates what the transaction stream experienced.
+type Counts struct {
+	// Arrivals counts generated submissions, including rejected ones.
+	Arrivals int
+	// Submitted counts transactions that found a live coordinator.
+	Submitted int
+	// Committed / Aborted count submitted transactions that reached that
+	// decision at some site before the horizon.
+	Committed int
+	Aborted   int
+	// Blocked counts submitted transactions still undecided at the horizon
+	// with some site uncertain (voted, holding locks).
+	Blocked int
+	// Unresolved counts submitted transactions that left no trace anywhere
+	// (the coordinator crashed before any site voted); no locks are held.
+	Unresolved int
+	// Rejected counts arrivals whose every participant replica was down at
+	// submission time (the client could not even submit).
+	Rejected int
+	// PendingNS sums, over submitted transactions, the virtual time from
+	// submission until the first decision (or until the horizon for
+	// transactions that never terminated).
+	PendingNS int64
+	// PostSubmitNS sums horizon-minus-submission over submitted
+	// transactions; PendingNS/PostSubmitNS is the blocked-time share.
+	PostSubmitNS int64
+	// SiteDownNS sums per-site down time within the horizon (timeline
+	// context, identical across protocol columns of a run).
+	SiteDownNS int64
+	// PartitionedNS is the virtual time the network spent partitioned.
+	PartitionedNS int64
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.Arrivals += other.Arrivals
+	c.Submitted += other.Submitted
+	c.Committed += other.Committed
+	c.Aborted += other.Aborted
+	c.Blocked += other.Blocked
+	c.Unresolved += other.Unresolved
+	c.Rejected += other.Rejected
+	c.PendingNS += other.PendingNS
+	c.PostSubmitNS += other.PostSubmitNS
+	c.SiteDownNS += other.SiteDownNS
+	c.PartitionedNS += other.PartitionedNS
+}
+
+func frac(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// CommittedFraction is the share of submitted transactions that committed.
+func (c Counts) CommittedFraction() float64 { return frac(c.Committed, c.Submitted) }
+
+// AbortedFraction is the share of submitted transactions that aborted.
+func (c Counts) AbortedFraction() float64 { return frac(c.Aborted, c.Submitted) }
+
+// TerminatedFraction is the share of submitted transactions that reached a
+// decision (commit or abort) before the horizon.
+func (c Counts) TerminatedFraction() float64 { return frac(c.Committed+c.Aborted, c.Submitted) }
+
+// BlockedFraction is the share of submitted transactions still blocked at
+// the horizon.
+func (c Counts) BlockedFraction() float64 { return frac(c.Blocked, c.Submitted) }
+
+// BlockedTimeShare is the share of post-submission virtual time that
+// submitted transactions spent awaiting a decision: 0 means every
+// transaction terminated instantly, 1 means nothing ever terminated. It is
+// the time-integrated price of blocking — a transaction that blocks early
+// in the horizon weighs more than one that blocks near the end.
+func (c Counts) BlockedTimeShare() float64 {
+	if c.PostSubmitNS == 0 {
+		return 0
+	}
+	return float64(c.PendingNS) / float64(c.PostSubmitNS)
+}
+
+// Result is the aggregate of one protocol column across all runs.
+type Result struct {
+	Label  string
+	Runs   int
+	Counts Counts
+	// Violations counts atomicity violations plus store-consistency issues
+	// across all runs (a correct protocol yields zero).
+	Violations int
+	// Latencies holds the time-to-termination of every terminated
+	// transaction across all runs, sorted ascending.
+	Latencies []sim.Duration
+}
+
+// LatencyPercentile returns the p-th percentile (0 < p ≤ 100) of the
+// time-to-termination distribution by the nearest-rank method, or 0 with no
+// terminated transactions.
+func (r Result) LatencyPercentile(p float64) sim.Duration {
+	n := len(r.Latencies)
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return r.Latencies[idx]
+}
+
+// CommittedCI is the 95% Wilson interval around CommittedFraction, treating
+// each submitted transaction as one Bernoulli trial. Transactions in a run
+// share a timeline and so are positively correlated; read the interval as
+// precision-of-the-pool rather than strict coverage (the avail package's
+// caveat applies here too).
+func (r Result) CommittedCI() (lo, hi float64) {
+	return avail.WilsonInterval(r.Counts.Committed, r.Counts.Submitted, avail.Z95)
+}
+
+// TerminatedCI is the 95% Wilson interval around TerminatedFraction.
+func (r Result) TerminatedCI() (lo, hi float64) {
+	return avail.WilsonInterval(r.Counts.Committed+r.Counts.Aborted, r.Counts.Submitted, avail.Z95)
+}
+
+// ms renders a virtual duration in milliseconds.
+func ms(d sim.Duration) float64 { return float64(d) / 1e6 }
+
+// FormatTable renders study results as an aligned text table.
+func FormatTable(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %6s %6s %10s %9s %9s %9s %9s %9s %10s\n",
+		"protocol", "runs", "txns", "committed", "aborted", "blocked", "p50(ms)", "p95(ms)", "p99(ms)", "blkshare")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-8s %6d %6d %9.1f%% %8.1f%% %8.1f%% %9.2f %9.2f %9.2f %9.1f%%",
+			r.Label, r.Runs, r.Counts.Submitted,
+			100*r.Counts.CommittedFraction(), 100*r.Counts.AbortedFraction(), 100*r.Counts.BlockedFraction(),
+			ms(r.LatencyPercentile(50)), ms(r.LatencyPercentile(95)), ms(r.LatencyPercentile(99)),
+			100*r.Counts.BlockedTimeShare())
+		if r.Violations > 0 {
+			fmt.Fprintf(&b, "  VIOLATIONS=%d", r.Violations)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTableCI renders study results with 95% Wilson intervals on the
+// committed and terminated fractions.
+func FormatTableCI(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %6s %6s %22s %22s %10s %10s\n",
+		"protocol", "runs", "txns", "committed [95% CI]", "terminated [95% CI]", "blkshare", "violations")
+	for _, r := range results {
+		clo, chi := r.CommittedCI()
+		tlo, thi := r.TerminatedCI()
+		fmt.Fprintf(&b, "%-8s %6d %6d %7.1f%% [%5.1f,%5.1f]%% %7.1f%% [%5.1f,%5.1f]%% %9.1f%% %10d\n",
+			r.Label, r.Runs, r.Counts.Submitted,
+			100*r.Counts.CommittedFraction(), 100*clo, 100*chi,
+			100*r.Counts.TerminatedFraction(), 100*tlo, 100*thi,
+			100*r.Counts.BlockedTimeShare(), r.Violations)
+	}
+	return b.String()
+}
+
+// sortLatencies finalizes results after accumulation: the per-run latency
+// streams become one ascending distribution per protocol.
+func sortLatencies(results []Result) {
+	for i := range results {
+		lats := results[i].Latencies
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	}
+}

@@ -1,0 +1,233 @@
+package churn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"qcommit/internal/sim"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+	"qcommit/internal/workload"
+)
+
+// EventKind classifies a fault-timeline event.
+type EventKind uint8
+
+// Timeline event kinds, in deterministic tie-break order: at equal times a
+// failure is applied before its repair counterpart so a site whose repair
+// draw rounds to zero still observes one down instant, and partitions form
+// before they heal.
+const (
+	// EventCrash takes one site down (volatile state lost, WAL kept).
+	EventCrash EventKind = iota
+	// EventPartition splits the network into Groups.
+	EventPartition
+	// EventRestart brings one site back (WAL replay + anti-entropy).
+	EventRestart
+	// EventHeal reconnects the network.
+	EventHeal
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventCrash:
+		return "crash"
+	case EventPartition:
+		return "partition"
+	case EventRestart:
+		return "restart"
+	default:
+		return "heal"
+	}
+}
+
+// Event is one scheduled fault or repair on the timeline.
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	// Site is the subject of EventCrash/EventRestart.
+	Site types.SiteID
+	// Groups is the partition layout of EventPartition.
+	Groups [][]types.SiteID
+}
+
+// arrival is one pre-drawn transaction submission.
+type arrival struct {
+	At sim.Time
+	// Coord is the preferred coordinator; if it is down at submission time
+	// the runner re-routes to the lowest-numbered up participant.
+	Coord        types.SiteID
+	Writeset     types.Writeset
+	Participants []types.SiteID
+}
+
+// script is everything one study run needs, drawn up front so every protocol
+// column replays the identical world: the replica placement, the fault
+// timeline, and the transaction stream.
+type script struct {
+	sites    []types.SiteID
+	asgn     *voting.Assignment
+	events   []Event
+	arrivals []arrival
+	// repairs are the indices into events of EventRestart/EventHeal, where
+	// the runner re-kicks blocked transactions.
+	repairs []int
+	// siteDownNS is the summed per-site down time within the horizon;
+	// partitionedNS is the time the network spent split.
+	siteDownNS    int64
+	partitionedNS int64
+}
+
+// expDur draws an exponentially distributed duration with the given mean,
+// rounded up so a positive mean never yields a zero-length interval.
+func expDur(rng *rand.Rand, mean sim.Duration) sim.Duration {
+	d := sim.Duration(rng.ExpFloat64() * float64(mean))
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
+// generateScript draws the run script for one seed. Generation is
+// deterministic in (params, seed): a single rand source is consumed in a
+// fixed order (placement, per-site failure processes, partition process,
+// arrival times), and the transaction mix uses its own derived-seed
+// generator so workload draws never shift fault draws or vice versa.
+func generateScript(params Params, seed int64) (*script, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sc := &script{}
+
+	// Replica placement: CopiesPerItem random sites per item, one vote per
+	// copy, majority quorums — the avail sweep's placement model.
+	sc.sites = make([]types.SiteID, params.NumSites)
+	for i := range sc.sites {
+		sc.sites[i] = types.SiteID(i + 1)
+	}
+	r, w := voting.MajorityQuorums(params.CopiesPerItem)
+	configs := make([]voting.ItemConfig, params.NumItems)
+	for i := range configs {
+		perm := rng.Perm(params.NumSites)
+		copies := make([]voting.Copy, params.CopiesPerItem)
+		for j := range copies {
+			copies[j] = voting.Copy{Site: sc.sites[perm[j]], Votes: 1}
+		}
+		configs[i] = voting.ItemConfig{Item: types.ItemID(fmt.Sprintf("item%d", i+1)), Copies: copies, R: r, W: w}
+	}
+	asgn, err := voting.NewAssignment(configs...)
+	if err != nil {
+		return nil, err
+	}
+	sc.asgn = asgn
+
+	horizon := sim.Time(params.Horizon)
+
+	// Per-site alternating up/down renewal process: up ~ Exp(MTTF),
+	// down ~ Exp(MTTR). A site mid-repair at the horizon stays down.
+	if params.MTTF > 0 {
+		for _, site := range sc.sites {
+			t := sim.Time(0)
+			for {
+				t = t.Add(expDur(rng, params.MTTF))
+				if t >= horizon {
+					break
+				}
+				sc.events = append(sc.events, Event{At: t, Kind: EventCrash, Site: site})
+				down := t
+				t = t.Add(expDur(rng, params.MTTR))
+				if t >= horizon {
+					sc.siteDownNS += int64(horizon - down)
+					break
+				}
+				sc.siteDownNS += int64(t - down)
+				sc.events = append(sc.events, Event{At: t, Kind: EventRestart, Site: site})
+			}
+		}
+	}
+
+	// Global partition renewal process: connected ~ Exp(PartitionMTBF),
+	// split ~ Exp(PartitionMTTR). Each split draws a fresh random layout of
+	// 2..MaxGroups non-empty groups.
+	if params.PartitionMTBF > 0 {
+		t := sim.Time(0)
+		for {
+			t = t.Add(expDur(rng, params.PartitionMTBF))
+			if t >= horizon {
+				break
+			}
+			sc.events = append(sc.events, Event{At: t, Kind: EventPartition, Groups: randomGroups(rng, sc.sites, params.MaxGroups)})
+			split := t
+			t = t.Add(expDur(rng, params.PartitionMTTR))
+			if t >= horizon {
+				sc.partitionedNS += int64(horizon - split)
+				break
+			}
+			sc.partitionedNS += int64(t - split)
+			sc.events = append(sc.events, Event{At: t, Kind: EventHeal})
+		}
+	}
+
+	sort.SliceStable(sc.events, func(i, j int) bool {
+		a, b := sc.events[i], sc.events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Site < b.Site
+	})
+	for i, ev := range sc.events {
+		if ev.Kind == EventRestart || ev.Kind == EventHeal {
+			sc.repairs = append(sc.repairs, i)
+		}
+	}
+
+	// Transaction stream: exponential inter-arrival times from the main
+	// source, writesets and coordinators from a derived-seed workload
+	// generator.
+	wgen, err := workload.NewGenerator(asgn, workload.Mix{
+		WritesPerTxn: params.WritesPerTxn,
+		HotFraction:  params.HotFraction,
+	}, seed^workloadSeedMix)
+	if err != nil {
+		return nil, err
+	}
+	t := sim.Time(0)
+	for {
+		t = t.Add(expDur(rng, params.MeanInterarrival))
+		if t >= horizon {
+			break
+		}
+		txn := wgen.Next()
+		sc.arrivals = append(sc.arrivals, arrival{
+			At:           t,
+			Coord:        txn.Coord,
+			Writeset:     txn.Writeset,
+			Participants: asgn.Participants(txn.Writeset.Items()),
+		})
+	}
+	return sc, nil
+}
+
+// workloadSeedMix decorrelates the workload generator's seed from the fault
+// rng's seed (an arbitrary odd constant).
+const workloadSeedMix = 0x5bf0_3635
+
+// randomGroups splits sites into 2..maxGroups non-empty groups by
+// round-robin over a random permutation (the avail scenario generator's
+// partition model).
+func randomGroups(rng *rand.Rand, sites []types.SiteID, maxGroups int) [][]types.SiteID {
+	numGroups := 2 + rng.Intn(maxGroups-1)
+	if numGroups > len(sites) {
+		numGroups = len(sites)
+	}
+	perm := rng.Perm(len(sites))
+	groups := make([][]types.SiteID, numGroups)
+	for i, pi := range perm {
+		gi := i % numGroups
+		groups[gi] = append(groups[gi], sites[pi])
+	}
+	return groups
+}

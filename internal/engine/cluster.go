@@ -179,6 +179,9 @@ func (cl *Cluster) Close() error {
 // Scheduler exposes the simulation scheduler.
 func (cl *Cluster) Scheduler() *sim.Scheduler { return cl.sched }
 
+// T returns the timeout base (the longest end-to-end propagation delay).
+func (cl *Cluster) T() sim.Duration { return cl.cfg.T }
+
 // Network exposes the simulated network.
 func (cl *Cluster) Network() *simnet.Network { return cl.net }
 
@@ -370,6 +373,12 @@ func (cl *Cluster) Kick(txn types.TxnID) {
 			s.startElection(cc, cc.nextEpoch, true)
 		})
 	}
+}
+
+// KickAt schedules a Kick at virtual time t (use just after a scheduled
+// heal or restart to retrigger termination with a fresh round budget).
+func (cl *Cluster) KickAt(t sim.Time, txn types.TxnID) {
+	cl.sched.At(t, func() { cl.Kick(txn) })
 }
 
 // Crash takes a site down immediately (volatile state lost, WAL kept).

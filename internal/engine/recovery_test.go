@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"testing"
+
+	"qcommit/internal/msg"
+	"qcommit/internal/sim"
+	"qcommit/internal/types"
+)
+
+// allWait is the paper's canonical interrupted configuration: every site
+// voted yes and holds locks, nobody has the decision.
+func allWait() map[types.SiteID]types.State {
+	states := make(map[types.SiteID]types.State, 8)
+	for s := types.SiteID(1); s <= 8; s++ {
+		states[s] = types.StateWait
+	}
+	return states
+}
+
+// checkClean fails the test on any atomicity violation or store
+// inconsistency.
+func checkClean(t *testing.T, cl *Cluster) {
+	t.Helper()
+	if v := cl.Violations(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+	if issues := cl.CheckStores(); len(issues) != 0 {
+		t.Errorf("store issues: %v", issues)
+	}
+}
+
+// TestCoordinatorRestartMidTermination crashes the coordinator in the middle
+// of the commit procedure and restarts it while the survivors' termination
+// protocol is running: the recovered site must rejoin (via WAL replay and
+// its participant patience timer) and every protocol must end with all
+// sites agreeing, with zero violations. This is the recovery path the churn
+// runner exercises continuously.
+func TestCoordinatorRestartMidTermination(t *testing.T) {
+	for _, spec := range allSpecs() {
+		spec := spec
+		t.Run(spec.Name(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 8; seed++ {
+				cl := New(Config{Seed: seed, Assignment: paperAssignment(t), Spec: spec})
+				txn := cl.Begin(1, types.Writeset{{Item: "x", Value: 3}, {Item: "y", Value: 4}})
+				// 24ms is inside the prepare/decision distribution window;
+				// the restart lands while survivors are terminating.
+				cl.CrashAt(sim.Time(24*sim.Millisecond), 1)
+				cl.RestartAt(sim.Time(80*sim.Millisecond), 1)
+				cl.KickAt(sim.Time(80*sim.Millisecond), txn)
+				cl.Run()
+
+				checkClean(t, cl)
+				// Every site must reach the same terminal outcome — the
+				// restarted coordinator included.
+				outcomes := cl.Outcomes(txn)
+				var want types.Outcome
+				for _, id := range cl.Sites() {
+					o, ok := outcomes[id]
+					if !ok {
+						continue
+					}
+					if o == types.OutcomeBlocked {
+						t.Errorf("seed %d: site%d still blocked after coordinator restart", seed, id)
+						continue
+					}
+					if want == types.OutcomeUnknown {
+						want = o
+					} else if o != want {
+						t.Errorf("seed %d: site%d = %v, others %v", seed, id, o, want)
+					}
+				}
+				if want == types.OutcomeUnknown {
+					t.Errorf("seed %d: no site terminated", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionHealBetweenTerminationRounds blocks an interrupted
+// transaction by partitioning the cluster into quorum-less fragments, lets
+// every termination round fail, then heals and kicks: the quorum protocols
+// must now terminate everywhere, 2PC must keep blocking (nobody knows the
+// decision and nobody is in q — cooperative termination has nothing to work
+// with), and nothing may violate atomicity.
+func TestPartitionHealBetweenTerminationRounds(t *testing.T) {
+	for _, spec := range allSpecs() {
+		spec := spec
+		t.Run(spec.Name(), func(t *testing.T) {
+			t.Parallel()
+			cl := New(Config{Seed: 7, Assignment: paperAssignment(t), Spec: spec})
+			ws := types.Writeset{{Item: "x", Value: 5}, {Item: "y", Value: 6}}
+			txn := cl.SetupInterrupted(1, ws, allWait())
+			cl.Crash(1)
+			// Singleton fragments: one replica vote each < r = 2, so no
+			// quorum rule can fire and every termination round blocks.
+			cl.Partition([]types.SiteID{2}, []types.SiteID{3}, []types.SiteID{4},
+				[]types.SiteID{5}, []types.SiteID{6}, []types.SiteID{7}, []types.SiteID{8})
+			cl.Run()
+			// 3PC's site-failure termination rule terminates every fragment
+			// immediately (all-W → abort): it never blocks, and here the
+			// fragments happen to agree. Everything else blocks.
+			wantBeforeHeal := types.OutcomeBlocked
+			if spec.Name() == "3PC" {
+				wantBeforeHeal = types.OutcomeAborted
+			}
+			for _, id := range []types.SiteID{2, 4, 6, 8} {
+				if got := cl.OutcomeAt(id, txn); got != wantBeforeHeal {
+					t.Fatalf("site%d = %v before heal, want %v", id, got, wantBeforeHeal)
+				}
+			}
+
+			healAt := cl.Scheduler().Now().Add(10 * sim.Millisecond)
+			cl.HealAt(healAt)
+			cl.KickAt(healAt, txn)
+			cl.Run()
+
+			checkClean(t, cl)
+			wantAfterHeal := types.OutcomeAborted
+			if spec.Name() == "2PC" {
+				wantAfterHeal = types.OutcomeBlocked
+			}
+			for _, id := range []types.SiteID{2, 3, 4, 5, 6, 7, 8} {
+				if got := cl.OutcomeAt(id, txn); got != wantAfterHeal {
+					t.Errorf("site%d = %v after heal+kick, want %v", id, got, wantAfterHeal)
+				}
+			}
+		})
+	}
+}
+
+// TestRestartThenRepartition drives the compound fault the churn timeline
+// generates all the time: a participant crashes, the network partitions,
+// the site restarts into a *different* partition layout, and termination is
+// re-kicked. Outcomes must stay consistent across every round.
+func TestRestartThenRepartition(t *testing.T) {
+	for _, spec := range allSpecs() {
+		spec := spec
+		t.Run(spec.Name(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 6; seed++ {
+				cl := New(Config{Seed: seed, Assignment: paperAssignment(t), Spec: spec})
+				ws := types.Writeset{{Item: "x", Value: 9}, {Item: "y", Value: 10}}
+				txn := cl.SetupInterrupted(1, ws, allWait())
+				cl.Crash(1)
+				cl.Crash(5)
+				// Round 1: majority fragment {2,3,4,6,7,8} can terminate;
+				// the paper's protocols abort (x has 3 free copies ≥ r=2 at
+				// 2,3,4; y has 3 at 6,7,8).
+				cl.Partition([]types.SiteID{2, 3, 4, 6, 7, 8}, []types.SiteID{1, 5})
+				cl.Run()
+
+				// Rounds 2: site5 recovers, the partition re-forms the other
+				// way; its fragment must learn the round-1 outcome or stay
+				// blocked — never contradict it.
+				t2 := cl.Scheduler().Now().Add(10 * sim.Millisecond)
+				cl.RestartAt(t2, 5)
+				cl.PartitionAt(t2, []types.SiteID{2, 3, 5}, []types.SiteID{4, 6, 7, 8})
+				cl.KickAt(t2.Add(1*sim.Millisecond), txn)
+				cl.Run()
+
+				// Final heal: everyone still up converges.
+				t3 := cl.Scheduler().Now().Add(10 * sim.Millisecond)
+				cl.HealAt(t3)
+				cl.KickAt(t3, txn)
+				cl.Run()
+
+				checkClean(t, cl)
+				// 2PC blocks by design: everyone voted yes, the coordinator
+				// is gone, so cooperative termination has nothing to work
+				// with in any round. The other protocols must converge to
+				// one terminal outcome across all up sites.
+				if spec.Name() == "2PC" {
+					for _, id := range []types.SiteID{2, 3, 4, 5, 6, 7, 8} {
+						if got := cl.OutcomeAt(id, txn); got != types.OutcomeBlocked {
+							t.Errorf("seed %d: 2PC site%d = %v, want blocked", seed, id, got)
+						}
+					}
+					continue
+				}
+				var want types.Outcome
+				for _, id := range []types.SiteID{2, 3, 4, 5, 6, 7, 8} {
+					got := cl.OutcomeAt(id, txn)
+					if got == types.OutcomeBlocked {
+						t.Errorf("seed %d: site%d blocked after final heal+kick", seed, id)
+						continue
+					}
+					if got == types.OutcomeUnknown {
+						continue
+					}
+					if want == types.OutcomeUnknown {
+						want = got
+					} else if got != want {
+						t.Errorf("seed %d: site%d = %v, others %v", seed, id, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInitialStateReplyRefusesLateVote pins the promise semantics of the
+// never-voted reply paths: after a site answers a termination poll with
+// "initial"/"uncommitted", a VOTE-REQ arriving later must not produce a yes
+// vote. Without the refusal, a termination protocol that aborted on the
+// strength of the reply races the commit protocol into an atomicity
+// violation (observed under churn before the fix).
+func TestInitialStateReplyRefusesLateVote(t *testing.T) {
+	asgn := paperAssignment(t)
+	for _, spec := range allSpecs() {
+		spec := spec
+		t.Run(spec.Name(), func(t *testing.T) {
+			cl := New(Config{Seed: 3, Assignment: asgn, Spec: spec})
+			ws := types.Writeset{{Item: "x", Value: 1}, {Item: "y", Value: 2}}
+			// Sites 2-7 voted; site8 never heard of the transaction (its
+			// VOTE-REQ is "still in flight").
+			states := map[types.SiteID]types.State{
+				2: types.StateWait, 3: types.StateWait, 4: types.StateWait,
+				5: types.StateWait, 6: types.StateWait, 7: types.StateWait,
+				8: types.StateInitial,
+			}
+			txn := cl.SetupInterrupted(1, ws, states)
+			cl.Crash(1)
+			cl.Run()
+			// Every protocol aborts: site8's initial-state reply is abort
+			// evidence for each termination rule (2PC cooperative included).
+			for _, id := range []types.SiteID{2, 3, 4, 5, 6, 7} {
+				if got := cl.OutcomeAt(id, txn); got != types.OutcomeAborted {
+					t.Fatalf("site%d = %v, want aborted", id, got)
+				}
+			}
+			// The late VOTE-REQ arrives at site8 — the engine fallback that
+			// answered the poll must have poisoned the vote.
+			cl.Network().Send(2, 8, msg.VoteReq{Txn: txn, Coord: 1, Participants: []types.SiteID{2, 3, 4, 5, 6, 7, 8}, Writeset: ws})
+			cl.Run()
+			if got := cl.StateOf(8, txn); got == types.StateWait || got == types.StatePC {
+				t.Errorf("site8 voted yes after promising initial (state %v)", got)
+			}
+			checkClean(t, cl)
+		})
+	}
+}

@@ -49,14 +49,18 @@ func (c *txnCtx) terminal() bool {
 
 // Site is one database site: durable state plus per-transaction automata.
 type Site struct {
-	id      types.SiteID
-	cl      *Cluster
-	log     wal.Log
-	store   *storage.Store
-	locks   *lockmgr.Manager
-	txns    map[types.TxnID]*txnCtx
-	voteNo  map[types.TxnID]bool // injected refusals for specific transactions
-	refuser bool                 // injected refusal for all transactions
+	id    types.SiteID
+	cl    *Cluster
+	log   wal.Log
+	store *storage.Store
+	locks *lockmgr.Manager
+	txns  map[types.TxnID]*txnCtx
+	// voteNo holds injected refusals for specific transactions (a modeled
+	// persistent fault, like refuser); promisedNo holds the volatile
+	// never-voted promises made by poll replies, lost on crash.
+	voteNo     map[types.TxnID]bool
+	promisedNo map[types.TxnID]bool
+	refuser    bool // injected refusal for all transactions
 }
 
 func newSite(id types.SiteID, cl *Cluster, log wal.Log) *Site {
@@ -89,12 +93,23 @@ func (s *Site) Log() wal.Log { return s.log }
 // I/O subsystem failure, the paper's example reason for a no vote).
 func (s *Site) RefuseVotes(refuse bool) { s.refuser = refuse }
 
-// RefuseVote makes the site vote no on one transaction.
+// RefuseVote makes the site vote no on one transaction (an injected fault;
+// like RefuseVotes it persists across crashes).
 func (s *Site) RefuseVote(txn types.TxnID) {
 	if s.voteNo == nil {
 		s.voteNo = make(map[types.TxnID]bool)
 	}
 	s.voteNo[txn] = true
+}
+
+// promiseNoVote records the volatile promise a never-voted poll reply
+// makes: any VOTE-REQ for txn arriving later is answered no. Unlike the
+// injected refusals it is lost on crash, as volatile state must be.
+func (s *Site) promiseNoVote(txn types.TxnID) {
+	if s.promisedNo == nil {
+		s.promisedNo = make(map[types.TxnID]bool)
+	}
+	s.promisedNo[txn] = true
 }
 
 func (s *Site) ctx(txn types.TxnID) *txnCtx {
@@ -132,6 +147,14 @@ func (s *Site) env(txn types.TxnID, role protocol.Role) *autoEnv {
 
 // crash discards volatile state: all automata and elections stop, timers are
 // silenced via generation bumps. The WAL, store and lock table survive.
+// Never-voted promises made by poll replies (see the StateReq/DecisionReq
+// fallbacks in handle) are volatile too and are lost with the rest — a
+// restarted site could in principle vote yes on a VOTE-REQ it promised to
+// refuse. In-model the window is unreachable (termination polls start ≥3T
+// after the vote phase, message delays are ≤T, and nothing redelivers a
+// dropped VOTE-REQ after a restart), and the churn study's safety tallies
+// would surface it if that ever changed. Injected refusals (RefuseVotes,
+// RefuseVote) model a persistent I/O-subsystem fault and survive.
 func (s *Site) crash() {
 	for _, c := range s.txns {
 		for role := range c.auto {
@@ -143,6 +166,7 @@ func (s *Site) crash() {
 			c.elect = nil
 		}
 	}
+	s.promisedNo = nil
 }
 
 // recover replays the WAL and reconstructs participants for unterminated
@@ -277,10 +301,16 @@ func (s *Site) handle(e msg.Envelope) {
 		if c == nil || c.auto[protocol.RoleParticipant] == nil {
 			// This site never heard of the transaction: it is in the initial
 			// state q, and must say so — an initial-state reply lets the
-			// termination protocol abort immediately.
+			// termination protocol abort immediately. Saying so is a promise:
+			// the reply poisons any VOTE-REQ still in flight (we will vote
+			// no), otherwise a late yes vote could let the commit protocol
+			// commit a transaction the termination protocol aborted on the
+			// strength of this reply.
 			st := types.StateInitial
 			if c != nil && c.terminal() {
 				st = c.outcome.StateEquivalent()
+			} else {
+				s.promiseNoVote(txn)
 			}
 			s.cl.send(s.id, e.From, msg.StateResp{Txn: txn, Epoch: m.Epoch, State: st})
 			return
@@ -291,7 +321,9 @@ func (s *Site) handle(e msg.Envelope) {
 		c := s.ctx(txn)
 		if c == nil || c.auto[protocol.RoleParticipant] == nil {
 			// Unknown transaction: we have not voted, so the coordinator
-			// cannot have committed — report "uncommitted".
+			// cannot have committed — report "uncommitted". As with the
+			// initial-state reply above, the report doubles as a refusal to
+			// vote yes later.
 			resp := msg.DecisionResp{Txn: txn, Uncommitted: true}
 			if c != nil && c.terminal() {
 				resp.Uncommitted = false
@@ -300,6 +332,8 @@ func (s *Site) handle(e msg.Envelope) {
 				} else {
 					resp.Decision = types.DecisionAbort
 				}
+			} else {
+				s.promiseNoVote(txn)
 			}
 			s.cl.send(s.id, e.From, resp)
 			return
@@ -540,7 +574,7 @@ func (e *autoEnv) Tracef(format string, args ...any) {
 // the participant turns into a no vote.
 func (e *autoEnv) AcquireLocks(txn types.TxnID) bool {
 	s := e.site
-	if s.refuser || s.voteNo[txn] {
+	if s.refuser || s.voteNo[txn] || s.promisedNo[txn] {
 		return false
 	}
 	c := s.ctx(txn)

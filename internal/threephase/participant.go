@@ -122,6 +122,13 @@ func (p *Participant) OnMessage(from types.SiteID, m msg.Message, env protocol.E
 		}
 	case msg.StateReq:
 		env.Send(from, msg.StateResp{Txn: p.txn, Epoch: v.Epoch, State: p.state})
+		// Reporting q is a promise not to vote yes afterwards — the
+		// termination protocol may abort on the strength of this reply.
+		if p.state == types.StateInitial {
+			p.state = types.StateAborted
+			env.Abort(p.txn)
+			return
+		}
 		if !p.state.Terminal() {
 			p.armPatience(env) // a termination coordinator is active
 		}
@@ -135,7 +142,11 @@ func (p *Participant) OnMessage(from types.SiteID, m msg.Message, env protocol.E
 		case types.StateAborted:
 			resp.Decision = types.DecisionAbort
 		case types.StateInitial:
+			// "Uncommitted" lets the poller abort; refuse to vote from here
+			// on by aborting unilaterally (we have not voted, so we may).
 			resp.Uncommitted = true
+			p.state = types.StateAborted
+			env.Abort(p.txn)
 		}
 		env.Send(from, resp)
 	}

@@ -1,0 +1,41 @@
+package twopc
+
+import (
+	"testing"
+
+	"qcommit/internal/msg"
+	"qcommit/internal/types"
+)
+
+// TestParticipantPoisonsVoteAfterInitialReply: once a participant in q has
+// answered a termination poll (DecisionReq or StateReq), it has promised not
+// to vote — a VOTE-REQ arriving afterwards must not yield a yes vote, or the
+// cooperative terminator's abort-on-uncommitted rule races the live
+// coordinator into an atomicity violation.
+func TestParticipantPoisonsVoteAfterInitialReply(t *testing.T) {
+	cases := []struct {
+		name string
+		poll msg.Message
+	}{
+		{"decision-req", msg.DecisionReq{Txn: 1}},
+		{"state-req", msg.StateReq{Txn: 1, Epoch: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := env()
+			p := Spec{}.NewParticipant(1, nil)
+			p.Start(e)
+			p.OnMessage(3, tc.poll, e)
+			if len(e.Aborted) != 1 {
+				t.Fatalf("participant did not abort after initial-state reply (aborted %v)", e.Aborted)
+			}
+			e.Reset()
+			p.OnMessage(1, msg.VoteReq{Txn: 1, Coord: 1, Participants: parts, Writeset: ws}, e)
+			for _, s := range e.Sends {
+				if v, ok := s.Msg.(msg.VoteResp); ok && v.Vote == types.VoteYes {
+					t.Error("participant voted yes after promising q")
+				}
+			}
+		})
+	}
+}

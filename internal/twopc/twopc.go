@@ -219,6 +219,11 @@ func (p *Participant) OnMessage(from types.SiteID, m msg.Message, env protocol.E
 		}
 	case msg.StateReq:
 		env.Send(from, msg.StateResp{Txn: p.txn, Epoch: v.Epoch, State: p.state})
+		// As with DecisionReq: reporting q promises a no vote afterwards.
+		if p.state == types.StateInitial {
+			p.state = types.StateAborted
+			env.Abort(p.txn)
+		}
 	}
 }
 
