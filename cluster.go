@@ -37,6 +37,10 @@ type ReplicatedItem struct {
 type Options struct {
 	// Protocol selects the commit+termination protocol. Default ProtoQC1.
 	Protocol Protocol
+	// Strategy selects the data-access strategy: StrategyQuorum (default)
+	// or StrategyMissingWrites (adaptive read-one/write-all with demotion
+	// to quorum mode while copies carry missing writes).
+	Strategy Strategy
 	// Seed drives all randomness (message delays, loss) deterministically.
 	Seed int64
 	// MinDelay/MaxDelay bound message propagation delay. MaxDelay is the
@@ -140,6 +144,7 @@ func NewCluster(items []ReplicatedItem, opts Options) (*Cluster, error) {
 		Seed:                 opts.Seed,
 		Net:                  netCfg,
 		Assignment:           asgn,
+		Strategy:             opts.Strategy,
 		Spec:                 spec,
 		MaxTerminationRounds: opts.MaxTerminationRounds,
 		ExtraSites:           opts.ExtraSites,

@@ -8,6 +8,8 @@
 //	churnbench -mttf 2s -mttr 400ms -horizon 5s
 //	churnbench -partmtbf 1500ms -partmttr 500ms     enable partition churn
 //	churnbench -protocol QC1,QC2,2PC                study a subset
+//	churnbench -strategy missing-writes             adaptive data access
+//	churnbench -strategy both                       quorum vs missing-writes
 //	churnbench -sweep mttr                          MTTR sensitivity: repair
 //	                                                speed from mttr/4 to 4×mttr
 //	churnbench -sweep mttf                          failure-rate sensitivity
@@ -27,6 +29,7 @@ import (
 
 	"qcommit/internal/churn"
 	"qcommit/internal/sim"
+	"qcommit/internal/voting"
 )
 
 type runConfig struct {
@@ -47,6 +50,8 @@ type jsonProtocol struct {
 	AbortedFrac     float64      `json:"aborted_frac"`
 	BlockedFrac     float64      `json:"blocked_frac"`
 	BlockedShare    float64      `json:"blocked_time_share"`
+	ReadAvail       float64      `json:"read_avail"`
+	WriteAvail      float64      `json:"write_avail"`
 	P50Ms           float64      `json:"p50_ms"`
 	P95Ms           float64      `json:"p95_ms"`
 	P99Ms           float64      `json:"p99_ms"`
@@ -62,6 +67,7 @@ type jsonProtocol struct {
 // jsonRun is one parameter point of a (possibly swept) invocation.
 type jsonRun struct {
 	Params     churn.Params   `json:"params"`
+	Strategy   string         `json:"strategy"`
 	MTTFMs     float64        `json:"mttf_ms"`
 	MTTRMs     float64        `json:"mttr_ms"`
 	Runs       int            `json:"runs"`
@@ -94,6 +100,7 @@ func main() {
 	partMTTR := flag.Duration("partmttr", 500*time.Millisecond, "mean partition duration")
 	groups := flag.Int("groups", 3, "max partition groups")
 	horizon := flag.Duration("horizon", 5*time.Second, "virtual-time length of each run")
+	strategy := flag.String("strategy", "quorum", "data-access strategy: 'quorum', 'missing-writes' (alias 'mw'), or 'both'")
 	sweep := flag.String("sweep", "", "sweep a parameter: 'mttr' (repair speed) or 'mttf' (failure rate)")
 	workers := flag.Int("workers", 0, "run-evaluation worker goroutines (0 = GOMAXPROCS)")
 	ci := flag.Bool("ci", false, "print 95% Wilson confidence intervals")
@@ -102,6 +109,11 @@ func main() {
 	flag.Parse()
 
 	builders, err := selectBuilders(*protocols)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	strategies, err := selectStrategies(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -132,26 +144,33 @@ func main() {
 		num, den sim.Duration
 	}{{1, 4}, {1, 2}, {1, 1}, {2, 1}, {4, 1}}
 
-	switch *sweep {
-	case "":
-		record(run(base, cfg))
-	case "mttr":
-		for _, m := range multipliers {
-			p := base
-			p.MTTR = base.MTTR * m.num / m.den
-			fmt.Printf("--- MTTR = %v (MTTF %v) ---\n", time.Duration(p.MTTR), time.Duration(p.MTTF))
-			record(run(p, cfg))
+	for _, st := range strategies {
+		base := base
+		base.Strategy = st
+		if len(strategies) > 1 {
+			fmt.Printf("=== strategy: %v ===\n", st)
 		}
-	case "mttf":
-		for _, m := range multipliers {
-			p := base
-			p.MTTF = base.MTTF * m.num / m.den
-			fmt.Printf("--- MTTF = %v (MTTR %v) ---\n", time.Duration(p.MTTF), time.Duration(p.MTTR))
-			record(run(p, cfg))
+		switch *sweep {
+		case "":
+			record(run(base, cfg))
+		case "mttr":
+			for _, m := range multipliers {
+				p := base
+				p.MTTR = base.MTTR * m.num / m.den
+				fmt.Printf("--- MTTR = %v (MTTF %v) ---\n", time.Duration(p.MTTR), time.Duration(p.MTTF))
+				record(run(p, cfg))
+			}
+		case "mttf":
+			for _, m := range multipliers {
+				p := base
+				p.MTTF = base.MTTF * m.num / m.den
+				fmt.Printf("--- MTTF = %v (MTTR %v) ---\n", time.Duration(p.MTTF), time.Duration(p.MTTR))
+				record(run(p, cfg))
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown sweep %q (want 'mttr' or 'mttf')\n", *sweep)
+			os.Exit(2)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown sweep %q (want 'mttr' or 'mttf')\n", *sweep)
-		os.Exit(2)
 	}
 
 	if *jsonPath != "" {
@@ -189,6 +208,17 @@ func selectBuilders(arg string) ([]churn.Builder, error) {
 	return out, nil
 }
 
+func selectStrategies(arg string) ([]voting.Strategy, error) {
+	if strings.EqualFold(strings.TrimSpace(arg), "both") {
+		return []voting.Strategy{voting.StrategyQuorum, voting.StrategyMissingWrites}, nil
+	}
+	s, err := voting.ParseStrategy(arg)
+	if err != nil {
+		return nil, fmt.Errorf("%v (or 'both')", err)
+	}
+	return []voting.Strategy{s}, nil
+}
+
 func run(params churn.Params, cfg runConfig) jsonRun {
 	opts := churn.Options{Workers: cfg.workers}
 	if cfg.progress {
@@ -206,9 +236,9 @@ func run(params churn.Params, cfg runConfig) jsonRun {
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("churn: %d sites, %d items ×%d copies, %d written, arrival %v, MTTF %v, MTTR %v",
+	fmt.Printf("churn: %d sites, %d items ×%d copies, %d written, strategy %v, arrival %v, MTTF %v, MTTR %v",
 		params.NumSites, params.NumItems, params.CopiesPerItem, params.WritesPerTxn,
-		time.Duration(params.MeanInterarrival), time.Duration(params.MTTF), time.Duration(params.MTTR))
+		params.Strategy, time.Duration(params.MeanInterarrival), time.Duration(params.MTTF), time.Duration(params.MTTR))
 	if params.PartitionMTBF > 0 {
 		fmt.Printf(", partitions every %v for %v", time.Duration(params.PartitionMTBF), time.Duration(params.PartitionMTTR))
 	}
@@ -223,6 +253,7 @@ func run(params churn.Params, cfg runConfig) jsonRun {
 
 	rec := jsonRun{
 		Params:     params,
+		Strategy:   params.Strategy.String(),
 		MTTFMs:     float64(params.MTTF) / 1e6,
 		MTTRMs:     float64(params.MTTR) / 1e6,
 		Runs:       cfg.runs,
@@ -242,6 +273,8 @@ func run(params churn.Params, cfg runConfig) jsonRun {
 			AbortedFrac:     r.Counts.AbortedFraction(),
 			BlockedFrac:     r.Counts.BlockedFraction(),
 			BlockedShare:    r.Counts.BlockedTimeShare(),
+			ReadAvail:       r.Counts.ReadAvailability(),
+			WriteAvail:      r.Counts.WriteAvailability(),
 			P50Ms:           float64(r.LatencyPercentile(50)) / 1e6,
 			P95Ms:           float64(r.LatencyPercentile(95)) / 1e6,
 			P99Ms:           float64(r.LatencyPercentile(99)) / 1e6,

@@ -7,6 +7,10 @@
 //	qsim -protocol QC2 -loss 0.1 -ladder
 //	qsim -protocol QC1 -crash 1 -crashat 15ms -restart "1:300ms"    crash then recover
 //	qsim -protocol 2PC -partition "1,2,3,4|5,6,7,8" -partat 15ms -heal 300ms
+//	qsim -protocol QC1 -strategy missing-writes -crash 2 -crashat 15ms
+//	                                            adaptive data access: the run
+//	                                            reports per-item modes and
+//	                                            missing-write carriers
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 
 func main() {
 	protocol := flag.String("protocol", "QC1", "2PC, 3PC, SkeenQ, QC1 or QC2")
+	strategy := flag.String("strategy", "quorum", "data-access strategy: 'quorum' or 'missing-writes' (alias 'mw')")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	loss := flag.Float64("loss", 0, "message loss probability")
 	dup := flag.Float64("dup", 0, "message duplication probability")
@@ -34,8 +39,14 @@ func main() {
 	ladder := flag.Bool("ladder", false, "print the full message ladder")
 	flag.Parse()
 
+	strat, err := qcommit.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	c, err := qcommit.NewCluster(qcommit.PaperItems(), qcommit.Options{
 		Protocol: qcommit.Protocol(*protocol),
+		Strategy: strat,
 		Seed:     *seed,
 		LossProb: *loss,
 		DupProb:  *dup,
@@ -68,9 +79,20 @@ func main() {
 
 	end := c.Run()
 
-	fmt.Printf("protocol: %s  seed: %d  virtual end: %v\n", c.Protocol(), *seed, end)
+	fmt.Printf("protocol: %s  strategy: %v  seed: %d  virtual end: %v\n", c.Protocol(), c.Strategy(), *seed, end)
 	fmt.Printf("outcome: %v\n", c.Outcome(txn))
 	fmt.Printf("per-site: %v\n", c.Outcomes(txn))
+	if c.Strategy() == qcommit.StrategyMissingWrites {
+		demote, restore := c.ModeTransitions()
+		fmt.Printf("access modes (demotions %d, restorations %d):\n", demote, restore)
+		for _, item := range c.Items() {
+			fmt.Printf("  %s: %v", item, c.ItemMode(item))
+			if missing := c.MissingWritesAt(item); len(missing) > 0 {
+				fmt.Printf("  missing at %v", missing)
+			}
+			fmt.Println()
+		}
+	}
 	st := c.NetworkStats()
 	fmt.Printf("network: sent=%d delivered=%d lost=%d cut=%d bytes=%d\n\n",
 		st.Sent, st.Delivered, st.DroppedLoss, st.DroppedPartition, st.Bytes)

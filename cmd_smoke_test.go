@@ -54,7 +54,30 @@ func TestCommandsSmoke(t *testing.T) {
 		{
 			name: "churnbench",
 			args: []string{"run", "./cmd/churnbench", "-runs", "4", "-horizon", "2s"},
-			want: []string{"protocol", "2PC", "3PC", "SkeenQ", "QC1", "QC2", "p95(ms)", "blkshare"},
+			want: []string{"protocol", "2PC", "3PC", "SkeenQ", "QC1", "QC2", "p95(ms)", "blkshare", "rd-avl", "wr-avl"},
+		},
+		{
+			// Both access strategies over the identical timelines: the
+			// missing-writes column must label itself and report mode churn.
+			name: "churnbench-strategies",
+			args: []string{"run", "./cmd/churnbench", "-runs", "3", "-horizon", "2s",
+				"-protocol", "QC1,QC2", "-strategy", "both"},
+			want: []string{"=== strategy: quorum ===", "=== strategy: missing-writes ===",
+				"strategy missing-writes", "rd-avl"},
+		},
+		{
+			// Adaptive strategy end-to-end: a replica crash after voting
+			// demotes the item; restart + anti-entropy restores it.
+			name: "missingwrites-example",
+			args: []string{"run", "./examples/missingwrites"},
+			want: []string{"mode=optimistic", "mode=pessimistic", "missing=[site4]",
+				"read-one now refused", "1 demotion(s), 1 restoration(s)"},
+		},
+		{
+			name: "qsim-missingwrites",
+			args: []string{"run", "./cmd/qsim", "-protocol", "QC1", "-strategy", "mw",
+				"-crash", "2", "-crashat", "15ms"},
+			want: []string{"strategy: missing-writes", "access modes", "outcome:"},
 		},
 		{
 			name: "churnstudy-example",

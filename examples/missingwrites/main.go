@@ -1,8 +1,10 @@
-// Missing writes: the adaptive voting strategy (Eager & Sevcik 1983,
-// reference [5] of the paper) layered over the static quorum assignment.
-// While all copies are healthy, reads touch one copy and writes touch all
-// (cheap); the first write that misses a copy degrades the item to quorum
-// mode; catching the copy up restores optimistic mode.
+// Missing writes: the adaptive access strategy (Eager & Sevcik 1983,
+// reference [5] of the paper) integrated into the cluster's data-access
+// layer via Options.Strategy. While all copies are healthy, reads touch one
+// copy and writes touch all (cheap); a committed write that misses a copy —
+// here, a replica that crashes after voting — demotes the item to
+// pessimistic quorum mode; restarting the site triggers anti-entropy, the
+// stale copy catches up, and optimistic mode returns.
 //
 //	go run ./examples/missingwrites
 package main
@@ -10,46 +12,56 @@ package main
 import (
 	"fmt"
 
-	"qcommit/internal/types"
-	"qcommit/internal/voting"
+	"qcommit"
 )
 
 func main() {
-	asgn := voting.MustAssignment(
-		voting.Uniform("orders", 2, 3, 1, 2, 3, 4),
-	)
-	a := voting.NewAdaptive(asgn)
+	c := qcommit.MustCluster([]qcommit.ReplicatedItem{
+		{Name: "orders", Sites: []qcommit.SiteID{1, 2, 3, 4}, R: 2, W: 3, Initial: 100},
+	}, qcommit.Options{
+		Protocol: qcommit.ProtoQC1,
+		Strategy: qcommit.StrategyMissingWrites,
+		Seed:     7,
+	})
 
 	show := func(stage string) {
-		r, _, _ := a.ReadQuorumNow("orders")
-		w, mode, _ := a.WriteQuorumNow("orders")
-		fmt.Printf("%-34s mode=%-11s read needs %d vote(s), write needs %d\n", stage, mode, r, w)
+		fmt.Printf("%-34s mode=%-11v missing=%v\n", stage, c.ItemMode("orders"), c.MissingWritesAt("orders"))
 	}
 
+	// Healthy: every item starts optimistic — any single copy serves reads.
 	show("healthy:")
-	fmt.Printf("  site3 alone can serve reads: %v\n\n", a.CanRead("orders", []types.SiteID{3}))
+	c.Partition([]qcommit.SiteID{3}, []qcommit.SiteID{1, 2, 4})
+	v, err := c.QuorumRead(3, "orders")
+	fmt.Printf("  read-one from isolated site3: %d, %v\n", v, err)
+	c.Heal()
 
-	// A write reaches sites 1-3 only (site4 was briefly unreachable). Three
-	// votes still satisfy the pessimistic write quorum w=3, so the write
-	// commits — but site4 now carries a missing write.
-	if !a.RecordWrite("orders", []types.SiteID{1, 2, 3}) {
-		panic("write with w votes rejected")
+	// A replica crashes after voting: the commit still reaches the write
+	// quorum (w=3 of 4 copies), but site4's copy misses the write. The item
+	// degrades to pessimistic quorum mode and the stale copy is barred from
+	// serving reads.
+	txn := c.Submit(1, map[qcommit.ItemID]int64{"orders": 180})
+	c.CrashAt(qcommit.Time(15*qcommit.Millisecond), 4)
+	c.Run()
+	fmt.Printf("\ntransaction outcome: %v (write quorum met without site4)\n", c.Outcome(txn))
+	show("after the write missed site4:")
+	v, err = c.QuorumRead(1, "orders")
+	fmt.Printf("  pessimistic quorum read: %d, %v\n", v, err)
+	c.Partition([]qcommit.SiteID{3}, []qcommit.SiteID{1, 2}) // site4 down, 3 isolated
+	if _, err := c.QuorumRead(3, "orders"); err != nil {
+		fmt.Printf("  read-one now refused: %v\n", err)
 	}
-	show("after a write missed site4:")
-	fmt.Printf("  missing at: %v\n", a.MissingAt("orders"))
-	fmt.Printf("  site4 alone can serve reads: %v (stale copy excluded)\n",
-		a.CanRead("orders", []types.SiteID{4}))
-	fmt.Printf("  sites 1,2 can serve reads:   %v (2 fresh votes ≥ r=2)\n\n",
-		a.CanRead("orders", []types.SiteID{1, 2}))
+	c.Heal()
 
-	// A sub-quorum write must be refused outright.
-	if a.RecordWrite("orders", []types.SiteID{1, 2}) {
-		panic("sub-quorum write accepted")
+	// Site4 restarts: anti-entropy copies the latest committed version over,
+	// the missing write resolves, and optimistic mode is restored.
+	c.Restart(4)
+	c.Run()
+	show("\nafter site4 caught up (restored):")
+	cv, ver, _ := c.CopyAt(4, "orders")
+	fmt.Printf("  site4 copy: %d (version %d)\n", cv, ver)
+	demotions, restorations := c.ModeTransitions()
+	fmt.Printf("  mode transitions: %d demotion(s), %d restoration(s)\n", demotions, restorations)
+	if v := c.Violations(); len(v) > 0 {
+		fmt.Println("  VIOLATIONS:", v)
 	}
-	fmt.Println("a write reaching only 2 votes is refused (w=3)")
-
-	// Site4's copy catches up (anti-entropy / recovery copy transfer):
-	// optimistic mode returns.
-	a.ResolveMissing("orders", 4)
-	show("\nafter site4 caught up:")
 }

@@ -44,6 +44,7 @@ import (
 
 	"qcommit/internal/avail"
 	"qcommit/internal/sim"
+	"qcommit/internal/voting"
 )
 
 // Params parameterizes a churn study.
@@ -78,6 +79,13 @@ type Params struct {
 	MaxGroups int
 	// Horizon is the virtual-time length of each run.
 	Horizon sim.Duration
+	// Strategy selects the data-access strategy the cluster runs under:
+	// StrategyQuorum (default, pure Gifford quorums) or
+	// StrategyMissingWrites (adaptive read-one/write-all with demotion to
+	// quorum mode while copies carry missing writes). The strategy changes
+	// what the read/write availability samples measure and how items churn
+	// between modes; the commit protocols themselves are unchanged.
+	Strategy voting.Strategy
 }
 
 // DefaultParams mirrors the avail sweep's scale (8 sites, 4 items ×4
@@ -110,7 +118,7 @@ func (p Params) validate() error {
 	if p.WritesPerTxn > p.NumItems {
 		return fmt.Errorf("churn: WritesPerTxn %d exceeds NumItems %d", p.WritesPerTxn, p.NumItems)
 	}
-	if p.HotFraction < 0 || p.HotFraction >= 1 {
+	if math.IsNaN(p.HotFraction) || p.HotFraction < 0 || p.HotFraction >= 1 {
 		return fmt.Errorf("churn: HotFraction %v outside [0,1)", p.HotFraction)
 	}
 	if p.MeanInterarrival <= 0 {
@@ -167,6 +175,24 @@ type Counts struct {
 	SiteDownNS int64
 	// PartitionedNS is the virtual time the network spent partitioned.
 	PartitionedNS int64
+	// AccessChecks counts per-item data-access availability samples: at
+	// every arrival, each item the transaction writes is probed once for
+	// readability and once for writability from the client's preferred
+	// coordinator. ReadAvailable/WriteAvailable count the probes that found
+	// a read (write) quorum under the study's access strategy — under
+	// StrategyMissingWrites an optimistic item reads off any single fresh
+	// copy, so read availability exceeds the quorum strategy's while
+	// failures are rare and falls behind once items sit demoted.
+	AccessChecks   int
+	ReadAvailable  int
+	WriteAvailable int
+	// ModeDemotions and ModeRestorations count missing-writes mode
+	// transitions across the run (always zero under StrategyQuorum):
+	// demotions are commits that missed a copy while the item was
+	// optimistic, restorations are catch-ups that cleared an item's last
+	// missing write.
+	ModeDemotions    int
+	ModeRestorations int
 }
 
 // Add accumulates other into c.
@@ -182,6 +208,11 @@ func (c *Counts) Add(other Counts) {
 	c.PostSubmitNS += other.PostSubmitNS
 	c.SiteDownNS += other.SiteDownNS
 	c.PartitionedNS += other.PartitionedNS
+	c.AccessChecks += other.AccessChecks
+	c.ReadAvailable += other.ReadAvailable
+	c.WriteAvailable += other.WriteAvailable
+	c.ModeDemotions += other.ModeDemotions
+	c.ModeRestorations += other.ModeRestorations
 }
 
 func frac(num, den int) float64 {
@@ -204,6 +235,14 @@ func (c Counts) TerminatedFraction() float64 { return frac(c.Committed+c.Aborted
 // BlockedFraction is the share of submitted transactions still blocked at
 // the horizon.
 func (c Counts) BlockedFraction() float64 { return frac(c.Blocked, c.Submitted) }
+
+// ReadAvailability is the share of arrival-time access probes that found a
+// read quorum for the probed item under the study's strategy.
+func (c Counts) ReadAvailability() float64 { return frac(c.ReadAvailable, c.AccessChecks) }
+
+// WriteAvailability is the share of arrival-time access probes that found a
+// write quorum for the probed item.
+func (c Counts) WriteAvailability() float64 { return frac(c.WriteAvailable, c.AccessChecks) }
 
 // BlockedTimeShare is the share of post-submission virtual time that
 // submitted transactions spent awaiting a decision: 0 means every
@@ -265,17 +304,24 @@ func (r Result) TerminatedCI() (lo, hi float64) {
 // ms renders a virtual duration in milliseconds.
 func ms(d sim.Duration) float64 { return float64(d) / 1e6 }
 
-// FormatTable renders study results as an aligned text table.
+// FormatTable renders study results as an aligned text table. The rd-avl
+// and wr-avl columns are the arrival-time read/write availability samples;
+// under StrategyMissingWrites each row additionally reports the item-mode
+// churn as modes=demotions/restorations.
 func FormatTable(results []Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %6s %6s %10s %9s %9s %9s %9s %9s %10s\n",
-		"protocol", "runs", "txns", "committed", "aborted", "blocked", "p50(ms)", "p95(ms)", "p99(ms)", "blkshare")
+	fmt.Fprintf(&b, "%-8s %6s %6s %10s %9s %9s %9s %9s %9s %10s %8s %8s\n",
+		"protocol", "runs", "txns", "committed", "aborted", "blocked", "p50(ms)", "p95(ms)", "p99(ms)", "blkshare", "rd-avl", "wr-avl")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-8s %6d %6d %9.1f%% %8.1f%% %8.1f%% %9.2f %9.2f %9.2f %9.1f%%",
+		fmt.Fprintf(&b, "%-8s %6d %6d %9.1f%% %8.1f%% %8.1f%% %9.2f %9.2f %9.2f %9.1f%% %7.1f%% %7.1f%%",
 			r.Label, r.Runs, r.Counts.Submitted,
 			100*r.Counts.CommittedFraction(), 100*r.Counts.AbortedFraction(), 100*r.Counts.BlockedFraction(),
 			ms(r.LatencyPercentile(50)), ms(r.LatencyPercentile(95)), ms(r.LatencyPercentile(99)),
-			100*r.Counts.BlockedTimeShare())
+			100*r.Counts.BlockedTimeShare(),
+			100*r.Counts.ReadAvailability(), 100*r.Counts.WriteAvailability())
+		if r.Counts.ModeDemotions > 0 || r.Counts.ModeRestorations > 0 {
+			fmt.Fprintf(&b, "  modes=%d/%d", r.Counts.ModeDemotions, r.Counts.ModeRestorations)
+		}
 		if r.Violations > 0 {
 			fmt.Fprintf(&b, "  VIOLATIONS=%d", r.Violations)
 		}
@@ -285,19 +331,26 @@ func FormatTable(results []Result) string {
 }
 
 // FormatTableCI renders study results with 95% Wilson intervals on the
-// committed and terminated fractions.
+// committed and terminated fractions, plus the same rd-avl/wr-avl
+// availability and mode-churn columns as FormatTable.
 func FormatTableCI(results []Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %6s %6s %22s %22s %10s %10s\n",
-		"protocol", "runs", "txns", "committed [95% CI]", "terminated [95% CI]", "blkshare", "violations")
+	fmt.Fprintf(&b, "%-8s %6s %6s %22s %22s %10s %8s %8s %10s\n",
+		"protocol", "runs", "txns", "committed [95% CI]", "terminated [95% CI]", "blkshare", "rd-avl", "wr-avl", "violations")
 	for _, r := range results {
 		clo, chi := r.CommittedCI()
 		tlo, thi := r.TerminatedCI()
-		fmt.Fprintf(&b, "%-8s %6d %6d %7.1f%% [%5.1f,%5.1f]%% %7.1f%% [%5.1f,%5.1f]%% %9.1f%% %10d\n",
+		fmt.Fprintf(&b, "%-8s %6d %6d %7.1f%% [%5.1f,%5.1f]%% %7.1f%% [%5.1f,%5.1f]%% %9.1f%% %7.1f%% %7.1f%% %10d",
 			r.Label, r.Runs, r.Counts.Submitted,
 			100*r.Counts.CommittedFraction(), 100*clo, 100*chi,
 			100*r.Counts.TerminatedFraction(), 100*tlo, 100*thi,
-			100*r.Counts.BlockedTimeShare(), r.Violations)
+			100*r.Counts.BlockedTimeShare(),
+			100*r.Counts.ReadAvailability(), 100*r.Counts.WriteAvailability(),
+			r.Violations)
+		if r.Counts.ModeDemotions > 0 || r.Counts.ModeRestorations > 0 {
+			fmt.Fprintf(&b, "  modes=%d/%d", r.Counts.ModeDemotions, r.Counts.ModeRestorations)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

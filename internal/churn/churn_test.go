@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"qcommit/internal/sim"
+	"qcommit/internal/voting"
 )
 
 // testParams is a small, fast study configuration exercising both site and
@@ -42,24 +43,103 @@ func TestStudyDeterministic(t *testing.T) {
 }
 
 // TestStudyParallelMatchesSerial is the tentpole determinism contract: for
-// every tested worker count the parallel study returns Results bit-for-bit
-// identical to the serial oracle.
+// every tested worker count, under both access strategies, the parallel
+// study returns Results bit-for-bit identical to the serial oracle.
 func TestStudyParallelMatchesSerial(t *testing.T) {
+	for _, strategy := range []voting.Strategy{voting.StrategyQuorum, voting.StrategyMissingWrites} {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			params := testParams()
+			params.Strategy = strategy
+			builders := StandardBuilders()
+			const runs = 8
+			want, err := Study(params, runs, 1, builders)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+				got, err := StudyParallel(params, runs, 1, builders, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: parallel diverged from serial\ngot  %+v\nwant %+v", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMissingWritesStudySafetyAndMetrics: the adaptive strategy must stay
+// violation-free under combined site and partition churn, and its
+// availability/mode metrics must be internally consistent.
+func TestMissingWritesStudySafetyAndMetrics(t *testing.T) {
 	params := testParams()
-	builders := StandardBuilders()
-	const runs = 8
-	want, err := Study(params, runs, 1, builders)
+	params.Strategy = voting.StrategyMissingWrites
+	res, err := StudyParallel(params, 6, 17, StandardBuilders(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
-		got, err := StudyParallel(params, runs, 1, builders, Options{Workers: workers})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+	for _, r := range res {
+		if r.Label == "3PC" {
+			continue // inconsistent under partitioning by design (Example 2)
 		}
-		if !reflect.DeepEqual(got, want) {
-			t.Errorf("workers=%d: parallel diverged from serial\ngot  %+v\nwant %+v", workers, got, want)
+		if r.Violations != 0 {
+			t.Errorf("%s: %d safety violations under missing-writes churn", r.Label, r.Violations)
 		}
+	}
+	totalDemotions := 0
+	for _, r := range res {
+		c := r.Counts
+		if c.AccessChecks == 0 {
+			t.Fatalf("%s: no access probes sampled", r.Label)
+		}
+		if c.ReadAvailable > c.AccessChecks || c.WriteAvailable > c.AccessChecks {
+			t.Errorf("%s: availability counts exceed checks: %+v", r.Label, c)
+		}
+		// Note: ReadAvailable >= WriteAvailable is NOT an invariant here —
+		// pessimistic reads exclude stale copies that writes still count.
+		if c.ModeDemotions < c.ModeRestorations {
+			t.Errorf("%s: more restorations (%d) than demotions (%d)", r.Label, c.ModeRestorations, c.ModeDemotions)
+		}
+		totalDemotions += c.ModeDemotions
+	}
+	// How often a commit misses a copy is protocol-dependent (2PC mostly
+	// blocks instead), but churn this heavy must demote somewhere.
+	if totalDemotions == 0 {
+		t.Error("no protocol column recorded a single mode demotion")
+	}
+}
+
+// TestStrategiesDivergeOnReadAvailability: with rare failures the adaptive
+// strategy's optimistic read-one must report read availability at least as
+// high as the quorum strategy's on the identical timeline; the quorum
+// strategy must report zero mode transitions.
+func TestStrategiesDivergeOnReadAvailability(t *testing.T) {
+	params := DefaultParams()
+	params.Horizon = 2 * sim.Second
+	params.MTTF = 8 * sim.Second // rare failures: adaptive voting's home turf
+	params.MTTR = 200 * sim.Millisecond
+	builders := StandardBuilders()[3:4] // QC1 column suffices
+	quorum, err := Study(params, 4, 3, builders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.Strategy = voting.StrategyMissingWrites
+	adaptive, err := Study(params, 4, 3, builders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc, ac := quorum[0].Counts, adaptive[0].Counts
+	if qc.AccessChecks != ac.AccessChecks {
+		t.Fatalf("probe counts diverged: %d vs %d", qc.AccessChecks, ac.AccessChecks)
+	}
+	if ac.ReadAvailable < qc.ReadAvailable {
+		t.Errorf("adaptive read availability %d below quorum %d with rare failures",
+			ac.ReadAvailable, qc.ReadAvailable)
+	}
+	if qc.ModeDemotions != 0 || qc.ModeRestorations != 0 {
+		t.Errorf("quorum strategy reported mode transitions: %d/%d", qc.ModeDemotions, qc.ModeRestorations)
 	}
 }
 

@@ -100,7 +100,7 @@ func executeRun(sc *script, params Params, seed int64, spec protocol.Spec) (runS
 	// ExtraSites keeps copy-less sites in the cluster: random placement may
 	// leave a site with no replicas, but the timeline still crashes and
 	// restarts it.
-	cl := engine.New(engine.Config{Seed: seed, Assignment: sc.asgn, Spec: spec, ExtraSites: sc.sites})
+	cl := engine.New(engine.Config{Seed: seed, Assignment: sc.asgn, Strategy: params.Strategy, Spec: spec, ExtraSites: sc.sites})
 	cl.Recorder().Disable()
 	sched := cl.Scheduler()
 	sched.MaxSteps = 4_000_000 + uint64(len(sc.arrivals))*stepsPerArrival
@@ -123,10 +123,28 @@ func executeRun(sc *script, params Params, seed int64, spec protocol.Spec) (runS
 	// client then retries the lowest-numbered live replica of its data, and
 	// gives up (Rejected) only when every participant is down. txnOf[i] == 0
 	// means arrival i was rejected.
+	//
+	// Each arrival also samples data-access availability from the client's
+	// preferred coordinator: one read probe and one write probe per written
+	// item, before the submission mutates lock state. The probes see the
+	// strategy — optimistic read-one versus quorum reads — so the
+	// per-strategy columns quantify when adaptive voting wins (rare
+	// failures) and when it loses (items stuck in pessimistic mode with
+	// stale copies excluded).
+	var access struct{ checks, read, write int }
 	txnOf := make([]types.TxnID, len(sc.arrivals))
 	for i, a := range sc.arrivals {
 		i, a := i, a
 		sched.At(a.At, func() {
+			for _, u := range a.Writeset {
+				access.checks++
+				if cl.CanRead(a.Coord, u.Item) {
+					access.read++
+				}
+				if cl.CanWrite(a.Coord, u.Item) {
+					access.write++
+				}
+			}
 			coord := a.Coord
 			if cl.Network().Down(coord) {
 				coord = 0
@@ -175,6 +193,10 @@ func executeRun(sc *script, params Params, seed int64, spec protocol.Spec) (runS
 	st.counts.Arrivals = len(sc.arrivals)
 	st.counts.SiteDownNS = sc.siteDownNS
 	st.counts.PartitionedNS = sc.partitionedNS
+	st.counts.AccessChecks = access.checks
+	st.counts.ReadAvailable = access.read
+	st.counts.WriteAvailable = access.write
+	st.counts.ModeDemotions, st.counts.ModeRestorations = cl.ModeTransitions()
 	all := cl.Sites()
 	for i, a := range sc.arrivals {
 		txn := txnOf[i]

@@ -23,6 +23,13 @@ type Config struct {
 	Net simnet.Config
 	// Assignment is the cluster-wide weighted-voting configuration.
 	Assignment *voting.Assignment
+	// Strategy selects the data-access strategy layered over the
+	// assignment: StrategyQuorum (default) runs Gifford quorum reads and
+	// writes unconditionally; StrategyMissingWrites runs optimistic
+	// read-one/write-all until a committed write misses a copy, then
+	// demotes that item to pessimistic quorum mode until anti-entropy
+	// catches the stale copies up (see internal/voting.Adaptive).
+	Strategy voting.Strategy
 	// Spec is the commit+termination protocol under test.
 	Spec protocol.Spec
 	// T is the longest end-to-end propagation delay (timeout base).
@@ -71,6 +78,12 @@ type Cluster struct {
 	nextTxn    types.TxnID
 	violations []string
 	rec        *trace.Recorder
+	// adaptive tracks per-item missing writes under StrategyMissingWrites
+	// (nil under StrategyQuorum); recordedWrites marks transactions whose
+	// commit-time copy reachability has been recorded, so the bookkeeping
+	// runs once per transaction even though every site applies the commit.
+	adaptive       *voting.Adaptive
+	recordedWrites map[types.TxnID]bool
 }
 
 // New builds a cluster: one site per site mentioned in the assignment (plus
@@ -92,6 +105,10 @@ func New(cfg Config) *Cluster {
 		net:   net,
 		sites: make(map[types.SiteID]*Site),
 		rec:   cfg.Recorder,
+	}
+	if cfg.Strategy == voting.StrategyMissingWrites {
+		cl.adaptive = voting.NewAdaptive(cfg.Assignment)
+		cl.recordedWrites = make(map[types.TxnID]bool)
 	}
 
 	idSet := make(map[types.SiteID]bool)
@@ -422,10 +439,14 @@ func (cl *Cluster) PartitionAt(t sim.Time, groups ...[]types.SiteID) {
 	cl.sched.At(t, func() { cl.Partition(groups...) })
 }
 
-// Heal reconnects the network now.
+// Heal reconnects the network now. Under StrategyMissingWrites it also
+// starts the catch-up pass: every copy carrying a missing write asks its
+// peers for their current versions, and items whose stale copies catch up
+// return to optimistic mode.
 func (cl *Cluster) Heal() {
 	cl.net.Heal()
 	cl.rec.Annotate(cl.sched.Now(), 0, "HEAL")
+	cl.catchUpMissing()
 }
 
 // HealAt schedules a heal at virtual time t.

@@ -261,8 +261,11 @@ func (s *Site) handle(e msg.Envelope) {
 
 	case msg.CopyResp:
 		// Install only newer versions; storage.Apply enforces monotonicity.
+		// A copy that catches up to the newest committed version sheds its
+		// missing write (no-op under StrategyQuorum).
 		if s.store.Has(m.Item) {
 			_ = s.store.Apply(m.Item, m.Value, m.Version)
+			s.cl.maybeResolve(m.Item, s.id)
 		}
 
 	case msg.VoteReq:
@@ -446,6 +449,7 @@ func (s *Site) doCommit(c *txnCtx) {
 	}
 	_ = s.log.Append(wal.Record{Type: wal.RecCommit, Txn: c.txn})
 	s.store.ApplyWriteset(c.ws, uint64(c.txn)+1)
+	s.cl.noteCommitApplied(s, c)
 	s.locks.ReleaseAll(c.txn)
 	c.outcome = types.OutcomeCommitted
 	c.blocked = false

@@ -22,6 +22,11 @@ import (
 type Config struct {
 	// Assignment is the weighted-voting replica configuration.
 	Assignment *voting.Assignment
+	// Strategy selects the data-access strategy layered over the
+	// assignment (StrategyQuorum default, or StrategyMissingWrites for
+	// adaptive read-one/write-all with per-item demotion), exactly as in
+	// the deterministic engine.
+	Strategy voting.Strategy
 	// Spec is the commit+termination protocol.
 	Spec protocol.Spec
 	// MinDelay/MaxDelay bound simulated propagation delay (wall clock).
@@ -64,6 +69,18 @@ type Cluster struct {
 
 	nodes map[types.SiteID]*Node
 	wg    sync.WaitGroup
+
+	// adaptive tracks per-item missing writes under StrategyMissingWrites
+	// (nil under StrategyQuorum). wroteMu guards recordedWrites (the
+	// once-per-transaction commit-reachability bookkeeping flag) and its
+	// high-water mark; unlike the engine's per-run clusters a live cluster
+	// is long-lived, so old entries are pruned once their transactions are
+	// far enough behind the newest recorded one that no straggler apply
+	// can still be in flight.
+	adaptive       *voting.Adaptive
+	wroteMu        sync.Mutex
+	recordedWrites map[types.TxnID]bool
+	maxRecorded    types.TxnID
 }
 
 // New builds and starts one goroutine per site in the assignment.
@@ -84,6 +101,10 @@ func New(cfg Config) *Cluster {
 		down:  make(map[types.SiteID]bool),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		nodes: make(map[types.SiteID]*Node),
+	}
+	if cfg.Strategy == voting.StrategyMissingWrites {
+		cl.adaptive = voting.NewAdaptive(cfg.Assignment)
+		cl.recordedWrites = make(map[types.TxnID]bool)
 	}
 	seen := make(map[types.SiteID]bool)
 	for _, item := range cfg.Assignment.Items() {
@@ -175,11 +196,32 @@ func (cl *Cluster) Partition(groups ...[]types.SiteID) {
 	}
 }
 
-// Heal reconnects the network.
+// Heal reconnects the network. Under StrategyMissingWrites it also starts
+// the catch-up pass: every copy carrying a missing write asks its peers for
+// their current versions, and items whose stale copies catch up return to
+// optimistic mode.
 func (cl *Cluster) Heal() {
 	cl.mu.Lock()
-	defer cl.mu.Unlock()
 	cl.group = make(map[types.SiteID]int)
+	cl.mu.Unlock()
+	if cl.adaptive == nil {
+		return
+	}
+	cl.cfg.Assignment.ForEachItem(func(ic voting.ItemConfig) {
+		for _, stale := range cl.adaptive.MissingAt(ic.Item) {
+			cl.mu.Lock()
+			isDown := cl.down[stale]
+			cl.mu.Unlock()
+			if isDown {
+				continue
+			}
+			for _, cp := range ic.Copies {
+				if cp.Site != stale {
+					cl.send(stale, cp.Site, msg.CopyReq{Item: ic.Item})
+				}
+			}
+		}
+	})
 }
 
 func (cl *Cluster) connected(a, b types.SiteID) bool {
@@ -311,4 +353,120 @@ func (cl *Cluster) Stop() {
 		n.post(event{stop: true})
 	}
 	cl.wg.Wait()
+}
+
+// Strategy returns the cluster's access strategy.
+func (cl *Cluster) Strategy() voting.Strategy { return cl.cfg.Strategy }
+
+// ItemMode returns item's current missing-writes mode (always Pessimistic —
+// quorum operations — under StrategyQuorum).
+func (cl *Cluster) ItemMode(item types.ItemID) voting.Mode {
+	if cl.adaptive == nil {
+		return voting.Pessimistic
+	}
+	return cl.adaptive.ModeOf(item)
+}
+
+// MissingAt returns the sites currently carrying missing writes for item,
+// ascending (always empty under StrategyQuorum).
+func (cl *Cluster) MissingAt(item types.ItemID) []types.SiteID {
+	if cl.adaptive == nil {
+		return nil
+	}
+	return cl.adaptive.MissingAt(item)
+}
+
+// ModeTransitions returns the cumulative missing-writes mode transitions
+// (demotions, restorations); both zero under StrategyQuorum.
+func (cl *Cluster) ModeTransitions() (demotions, restorations int) {
+	if cl.adaptive == nil {
+		return 0, 0
+	}
+	return cl.adaptive.Transitions()
+}
+
+// noteCommitApplied is the missing-writes bookkeeping hook a node's doCommit
+// calls after applying a committed writeset — the live counterpart of the
+// engine's hook. The first node to decide records which copies the commit
+// reaches: a copy counts as reached if its site is up, in the decider's
+// group, and bound to apply the write — it is the decider itself, it still
+// holds the transaction's X lock (voted), or its store already carries the
+// transaction's version (applied concurrently; stores and lock managers are
+// mutex-guarded, so peeking across goroutines is safe). Copies that miss
+// the write demote the item; later local applies resolve them.
+func (cl *Cluster) noteCommitApplied(n *Node, c *txnCtx) {
+	if cl.adaptive == nil {
+		return
+	}
+	cl.wroteMu.Lock()
+	first := !cl.recordedWrites[c.txn]
+	cl.recordedWrites[c.txn] = true
+	if c.txn > cl.maxRecorded {
+		cl.maxRecorded = c.txn
+	}
+	// Bound the map: a commit's applies finish within a few timeout units,
+	// so entries thousands of transactions behind the high-water mark are
+	// dead weight. If an ancient commit ever did re-record, the worst case
+	// is a spurious demotion that the next catch-up pass resolves.
+	if len(cl.recordedWrites) > 8192 {
+		for txn := range cl.recordedWrites {
+			if txn+4096 < cl.maxRecorded {
+				delete(cl.recordedWrites, txn)
+			}
+		}
+	}
+	cl.wroteMu.Unlock()
+	version := uint64(c.txn) + 1
+	if first {
+		for _, item := range c.ws.Items() {
+			ic, ok := cl.cfg.Assignment.Item(item)
+			if !ok {
+				continue
+			}
+			reached := make([]types.SiteID, 0, len(ic.Copies))
+			for _, cp := range ic.Copies {
+				if !cl.connected(n.id, cp.Site) {
+					continue
+				}
+				peer := cl.nodes[cp.Site]
+				applied := false
+				if v, err := peer.store.Read(item); err == nil && v.Version >= version {
+					applied = true
+				}
+				if cp.Site == n.id || applied || peer.locks.LockedBy(c.txn, item) {
+					reached = append(reached, cp.Site)
+				}
+			}
+			if len(reached) < len(ic.Copies) {
+				cl.adaptive.DegradeExcept(item, reached)
+			}
+		}
+	}
+	for _, item := range c.ws.Items() {
+		if n.store.Has(item) {
+			cl.maybeResolve(item, n.id)
+		}
+	}
+}
+
+// maybeResolve clears site's missing write for item once its copy has
+// caught up to the highest version any copy holds (stores only ever hold
+// committed values).
+func (cl *Cluster) maybeResolve(item types.ItemID, site types.SiteID) {
+	if cl.adaptive == nil || !cl.adaptive.IsMissing(item, site) {
+		return
+	}
+	ic, ok := cl.cfg.Assignment.Item(item)
+	if !ok {
+		return
+	}
+	var max uint64
+	for _, cp := range ic.Copies {
+		if v, err := cl.nodes[cp.Site].store.Read(item); err == nil && v.Version > max {
+			max = v.Version
+		}
+	}
+	if v, err := cl.nodes[site].store.Read(item); err == nil && v.Version >= max {
+		cl.adaptive.ResolveMissing(item, site)
+	}
 }

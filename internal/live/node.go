@@ -175,6 +175,7 @@ func (n *Node) dispatch(e msg.Envelope) {
 	case msg.CopyResp:
 		if n.store.Has(m.Item) {
 			_ = n.store.Apply(m.Item, m.Value, m.Version)
+			n.cl.maybeResolve(m.Item, n.id)
 		}
 
 	case msg.VoteReq:
@@ -360,6 +361,7 @@ func (n *Node) doCommit(c *txnCtx) {
 	_ = n.log.Append(wal.Record{Type: wal.RecCommit, Txn: c.txn})
 	n.walMu.Unlock()
 	n.store.ApplyWriteset(c.ws, uint64(c.txn)+1)
+	n.cl.noteCommitApplied(n, c)
 	n.locks.ReleaseAll(c.txn)
 	c.outcome = types.OutcomeCommitted
 	n.quiesce(c)

@@ -54,6 +54,10 @@ type Adaptive struct {
 	// missing[item] is the set of sites whose copy missed at least one
 	// write since the item last left optimistic mode.
 	missing map[types.ItemID]map[types.SiteID]bool
+	// demotions counts optimistic→pessimistic transitions, restorations the
+	// reverse — the churn study's mode-churn metric.
+	demotions    int
+	restorations int
 }
 
 // NewAdaptive wraps an assignment with missing-writes tracking. All items
@@ -136,12 +140,28 @@ func (a *Adaptive) RecordWrite(item types.ItemID, reached []types.SiteID) bool {
 		// Not even a pessimistic write quorum: the write must not proceed.
 		return false
 	}
+	a.DegradeExcept(item, reached)
+	return true
+}
+
+// DegradeExcept records missing writes for every copy of item NOT listed in
+// reached, demoting the item to pessimistic mode if any copy was missed. It
+// performs no quorum legality check — the engine calls it at commit-apply
+// time, after the commit protocol has already collected the write quorum —
+// whereas RecordWrite is the standalone front door that also enforces
+// legality.
+func (a *Adaptive) DegradeExcept(item types.ItemID, reached []types.SiteID) {
+	ic, ok := a.asgn.Item(item)
+	if !ok {
+		return
+	}
 	reachedSet := make(map[types.SiteID]bool, len(reached))
 	for _, s := range reached {
 		reachedSet[s] = true
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	wasOptimistic := len(a.missing[item]) == 0
 	for _, cp := range ic.Copies {
 		if !reachedSet[cp.Site] {
 			set := a.missing[item]
@@ -152,7 +172,24 @@ func (a *Adaptive) RecordWrite(item types.ItemID, reached []types.SiteID) bool {
 			set[cp.Site] = true
 		}
 	}
-	return true
+	if wasOptimistic && len(a.missing[item]) > 0 {
+		a.demotions++
+	}
+}
+
+// IsMissing reports whether site currently carries a missing write for item.
+func (a *Adaptive) IsMissing(item types.ItemID, site types.SiteID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.missing[item][site]
+}
+
+// Transitions returns the cumulative mode-transition counts: demotions
+// (optimistic→pessimistic) and restorations (pessimistic→optimistic).
+func (a *Adaptive) Transitions() (demotions, restorations int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.demotions, a.restorations
 }
 
 // ResolveMissing clears missing writes for the given sites (their copies
@@ -163,11 +200,15 @@ func (a *Adaptive) ResolveMissing(item types.ItemID, sites ...types.SiteID) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	set := a.missing[item]
+	wasPessimistic := len(set) > 0
 	for _, s := range sites {
 		delete(set, s)
 	}
 	if len(set) == 0 {
 		delete(a.missing, item)
+		if wasPessimistic {
+			a.restorations++
+		}
 	}
 }
 

@@ -141,3 +141,76 @@ func TestAdaptiveModeString(t *testing.T) {
 		t.Error("mode strings wrong")
 	}
 }
+
+func TestAdaptiveDegradeExceptAndTransitions(t *testing.T) {
+	a := newAdaptive(t)
+	if d, r := a.Transitions(); d != 0 || r != 0 {
+		t.Fatalf("fresh adaptive has transitions %d/%d", d, r)
+	}
+	// Reaching every copy leaves the item optimistic.
+	a.DegradeExcept("x", []types.SiteID{1, 2, 3, 4})
+	if a.ModeOf("x") != Optimistic {
+		t.Error("full-reach write must not demote")
+	}
+	// Missing one copy demotes — even below the pessimistic quorum, since
+	// DegradeExcept is the post-commit bookkeeping hook, not a legality gate.
+	a.DegradeExcept("x", []types.SiteID{1})
+	if a.ModeOf("x") != Pessimistic {
+		t.Fatal("missed copies must demote")
+	}
+	if !a.IsMissing("x", 2) || !a.IsMissing("x", 3) || !a.IsMissing("x", 4) {
+		t.Error("sites 2-4 should carry missing writes")
+	}
+	if a.IsMissing("x", 1) {
+		t.Error("reached site 1 marked missing")
+	}
+	// A second degradation while already pessimistic is not a new demotion.
+	a.DegradeExcept("x", []types.SiteID{1, 2})
+	if d, r := a.Transitions(); d != 1 || r != 0 {
+		t.Errorf("transitions = %d/%d, want 1/0", d, r)
+	}
+	a.ResolveMissing("x", 2, 3)
+	if d, r := a.Transitions(); d != 1 || r != 0 {
+		t.Errorf("partial resolve counted as restoration: %d/%d", d, r)
+	}
+	a.ResolveMissing("x", 4)
+	if d, r := a.Transitions(); d != 1 || r != 1 {
+		t.Errorf("transitions = %d/%d, want 1/1", d, r)
+	}
+	if a.ModeOf("x") != Optimistic {
+		t.Error("all resolved: item should be optimistic")
+	}
+	// Resolving an already-clean item is not a restoration.
+	a.ResolveMissing("x", 1)
+	if _, r := a.Transitions(); r != 1 {
+		t.Error("no-op resolve counted as restoration")
+	}
+	// Unknown items are ignored.
+	a.DegradeExcept("ghost", nil)
+	if d, _ := a.Transitions(); d != 1 {
+		t.Error("unknown-item degrade counted")
+	}
+}
+
+func TestStrategyStringAndParse(t *testing.T) {
+	if StrategyQuorum.String() != "quorum" || StrategyMissingWrites.String() != "missing-writes" {
+		t.Error("strategy strings wrong")
+	}
+	if Strategy(99).String() == "" {
+		t.Error("out-of-range strategy has empty string")
+	}
+	cases := map[string]Strategy{
+		"quorum": StrategyQuorum, "Quorum": StrategyQuorum, "": StrategyQuorum,
+		"missing-writes": StrategyMissingWrites, "missingwrites": StrategyMissingWrites,
+		"MW": StrategyMissingWrites, " mw ": StrategyMissingWrites,
+	}
+	for in, want := range cases {
+		got, err := ParseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}

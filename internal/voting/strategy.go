@@ -1,0 +1,50 @@
+package voting
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Strategy selects the partition-processing strategy of the data-access
+// layer: how many copies a read or write must touch, and what happens when a
+// write cannot reach every copy.
+type Strategy uint8
+
+// Strategies.
+const (
+	// StrategyQuorum is Gifford weighted voting: every read collects r(x)
+	// votes and every write collects w(x) votes, always. This is the
+	// strategy the paper's protocols are built around.
+	StrategyQuorum Strategy = iota
+	// StrategyMissingWrites is the Eager & Sevcik adaptive scheme (ACM TODS
+	// 1983, reference [5] of the paper): while an item has no missing
+	// writes it runs optimistically — read any one copy, write all copies —
+	// and the first write that misses a copy demotes the item to
+	// pessimistic quorum mode until the stale copies catch up.
+	StrategyMissingWrites
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyQuorum:
+		return "quorum"
+	case StrategyMissingWrites:
+		return "missing-writes"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategy maps a command-line spelling onto a Strategy. It accepts
+// "quorum", "missing-writes", "missingwrites" and "mw" (case-insensitive).
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "quorum", "gifford", "":
+		return StrategyQuorum, nil
+	case "missing-writes", "missingwrites", "mw":
+		return StrategyMissingWrites, nil
+	default:
+		return StrategyQuorum, fmt.Errorf("voting: unknown strategy %q (want quorum or missing-writes)", s)
+	}
+}

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"qcommit/internal/types"
@@ -60,7 +61,10 @@ func NewGenerator(asgn *voting.Assignment, mix Mix, seed int64) (*Generator, err
 	if mix.WritesPerTxn > len(items) {
 		return nil, fmt.Errorf("workload: WritesPerTxn %d exceeds item count %d", mix.WritesPerTxn, len(items))
 	}
-	if mix.HotFraction < 0 || mix.HotFraction >= 1 {
+	// The open-interval check must also reject NaN, which compares false
+	// against everything and would otherwise slip through and silently turn
+	// the hot-spot draw uniform.
+	if math.IsNaN(mix.HotFraction) || mix.HotFraction < 0 || mix.HotFraction >= 1 {
 		return nil, fmt.Errorf("workload: HotFraction %v out of [0,1)", mix.HotFraction)
 	}
 	return &Generator{asgn: asgn, items: items, mix: mix, rng: rand.New(rand.NewSource(seed))}, nil

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -22,6 +23,15 @@ func TestGeneratorValidation(t *testing.T) {
 	}
 	if _, err := NewGenerator(asgn(), Mix{WritesPerTxn: 1, HotFraction: 1.5}, 1); err == nil {
 		t.Error("HotFraction out of range accepted")
+	}
+	if _, err := NewGenerator(asgn(), Mix{WritesPerTxn: 1, HotFraction: -0.1}, 1); err == nil {
+		t.Error("negative HotFraction accepted")
+	}
+	if _, err := NewGenerator(asgn(), Mix{WritesPerTxn: 1, HotFraction: math.NaN()}, 1); err == nil {
+		t.Error("NaN HotFraction accepted (NaN compares false and would silently skew the draw)")
+	}
+	if _, err := NewGenerator(asgn(), Mix{WritesPerTxn: 1, HotFraction: 0.999}, 1); err != nil {
+		t.Errorf("in-range HotFraction rejected: %v", err)
 	}
 	empty, _ := voting.NewAssignment()
 	if _, err := NewGenerator(empty, DefaultMix(), 1); err == nil {

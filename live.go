@@ -13,6 +13,9 @@ import (
 type LiveOptions struct {
 	// Protocol selects the commit+termination protocol. Default ProtoQC1.
 	Protocol Protocol
+	// Strategy selects the data-access strategy (StrategyQuorum default, or
+	// StrategyMissingWrites), as in Options.
+	Strategy Strategy
 	// Seed drives delay randomness.
 	Seed int64
 	// MinDelay/MaxDelay bound simulated propagation delay (wall clock).
@@ -77,6 +80,7 @@ func NewLiveCluster(items []ReplicatedItem, opts LiveOptions) (*LiveCluster, err
 	}
 	lc := live.New(live.Config{
 		Assignment:  asgn,
+		Strategy:    opts.Strategy,
 		Spec:        spec,
 		MinDelay:    opts.MinDelay,
 		MaxDelay:    opts.MaxDelay,
@@ -129,6 +133,23 @@ func (c *LiveCluster) Partition(groups ...[]SiteID) { c.lc.Partition(groups...) 
 
 // Heal reconnects the network.
 func (c *LiveCluster) Heal() { c.lc.Heal() }
+
+// Strategy returns the cluster's access strategy.
+func (c *LiveCluster) Strategy() Strategy { return c.lc.Strategy() }
+
+// ItemMode returns item's current missing-writes operating mode (always
+// ModePessimistic under StrategyQuorum).
+func (c *LiveCluster) ItemMode(item ItemID) Mode { return c.lc.ItemMode(item) }
+
+// MissingWritesAt returns the sites currently carrying missing writes for
+// item, ascending (always empty under StrategyQuorum).
+func (c *LiveCluster) MissingWritesAt(item ItemID) []SiteID { return c.lc.MissingAt(item) }
+
+// ModeTransitions returns the cumulative missing-writes mode transitions
+// (demotions, restorations).
+func (c *LiveCluster) ModeTransitions() (demotions, restorations int) {
+	return c.lc.ModeTransitions()
+}
 
 // CopyAt reads the raw copy at one site.
 func (c *LiveCluster) CopyAt(id SiteID, item ItemID) (int64, uint64, error) {

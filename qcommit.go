@@ -32,6 +32,7 @@ import (
 	"qcommit/internal/avail"
 	"qcommit/internal/sim"
 	"qcommit/internal/types"
+	"qcommit/internal/voting"
 )
 
 // Re-exported identifier and result types.
@@ -82,6 +83,43 @@ const (
 	Microsecond = sim.Microsecond
 	Millisecond = sim.Millisecond
 	Second      = sim.Second
+)
+
+// Strategy selects the data-access (partition-processing) strategy layered
+// over the weighted-voting assignment.
+type Strategy = voting.Strategy
+
+// Access strategies.
+const (
+	// StrategyQuorum is Gifford weighted voting: every read collects r(x)
+	// votes and every write w(x) votes, always. The default.
+	StrategyQuorum = voting.StrategyQuorum
+	// StrategyMissingWrites is Eager & Sevcik's adaptive scheme (ACM TODS
+	// 1983, reference [5] of the paper): read-one/write-all while an item
+	// has no missing writes, demotion to pessimistic quorum mode when a
+	// committed write misses a copy, restoration once stale copies catch up
+	// (on heal or restart, via anti-entropy).
+	StrategyMissingWrites = voting.StrategyMissingWrites
+)
+
+// AllStrategies lists the supported access strategies in comparison order.
+func AllStrategies() []Strategy { return []Strategy{StrategyQuorum, StrategyMissingWrites} }
+
+// ParseStrategy maps a command-line spelling ("quorum", "missing-writes",
+// "missingwrites", "mw") onto a Strategy.
+func ParseStrategy(s string) (Strategy, error) { return voting.ParseStrategy(s) }
+
+// Mode is an item's current missing-writes operating mode.
+type Mode = voting.Mode
+
+// Item access modes.
+const (
+	// ModeOptimistic: read any single copy, write all copies. Requires no
+	// missing writes (StrategyMissingWrites only).
+	ModeOptimistic = voting.Optimistic
+	// ModePessimistic: quorum reads and writes with the configured
+	// r(x)/w(x). Items under StrategyQuorum are always in this mode.
+	ModePessimistic = voting.Pessimistic
 )
 
 // Protocol selects the commit + termination protocol family.

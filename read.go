@@ -1,88 +1,79 @@
 package qcommit
 
 import (
-	"errors"
-	"fmt"
-
-	"qcommit/internal/storage"
+	"qcommit/internal/engine"
 )
 
-// Data-access errors.
+// Data-access errors. All three paths (QuorumRead, CanWrite, CanRead) share
+// one vote-counting pass in the engine, so they classify failures
+// identically.
 var (
 	// ErrNoQuorum means the reachable, unlocked copies do not carry enough
-	// votes for the operation.
-	ErrNoQuorum = errors.New("qcommit: replica quorum not reachable")
+	// votes for the operation under the item's current access mode.
+	ErrNoQuorum = engine.ErrNoQuorum
 	// ErrUnknownItem means the item has no replica configuration.
-	ErrUnknownItem = errors.New("qcommit: unknown item")
+	ErrUnknownItem = engine.ErrUnknownItem
+	// ErrSiteDown means the site issuing the operation is itself down — a
+	// crashed site cannot assemble quorums or serve reads.
+	ErrSiteDown = engine.ErrSiteDown
 )
 
-// QuorumRead performs a weighted-voting read of item as seen from the given
+// QuorumRead performs a strategy-aware read of item as seen from the given
 // site: it collects copies from up sites in the same partition group whose
-// copies are not locked by a pending transaction, requires r(x) votes, and
-// returns the value with the highest version number (which the constraint
-// r+w > v guarantees is the most recently committed one).
+// copies are not locked by a pending transaction, requires the item's
+// current read quorum, and returns the value with the highest version
+// number. Under StrategyQuorum the quorum is always r(x) votes (which the
+// constraint r+w > v guarantees includes the most recently committed copy);
+// under StrategyMissingWrites an item in optimistic mode needs only a single
+// fresh copy (read-one), while a demoted item needs r(x) votes among copies
+// not carrying missing writes.
 func (c *Cluster) QuorumRead(from SiteID, item ItemID) (int64, error) {
-	asgn := c.eng.Assignment()
-	ic, ok := asgn.Item(item)
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownItem, item)
-	}
-	net := c.eng.Network()
-	votes := 0
-	var copies []storage.Versioned
-	for _, cp := range ic.Copies {
-		if net.Down(cp.Site) || !net.Connected(from, cp.Site) {
-			continue
-		}
-		site := c.eng.Site(cp.Site)
-		if locked := site.Locks().Locked(item); locked {
-			continue // held by a pending (possibly blocked) transaction
-		}
-		v, err := site.Store().Read(item)
-		if err != nil {
-			continue
-		}
-		copies = append(copies, v)
-		votes += cp.Votes
-	}
-	if votes < ic.R {
-		return 0, fmt.Errorf("%w: item %q has %d free votes reachable from %s, read quorum is %d",
-			ErrNoQuorum, item, votes, from, ic.R)
-	}
-	best, err := storage.ResolveRead(copies)
+	v, err := c.eng.ReadItem(from, item)
 	if err != nil {
 		return 0, err
 	}
-	return best.Value, nil
+	return v.Value, nil
 }
 
 // CanWrite reports whether a transaction writing item could assemble a write
 // quorum from the given site's partition right now (up, connected, unlocked
-// copies carrying ≥ w(x) votes).
+// copies carrying ≥ w(x) votes). Under StrategyMissingWrites the threshold
+// stays w(x): an optimistic write tries to reach every copy, but one that
+// reaches at least the pessimistic quorum proceeds and demotes the item
+// instead of failing.
 func (c *Cluster) CanWrite(from SiteID, item ItemID) bool {
-	asgn := c.eng.Assignment()
-	ic, ok := asgn.Item(item)
-	if !ok {
-		return false
-	}
-	net := c.eng.Network()
-	votes := 0
-	for _, cp := range ic.Copies {
-		if net.Down(cp.Site) || !net.Connected(from, cp.Site) {
-			continue
-		}
-		if c.eng.Site(cp.Site).Locks().Locked(item) {
-			continue
-		}
-		votes += cp.Votes
-	}
-	return votes >= ic.W
+	return c.eng.CanWrite(from, item)
 }
 
-// CanRead is the read-quorum counterpart of CanWrite.
+// CanRead is the read-quorum counterpart of CanWrite. It shares the
+// vote-counting pass with QuorumRead but resolves no values and allocates
+// nothing.
 func (c *Cluster) CanRead(from SiteID, item ItemID) bool {
-	_, err := c.QuorumRead(from, item)
-	return err == nil
+	return c.eng.CanRead(from, item)
+}
+
+// Strategy returns the cluster's access strategy.
+func (c *Cluster) Strategy() Strategy { return c.eng.Strategy() }
+
+// Items returns the replicated item names in declaration order.
+func (c *Cluster) Items() []ItemID { return c.eng.Assignment().Items() }
+
+// ItemMode returns item's current missing-writes operating mode. Under
+// StrategyQuorum every item is permanently ModePessimistic (quorum
+// operations only); under StrategyMissingWrites items start ModeOptimistic
+// and move between the modes as writes miss copies and stale copies catch
+// up.
+func (c *Cluster) ItemMode(item ItemID) Mode { return c.eng.ItemMode(item) }
+
+// MissingWritesAt returns the sites currently carrying missing writes for
+// item (always empty under StrategyQuorum), ascending.
+func (c *Cluster) MissingWritesAt(item ItemID) []SiteID { return c.eng.MissingAt(item) }
+
+// ModeTransitions returns the cumulative missing-writes mode transitions
+// observed so far: demotions (optimistic→pessimistic) and restorations (the
+// reverse). Both are zero under StrategyQuorum.
+func (c *Cluster) ModeTransitions() (demotions, restorations int) {
+	return c.eng.ModeTransitions()
 }
 
 // CopyAt returns the raw copy (value, version) stored at one site, without

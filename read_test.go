@@ -1,0 +1,362 @@
+package qcommit
+
+import (
+	"errors"
+	"testing"
+)
+
+// accessItems is a single 4-copy item with the paper's r=2/w=3 quorums.
+func accessItems() []ReplicatedItem {
+	return []ReplicatedItem{
+		{Name: "x", Sites: []SiteID{1, 2, 3, 4}, R: 2, W: 3, Initial: 100},
+	}
+}
+
+// TestAccessPathTable drives QuorumRead, CanRead and CanWrite through the
+// failure shapes the shared vote-counting helper must classify: down
+// requester, unknown item, partitioned-away copies, locked copies, and
+// weighted (multi-vote) copies.
+func TestAccessPathTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		items    []ReplicatedItem
+		setup    func(c *Cluster) TxnID
+		from     SiteID
+		item     ItemID
+		wantErr  error
+		wantVal  int64
+		canRead  bool
+		canWrite bool
+	}{
+		{
+			name:     "healthy cluster reads and writes",
+			items:    accessItems(),
+			from:     1,
+			item:     "x",
+			wantVal:  100,
+			canRead:  true,
+			canWrite: true,
+		},
+		{
+			name:    "unknown item",
+			items:   accessItems(),
+			from:    1,
+			item:    "ghost",
+			wantErr: ErrUnknownItem,
+		},
+		{
+			name:  "down requester cannot assemble quorums",
+			items: accessItems(),
+			setup: func(c *Cluster) TxnID {
+				c.Crash(1)
+				return 0
+			},
+			from:    1,
+			item:    "x",
+			wantErr: ErrSiteDown,
+		},
+		{
+			name:  "partitioned-away copies do not count",
+			items: accessItems(),
+			setup: func(c *Cluster) TxnID {
+				c.Partition([]SiteID{1}, []SiteID{2, 3, 4})
+				return 0
+			},
+			from:    1,
+			item:    "x",
+			wantErr: ErrNoQuorum,
+		},
+		{
+			name:  "majority partition keeps reading and writing",
+			items: accessItems(),
+			setup: func(c *Cluster) TxnID {
+				c.Partition([]SiteID{1}, []SiteID{2, 3, 4})
+				return 0
+			},
+			from:     2,
+			item:     "x",
+			wantVal:  100,
+			canRead:  true,
+			canWrite: true,
+		},
+		{
+			name:  "locked copies drop below the write quorum",
+			items: accessItems(),
+			setup: func(c *Cluster) TxnID {
+				// Sites 3 and 4 hold a pending transaction's X locks.
+				return c.SetupInterrupted(3, map[ItemID]int64{"x": 7}, map[SiteID]State{
+					3: StateWait, 4: StateWait,
+				})
+			},
+			from:     1,
+			item:     "x",
+			wantVal:  100, // free copies at 1,2 still reach r=2
+			canRead:  true,
+			canWrite: false, // 2 free votes < w=3
+		},
+		{
+			name:  "all copies locked blocks reads too",
+			items: accessItems(),
+			setup: func(c *Cluster) TxnID {
+				return c.SetupInterrupted(1, map[ItemID]int64{"x": 7}, map[SiteID]State{
+					1: StateWait, 2: StateWait, 3: StateWait, 4: StateWait,
+				})
+			},
+			from:    1,
+			item:    "x",
+			wantErr: ErrNoQuorum,
+		},
+		{
+			name: "heavy copy alone reaches weighted quorums",
+			items: []ReplicatedItem{
+				{Name: "w", Sites: []SiteID{1, 2, 3}, Votes: []int{3, 1, 1}, R: 3, W: 3, Initial: 5},
+			},
+			setup: func(c *Cluster) TxnID {
+				c.Partition([]SiteID{1}, []SiteID{2, 3})
+				return 0
+			},
+			from:     1,
+			item:     "w",
+			wantVal:  5,
+			canRead:  true,
+			canWrite: true,
+		},
+		{
+			name: "light copies miss weighted quorums",
+			items: []ReplicatedItem{
+				{Name: "w", Sites: []SiteID{1, 2, 3}, Votes: []int{3, 1, 1}, R: 3, W: 3, Initial: 5},
+			},
+			setup: func(c *Cluster) TxnID {
+				c.Partition([]SiteID{1}, []SiteID{2, 3})
+				return 0
+			},
+			from:    2,
+			item:    "w",
+			wantErr: ErrNoQuorum,
+		},
+	}
+	for _, strategy := range AllStrategies() {
+		for _, tc := range cases {
+			tc := tc
+			t.Run(strategy.String()+"/"+tc.name, func(t *testing.T) {
+				c := MustCluster(tc.items, Options{Seed: 1, Strategy: strategy})
+				if tc.setup != nil {
+					tc.setup(c)
+				}
+				v, err := c.QuorumRead(tc.from, tc.item)
+				if tc.wantErr != nil {
+					// Optimistic read-one relaxes only the vote threshold:
+					// down-requester and unknown-item failures are identical
+					// under both strategies, and so is the no-quorum verdict
+					// whenever not even one free copy is reachable. The two
+					// partition cases genuinely diverge (read-one succeeds),
+					// so skip those for the missing-writes column.
+					if strategy == StrategyMissingWrites && errors.Is(tc.wantErr, ErrNoQuorum) {
+						t.Skip("optimistic read-one relaxes the read quorum")
+					}
+					if !errors.Is(err, tc.wantErr) {
+						t.Fatalf("QuorumRead err = %v, want %v", err, tc.wantErr)
+					}
+					if c.CanRead(tc.from, tc.item) {
+						t.Error("CanRead true where QuorumRead fails")
+					}
+					if tc.canWrite != c.CanWrite(tc.from, tc.item) {
+						t.Errorf("CanWrite = %v, want %v", !tc.canWrite, tc.canWrite)
+					}
+					return
+				}
+				if err != nil || v != tc.wantVal {
+					t.Fatalf("QuorumRead = %d, %v; want %d", v, err, tc.wantVal)
+				}
+				if got := c.CanRead(tc.from, tc.item); got != tc.canRead {
+					t.Errorf("CanRead = %v, want %v", got, tc.canRead)
+				}
+				if got := c.CanWrite(tc.from, tc.item); got != tc.canWrite {
+					t.Errorf("CanWrite = %v, want %v", got, tc.canWrite)
+				}
+			})
+		}
+	}
+}
+
+// TestCanReadAgreesWithQuorumRead pins the satellite fix: CanRead must be a
+// pure vote count that agrees with QuorumRead's verdict in every reachable
+// configuration, without taking the value-resolution detour.
+func TestCanReadAgreesWithQuorumRead(t *testing.T) {
+	c := MustCluster(accessItems(), Options{Seed: 3})
+	configs := []func(){
+		func() {},
+		func() { c.Partition([]SiteID{1, 2}, []SiteID{3, 4}) },
+		func() { c.Crash(2) },
+		func() { c.Crash(3) },
+		func() { c.Heal() },
+		func() { c.Restart(2); c.Restart(3) },
+	}
+	for i, apply := range configs {
+		apply()
+		for _, from := range c.Sites() {
+			_, err := c.QuorumRead(from, "x")
+			if got, want := c.CanRead(from, "x"), err == nil; got != want {
+				t.Errorf("config %d from %v: CanRead = %v, QuorumRead err = %v", i, from, got, err)
+			}
+		}
+	}
+}
+
+// TestMissingWritesOptimisticReadOne: with no missing writes, any single
+// copy serves reads — including from a singleton partition where the quorum
+// strategy refuses.
+func TestMissingWritesOptimisticReadOne(t *testing.T) {
+	c := MustCluster(accessItems(), Options{Seed: 2, Strategy: StrategyMissingWrites})
+	if got := c.Strategy(); got != StrategyMissingWrites {
+		t.Fatalf("Strategy() = %v", got)
+	}
+	if got := c.ItemMode("x"); got != ModeOptimistic {
+		t.Fatalf("fresh item mode = %v, want optimistic", got)
+	}
+	c.Partition([]SiteID{3}, []SiteID{1, 2, 4})
+	if v, err := c.QuorumRead(3, "x"); err != nil || v != 100 {
+		t.Errorf("optimistic read-one from singleton = %d, %v; want 100", v, err)
+	}
+	if !c.CanRead(3, "x") {
+		t.Error("CanRead false in optimistic mode with one copy reachable")
+	}
+	if c.CanWrite(3, "x") {
+		t.Error("one copy must not reach the write quorum")
+	}
+	// The quorum strategy refuses the same read.
+	q := MustCluster(accessItems(), Options{Seed: 2})
+	q.Partition([]SiteID{3}, []SiteID{1, 2, 4})
+	if _, err := q.QuorumRead(3, "x"); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("quorum strategy read err = %v, want ErrNoQuorum", err)
+	}
+	if q.ItemMode("x") != ModePessimistic {
+		t.Error("quorum-strategy items must report pessimistic mode")
+	}
+}
+
+// TestMissingWritesDemotionAndRestartCatchUp: a commit that cannot reach a
+// crashed copy demotes the item to pessimistic mode; restarting the site
+// catches its copy up (anti-entropy + termination) and restores optimistic
+// mode.
+func TestMissingWritesDemotionAndRestartCatchUp(t *testing.T) {
+	c := MustCluster(accessItems(), Options{Protocol: ProtoQC1, Seed: 11, Strategy: StrategyMissingWrites})
+	txn := c.SetupInterrupted(1, map[ItemID]int64{"x": 777}, map[SiteID]State{
+		1: StatePC, 2: StatePC, 3: StatePC, 4: StateWait,
+	})
+	c.Crash(4)
+	c.Kick(txn)
+	c.Run()
+	if got := c.OutcomeAt(1, txn); got != OutcomeCommitted {
+		t.Fatalf("survivors = %v, want committed (3 PC votes = w)", got)
+	}
+	if got := c.ItemMode("x"); got != ModePessimistic {
+		t.Fatalf("mode after missed copy = %v, want pessimistic", got)
+	}
+	if missing := c.MissingWritesAt("x"); len(missing) != 1 || missing[0] != 4 {
+		t.Fatalf("missing sites = %v, want [4]", missing)
+	}
+	if d, r := c.ModeTransitions(); d != 1 || r != 0 {
+		t.Errorf("transitions = %d/%d, want 1/0", d, r)
+	}
+	// Pessimistic reads still work through the fresh copies.
+	if v, err := c.QuorumRead(1, "x"); err != nil || v != 777 {
+		t.Errorf("pessimistic read = %d, %v; want 777", v, err)
+	}
+	// The stale copy catches up after restart and the item recovers.
+	c.Restart(4)
+	c.Run()
+	if got := c.ItemMode("x"); got != ModeOptimistic {
+		t.Errorf("mode after catch-up = %v, want optimistic", got)
+	}
+	if missing := c.MissingWritesAt("x"); len(missing) != 0 {
+		t.Errorf("missing sites after catch-up = %v, want none", missing)
+	}
+	if d, r := c.ModeTransitions(); d != 1 || r != 1 {
+		t.Errorf("transitions = %d/%d, want 1/1", d, r)
+	}
+	if v, _, err := c.CopyAt(4, "x"); err != nil || v != 777 {
+		t.Errorf("site4 copy = %d, %v; want 777", v, err)
+	}
+	if len(c.Violations()) != 0 {
+		t.Errorf("violations: %v", c.Violations())
+	}
+}
+
+// TestMissingWritesStaleCopyExcludedFromReads: a copy carrying a missing
+// write must not serve (or count votes toward) reads, even where it would
+// satisfy the raw vote arithmetic — only heal-time catch-up readmits it.
+func TestMissingWritesStaleCopyExcludedFromReads(t *testing.T) {
+	items := []ReplicatedItem{
+		{Name: "z", Sites: []SiteID{1, 2, 3, 4, 5}, R: 2, W: 4, Initial: 9},
+	}
+	c := MustCluster(items, Options{Protocol: ProtoQC1, Seed: 13, Strategy: StrategyMissingWrites})
+	txn := c.SetupInterrupted(1, map[ItemID]int64{"z": 55}, map[SiteID]State{
+		1: StatePC, 2: StatePC, 3: StatePC, 4: StatePC, 5: StateWait,
+	})
+	c.Crash(5)
+	c.Kick(txn)
+	c.Run()
+	if got := c.OutcomeAt(1, txn); got != OutcomeCommitted {
+		t.Fatalf("survivors = %v, want committed (4 PC votes = w)", got)
+	}
+	if missing := c.MissingWritesAt("z"); len(missing) != 1 || missing[0] != 5 {
+		t.Fatalf("missing sites = %v, want [5]", missing)
+	}
+	// Bring site 5 back but isolate it with one fresh copy: 1 fresh vote
+	// < r=2, and the stale copy must not make up the difference.
+	c.Partition([]SiteID{1, 5}, []SiteID{2, 3, 4})
+	c.Restart(5)
+	if _, err := c.QuorumRead(1, "z"); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("read with one fresh + one stale copy err = %v, want ErrNoQuorum", err)
+	}
+	if c.CanRead(5, "z") {
+		t.Error("stale copy counted toward the read quorum")
+	}
+	// Stale copies still accept writes (a full-value write heals them), so
+	// write votes count them: the majority partition holds only 3 < w=4.
+	if c.CanWrite(2, "z") {
+		t.Error("3 votes should miss w=4")
+	}
+	// Healing triggers the catch-up pass; once the stale copy applies the
+	// newest version the item returns to optimistic mode everywhere.
+	c.Heal()
+	if !c.CanWrite(2, "z") {
+		t.Error("full partition should reach w=4 (stale copies accept writes)")
+	}
+	c.Run()
+	if got := c.ItemMode("z"); got != ModeOptimistic {
+		t.Errorf("mode after heal = %v, want optimistic", got)
+	}
+	if v, _, err := c.CopyAt(5, "z"); err != nil || v != 55 {
+		t.Errorf("site5 copy after heal = %d, %v; want 55", v, err)
+	}
+	if len(c.Violations()) != 0 {
+		t.Errorf("violations: %v", c.Violations())
+	}
+}
+
+// TestMissingWritesFullReachStaysOptimistic: a failure-free commit reaches
+// every copy, so the item never leaves optimistic mode.
+func TestMissingWritesFullReachStaysOptimistic(t *testing.T) {
+	for _, proto := range AllProtocols() {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			c := MustCluster(accessItems(), Options{Protocol: proto, Seed: 4, Strategy: StrategyMissingWrites})
+			txn := c.Submit(1, map[ItemID]int64{"x": 42})
+			c.Run()
+			if got := c.Outcome(txn); got != OutcomeCommitted {
+				t.Fatalf("outcome = %v, want committed", got)
+			}
+			if got := c.ItemMode("x"); got != ModeOptimistic {
+				t.Errorf("mode after full-reach commit = %v, want optimistic", got)
+			}
+			if d, r := c.ModeTransitions(); d != 0 || r != 0 {
+				t.Errorf("transitions = %d/%d, want 0/0", d, r)
+			}
+			if v, err := c.QuorumRead(2, "x"); err != nil || v != 42 {
+				t.Errorf("read = %d, %v; want 42", v, err)
+			}
+		})
+	}
+}
