@@ -28,9 +28,10 @@ func DefaultChurnParams() ChurnParams { return churn.DefaultParams() }
 // ChurnStudy evaluates runs independent churn runs under all five standard
 // protocols (2PC, 3PC, SkeenQ, QC1, QC2) and aggregates per-protocol
 // steady-state metrics: committed/aborted/blocked fractions,
-// time-to-termination percentiles, blocked-time share, and safety
-// violations. Results are deterministic in (params, runs, seed) for any
-// worker count.
+// time-to-termination percentiles, blocked-time share, read/write
+// availability under params.Strategy (any of the three access strategies),
+// mode/reassignment churn, and safety violations. Results are deterministic
+// in (params, runs, seed) for any worker count.
 func ChurnStudy(params ChurnParams, runs int, seed int64, opts ChurnOptions) ([]ChurnResult, error) {
 	return churn.StudyParallel(params, runs, seed, churn.StandardBuilders(), opts)
 }

@@ -78,6 +78,9 @@ func NewCluster(items []ReplicatedItem, opts Options) (*Cluster, error) {
 	if len(items) == 0 {
 		return nil, fmt.Errorf("qcommit: at least one replicated item is required")
 	}
+	if !opts.Strategy.Valid() {
+		return nil, fmt.Errorf("qcommit: invalid Options.Strategy %v", opts.Strategy)
+	}
 	configs := make([]voting.ItemConfig, 0, len(items))
 	siteSet := make(map[SiteID]bool)
 	for _, it := range items {

@@ -9,7 +9,9 @@
 //	churnbench -partmtbf 1500ms -partmttr 500ms     enable partition churn
 //	churnbench -protocol QC1,QC2,2PC                study a subset
 //	churnbench -strategy missing-writes             adaptive data access
+//	churnbench -strategy dynamic                    dynamic vote reassignment
 //	churnbench -strategy both                       quorum vs missing-writes
+//	churnbench -strategy all                        all three strategies
 //	churnbench -sweep mttr                          MTTR sensitivity: repair
 //	                                                speed from mttr/4 to 4×mttr
 //	churnbench -sweep mttf                          failure-rate sensitivity
@@ -100,7 +102,7 @@ func main() {
 	partMTTR := flag.Duration("partmttr", 500*time.Millisecond, "mean partition duration")
 	groups := flag.Int("groups", 3, "max partition groups")
 	horizon := flag.Duration("horizon", 5*time.Second, "virtual-time length of each run")
-	strategy := flag.String("strategy", "quorum", "data-access strategy: 'quorum', 'missing-writes' (alias 'mw'), or 'both'")
+	strategy := flag.String("strategy", "quorum", "data-access strategy: 'quorum', 'missing-writes' (alias 'mw'), 'dynamic' (alias 'dv'), 'both' (quorum + missing-writes), or 'all' (all three)")
 	sweep := flag.String("sweep", "", "sweep a parameter: 'mttr' (repair speed) or 'mttf' (failure rate)")
 	workers := flag.Int("workers", 0, "run-evaluation worker goroutines (0 = GOMAXPROCS)")
 	ci := flag.Bool("ci", false, "print 95% Wilson confidence intervals")
@@ -209,12 +211,15 @@ func selectBuilders(arg string) ([]churn.Builder, error) {
 }
 
 func selectStrategies(arg string) ([]voting.Strategy, error) {
-	if strings.EqualFold(strings.TrimSpace(arg), "both") {
+	switch strings.ToLower(strings.TrimSpace(arg)) {
+	case "both":
 		return []voting.Strategy{voting.StrategyQuorum, voting.StrategyMissingWrites}, nil
+	case "all":
+		return []voting.Strategy{voting.StrategyQuorum, voting.StrategyMissingWrites, voting.StrategyDynamic}, nil
 	}
 	s, err := voting.ParseStrategy(arg)
 	if err != nil {
-		return nil, fmt.Errorf("%v (or 'both')", err)
+		return nil, fmt.Errorf("%v (or 'both' / 'all')", err)
 	}
 	return []voting.Strategy{s}, nil
 }

@@ -11,6 +11,10 @@
 //	                                            adaptive data access: the run
 //	                                            reports per-item modes and
 //	                                            missing-write carriers
+//	qsim -protocol QC1 -strategy dynamic -crash 2 -crashat 15ms
+//	                                            dynamic vote reassignment: the
+//	                                            run reports per-item vote-table
+//	                                            epochs and the surviving bases
 package main
 
 import (
@@ -26,7 +30,7 @@ import (
 
 func main() {
 	protocol := flag.String("protocol", "QC1", "2PC, 3PC, SkeenQ, QC1 or QC2")
-	strategy := flag.String("strategy", "quorum", "data-access strategy: 'quorum' or 'missing-writes' (alias 'mw')")
+	strategy := flag.String("strategy", "quorum", "data-access strategy: 'quorum', 'missing-writes' (alias 'mw'), or 'dynamic' (alias 'dv')")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	loss := flag.Float64("loss", 0, "message loss probability")
 	dup := flag.Float64("dup", 0, "message duplication probability")
@@ -93,6 +97,13 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if c.Strategy() == qcommit.StrategyDynamic {
+		reassigns, restores := c.VoteTransitions()
+		fmt.Printf("vote tables (reassignments %d, restorations %d):\n", reassigns, restores)
+		for _, item := range c.Items() {
+			fmt.Printf("  %s: epoch %d votes %s\n", item, c.VoteEpoch(item), formatVotes(c.VotesNow(item)))
+		}
+	}
 	st := c.NetworkStats()
 	fmt.Printf("network: sent=%d delivered=%d lost=%d cut=%d bytes=%d\n\n",
 		st.Sent, st.Delivered, st.DroppedLoss, st.DroppedPartition, st.Bytes)
@@ -107,6 +118,20 @@ func main() {
 		fmt.Println("\nmessage ladder:")
 		fmt.Print(c.Ladder())
 	}
+}
+
+func formatVotes(copies []qcommit.VoteCopy) string {
+	if len(copies) == 0 {
+		return "(none)"
+	}
+	var b strings.Builder
+	for i, cp := range copies {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", cp.Site, cp.Votes)
+	}
+	return b.String()
 }
 
 func parseSites(s string) []qcommit.SiteID {

@@ -57,13 +57,13 @@ func TestCommandsSmoke(t *testing.T) {
 			want: []string{"protocol", "2PC", "3PC", "SkeenQ", "QC1", "QC2", "p95(ms)", "blkshare", "rd-avl", "wr-avl"},
 		},
 		{
-			// Both access strategies over the identical timelines: the
-			// missing-writes column must label itself and report mode churn.
+			// All three access strategies over the identical timelines: each
+			// must label itself, and the availability columns must appear.
 			name: "churnbench-strategies",
 			args: []string{"run", "./cmd/churnbench", "-runs", "3", "-horizon", "2s",
-				"-protocol", "QC1,QC2", "-strategy", "both"},
+				"-protocol", "QC1,QC2", "-strategy", "all"},
 			want: []string{"=== strategy: quorum ===", "=== strategy: missing-writes ===",
-				"strategy missing-writes", "rd-avl"},
+				"=== strategy: dynamic ===", "strategy missing-writes", "strategy dynamic", "rd-avl"},
 		},
 		{
 			// Adaptive strategy end-to-end: a replica crash after voting
@@ -78,6 +78,27 @@ func TestCommandsSmoke(t *testing.T) {
 			args: []string{"run", "./cmd/qsim", "-protocol", "QC1", "-strategy", "mw",
 				"-crash", "2", "-crashat", "15ms"},
 			want: []string{"strategy: missing-writes", "access modes", "outcome:"},
+		},
+		{
+			// Dynamic vote reassignment: the run reports per-item vote-table
+			// epochs and the surviving bases.
+			name: "qsim-dynamic",
+			args: []string{"run", "./cmd/qsim", "-protocol", "QC1", "-strategy", "dv",
+				"-crash", "2", "-crashat", "15ms"},
+			want: []string{"strategy: dynamic", "vote tables", "epoch", "outcome:"},
+		},
+		{
+			// Dynamic voting end-to-end: after the second failure the static
+			// cluster is write-blocked while the dynamic basis stays
+			// available; heal + catch-up restores the full table.
+			name: "dynamicvoting-example",
+			args: []string{"run", "./examples/dynamicvoting"},
+			want: []string{
+				"[quorum] write-available from site1 after the second failure? false",
+				"[dynamic] write-available from site1 after the second failure? true",
+				"stale pair {3,4} write-available in a minority partition? false",
+				"2 reassignments, 1 restoration",
+			},
 		},
 		{
 			name: "churnstudy-example",

@@ -1,0 +1,168 @@
+package qcommit
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func dynamicItems() []ReplicatedItem {
+	return []ReplicatedItem{
+		{Name: "x", Sites: []SiteID{1, 2, 3, 4}, R: 2, W: 3, Initial: 10},
+	}
+}
+
+// commitMissing runs one transaction that commits while the given site
+// crashes mid-protocol (after voting), so the committed write misses that
+// site's copy.
+func commitMissing(t *testing.T, c *Cluster, miss SiteID, value int64) TxnID {
+	t.Helper()
+	txn := c.Submit(1, map[ItemID]int64{"x": value})
+	c.CrashAt(Time(15*Millisecond), miss)
+	c.Run()
+	if got := c.Outcome(txn); got != OutcomeCommitted {
+		t.Fatalf("write with %v crashing mid-commit: %v, want committed", miss, got)
+	}
+	return txn
+}
+
+// TestInvalidStrategyRejected: a dropped ParseStrategy error yields
+// StrategyInvalid, which every constructor must reject rather than silently
+// running the quorum default.
+func TestInvalidStrategyRejected(t *testing.T) {
+	bad, err := ParseStrategy("bogus")
+	if err == nil {
+		t.Fatal("bogus strategy parsed")
+	}
+	if bad == StrategyQuorum {
+		t.Fatal("ParseStrategy error path returned the quorum zero value")
+	}
+	if _, err := NewCluster(dynamicItems(), Options{Strategy: bad}); err == nil {
+		t.Error("invalid strategy accepted by NewCluster")
+	}
+}
+
+// TestDynamicSecondFailureStaysWriteAvailable pins the headline dynamic
+// voting scenario: after a first failure and a committed write the basis
+// re-anchors on the three survivors, so a second failure leaves the
+// surviving pair write-available — where the static quorum strategy is
+// blocked (2 of the original 4 votes < w=3).
+func TestDynamicSecondFailureStaysWriteAvailable(t *testing.T) {
+	static := MustCluster(dynamicItems(), Options{Protocol: ProtoQC1, Strategy: StrategyQuorum, Seed: 7})
+	dynamic := MustCluster(dynamicItems(), Options{Protocol: ProtoQC1, Strategy: StrategyDynamic, Seed: 7})
+
+	if got := dynamic.Strategy(); got != StrategyDynamic {
+		t.Fatalf("Strategy() = %v", got)
+	}
+	if e := dynamic.VoteEpoch("x"); e != 0 {
+		t.Fatalf("initial epoch = %d", e)
+	}
+
+	// First failure: the commit reaches {1,2,3} and misses site 4.
+	commitMissing(t, static, 4, 20)
+	commitMissing(t, dynamic, 4, 20)
+	if e := dynamic.VoteEpoch("x"); e != 1 {
+		t.Fatalf("epoch after first miss = %d, want 1", e)
+	}
+	want := []VoteCopy{{Site: 1, Votes: 1}, {Site: 2, Votes: 1}, {Site: 3, Votes: 1}}
+	if got := dynamic.VotesNow("x"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("basis after first miss = %v, want %v", got, want)
+	}
+	// One failure in, both strategies can still write (3 of 4 static votes;
+	// 3 of 3 dynamic).
+	if !static.CanWrite(1, "x") || !dynamic.CanWrite(1, "x") {
+		t.Fatal("write availability lost after a single failure")
+	}
+
+	// Second failure: static quorum blocks, dynamic stays available.
+	static.Crash(3)
+	dynamic.Crash(3)
+	if static.CanWrite(1, "x") {
+		t.Error("static quorum write-available after the second failure (2 < w=3)")
+	}
+	if !dynamic.CanWrite(1, "x") {
+		t.Error("dynamic voting lost write availability after the second failure")
+	}
+	if !dynamic.CanRead(1, "x") {
+		t.Error("dynamic voting lost read availability after the second failure")
+	}
+	if v, err := dynamic.QuorumRead(1, "x"); err != nil || v != 20 {
+		t.Errorf("QuorumRead from the surviving pair = %d, %v; want 20", v, err)
+	}
+
+	// The static strategy's bookkeeping never moves.
+	if e := static.VoteEpoch("x"); e != 0 {
+		t.Errorf("static cluster epoch = %d", e)
+	}
+	if re, ro := static.VoteTransitions(); re != 0 || ro != 0 {
+		t.Errorf("static cluster vote transitions = %d/%d", re, ro)
+	}
+}
+
+// TestDynamicStaleMinorityCannotQuorum: recovered stale copies in their own
+// partition hold no majority under any table they know — the epoch guard
+// end-to-end.
+func TestDynamicStaleMinorityCannotQuorum(t *testing.T) {
+	c := MustCluster(dynamicItems(), Options{Protocol: ProtoQC1, Strategy: StrategyDynamic, Seed: 7})
+	commitMissing(t, c, 4, 20) // basis {1,2,3}, epoch 1
+	c.Crash(3)
+
+	c.Restart(3)
+	c.Restart(4)
+	c.Partition([]SiteID{3, 4}, []SiteID{1, 2})
+	if c.CanWrite(3, "x") {
+		t.Error("stale pair {3,4} formed a write quorum in a minority partition")
+	}
+	if _, err := c.QuorumRead(4, "x"); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("stale-pair read error = %v, want ErrNoQuorum", err)
+	}
+	// The survivor pair keeps working on its side of the split.
+	if !c.CanWrite(1, "x") {
+		t.Error("current basis lost availability to the stale partition")
+	}
+
+	// Heal: the catch-up pass folds the stale copies back in and restores
+	// the full table.
+	c.Heal()
+	c.Run()
+	if got := len(c.VotesNow("x")); got != 4 {
+		t.Fatalf("basis after heal has %d sites, want 4: %v", got, c.VotesNow("x"))
+	}
+	if re, ro := c.VoteTransitions(); re < 2 || ro != 1 {
+		t.Errorf("transitions after heal = %d/%d, want ≥2 reassignments and exactly 1 restoration", re, ro)
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+// TestDynamicRestartRejoinsViaAntiEntropy: a crashed-and-restarted copy
+// rejoins the basis through the restart-time copy sync alone (no Heal).
+func TestDynamicRestartRejoinsViaAntiEntropy(t *testing.T) {
+	c := MustCluster(dynamicItems(), Options{Protocol: ProtoQC1, Strategy: StrategyDynamic, Seed: 7})
+	commitMissing(t, c, 4, 20) // basis {1,2,3}, epoch 1
+	c.Restart(4)
+	c.Run()
+	if got := len(c.VotesNow("x")); got != 4 {
+		t.Fatalf("basis after restart has %d sites, want 4: %v", got, c.VotesNow("x"))
+	}
+	if e := c.VoteEpoch("x"); e != 2 {
+		t.Errorf("epoch after rejoin = %d, want 2", e)
+	}
+	if re, ro := c.VoteTransitions(); re != 2 || ro != 1 {
+		t.Errorf("transitions = %d/%d, want 2/1", re, ro)
+	}
+	// Fully restored: a fresh write commits and touches every copy, so the
+	// basis (and epoch) stay put.
+	txn := c.Submit(1, map[ItemID]int64{"x": 30})
+	c.Run()
+	if got := c.Outcome(txn); got != OutcomeCommitted {
+		t.Fatalf("post-restore write = %v", got)
+	}
+	if e := c.VoteEpoch("x"); e != 2 {
+		t.Errorf("full-strength commit churned the epoch to %d", e)
+	}
+	if v, _, err := c.CopyAt(4, "x"); err != nil || v != 30 {
+		t.Errorf("site4 copy = %d, %v; want 30", v, err)
+	}
+}

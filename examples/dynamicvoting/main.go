@@ -1,0 +1,100 @@
+// Dynamic voting: vote reassignment as an access strategy (Jajodia &
+// Mutchler, SIGMOD 1987; Barbara, Garcia-Molina & Spauster, ACM TODS 1989),
+// integrated via Options.Strategy. Static quorums lose a vote with every
+// copy a committed write leaves behind: after a second failure of a 4-copy
+// item no partition holds w=3 of the original votes, and writes stay
+// unavailable until those exact copies return. Under dynamic voting each
+// committed write re-anchors the item's quorum basis on the copies it
+// reached — a new, version-numbered vote table in which only the survivors
+// hold votes — so after the same two failures the two survivors still form
+// a majority (2 of the 3-vote table) and writes stay available. Epoch
+// guards keep the stale minority from ever forming a quorum of its own. The
+// commit and termination protocols themselves keep running on the static
+// assignment; the strategy governs the data-access layer, exactly like the
+// missing-writes scheme.
+//
+//	go run ./examples/dynamicvoting
+package main
+
+import (
+	"fmt"
+
+	"qcommit"
+)
+
+func votes(c *qcommit.Cluster, item qcommit.ItemID) string {
+	s := ""
+	for i, cp := range c.VotesNow(item) {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", cp.Site, cp.Votes)
+	}
+	return s
+}
+
+func main() {
+	items := []qcommit.ReplicatedItem{
+		{Name: "ledger", Sites: []qcommit.SiteID{1, 2, 3, 4}, R: 2, W: 3, Initial: 100},
+	}
+	newCluster := func(strategy qcommit.Strategy) *qcommit.Cluster {
+		return qcommit.MustCluster(items, qcommit.Options{
+			Protocol: qcommit.ProtoQC1,
+			Strategy: strategy,
+			Seed:     7,
+		})
+	}
+	static := newCluster(qcommit.StrategyQuorum)
+	dynamic := newCluster(qcommit.StrategyDynamic)
+
+	fmt.Println("ledger: 4 copies at sites 1-4, static quorums r=2 w=3")
+	fmt.Printf("initial table: epoch %d, votes %s\n\n", dynamic.VoteEpoch("ledger"), votes(dynamic, "ledger"))
+
+	// First failure: a replica crashes after voting, so the commit still
+	// reaches its write quorum but misses site4's copy. The dynamic cluster
+	// reassigns votes so the three reached survivors form the new majority
+	// basis; the static cluster just soldiers on one vote short.
+	for _, c := range []*qcommit.Cluster{static, dynamic} {
+		txn := c.Submit(1, map[qcommit.ItemID]int64{"ledger": 180})
+		c.CrashAt(qcommit.Time(15*qcommit.Millisecond), 4)
+		c.Run()
+		fmt.Printf("[%v] write with site4 crashing mid-commit: %v\n", c.Strategy(), c.Outcome(txn))
+	}
+	fmt.Printf("dynamic basis now: epoch %d, votes %s (write majority: 2 of 3)\n\n",
+		dynamic.VoteEpoch("ledger"), votes(dynamic, "ledger"))
+
+	// Second failure. Static quorums are stuck: sites 1-2 hold 2 of the
+	// original 4 votes, short of w=3, and no write can proceed anywhere.
+	// The dynamic basis shrank to {1,2,3}, where the surviving pair still
+	// forms a majority — the data stays write-available.
+	static.Crash(3)
+	dynamic.Crash(3)
+	fmt.Printf("[%v] write-available from site1 after the second failure? %v\n",
+		static.Strategy(), static.CanWrite(1, "ledger"))
+	fmt.Printf("[%v] write-available from site1 after the second failure? %v\n",
+		dynamic.Strategy(), dynamic.CanWrite(1, "ledger"))
+	if v, err := dynamic.QuorumRead(1, "ledger"); err == nil {
+		fmt.Printf("[dynamic] read from the surviving pair: %d\n", v)
+	}
+
+	// The stale minority can never hijack the item: sites 3 and 4 recover
+	// into a partition of their own, but under the newest vote table either
+	// of them has installed (epoch 1, basis {1,2,3}) they muster 1 vote of
+	// 3 — no quorum, no reassignment.
+	dynamic.Restart(3)
+	dynamic.Restart(4)
+	dynamic.Partition([]qcommit.SiteID{3, 4}, []qcommit.SiteID{1, 2})
+	fmt.Printf("\nstale pair {3,4} write-available in a minority partition? %v\n",
+		dynamic.CanWrite(3, "ledger"))
+
+	// Heal: the catch-up pass syncs the copies outside the basis and
+	// reassigns votes to fold everyone back in, restoring the full table.
+	dynamic.Heal()
+	dynamic.Run()
+	reassigns, restores := dynamic.VoteTransitions()
+	fmt.Printf("after heal + catch-up: epoch %d, votes %s (%d reassignments, %d restoration)\n",
+		dynamic.VoteEpoch("ledger"), votes(dynamic, "ledger"), reassigns, restores)
+	if v := dynamic.Violations(); len(v) > 0 {
+		fmt.Println("VIOLATIONS:", v)
+	}
+}

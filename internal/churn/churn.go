@@ -80,11 +80,15 @@ type Params struct {
 	// Horizon is the virtual-time length of each run.
 	Horizon sim.Duration
 	// Strategy selects the data-access strategy the cluster runs under:
-	// StrategyQuorum (default, pure Gifford quorums) or
-	// StrategyMissingWrites (adaptive read-one/write-all with demotion to
-	// quorum mode while copies carry missing writes). The strategy changes
-	// what the read/write availability samples measure and how items churn
-	// between modes; the commit protocols themselves are unchanged.
+	// StrategyQuorum (default, pure Gifford quorums), StrategyMissingWrites
+	// (adaptive read-one/write-all with demotion to quorum mode while
+	// copies carry missing writes), or StrategyDynamic (vote reassignment:
+	// every committed write re-anchors the item's quorum basis on the
+	// copies it reached, so a surviving majority-of-survivors stays
+	// available where static quorums lose a vote per failed copy). The
+	// strategy changes what the read/write availability samples measure and
+	// how items churn between modes or vote tables; the commit protocols
+	// themselves are unchanged.
 	Strategy voting.Strategy
 }
 
@@ -120,6 +124,9 @@ func (p Params) validate() error {
 	}
 	if math.IsNaN(p.HotFraction) || p.HotFraction < 0 || p.HotFraction >= 1 {
 		return fmt.Errorf("churn: HotFraction %v outside [0,1)", p.HotFraction)
+	}
+	if !p.Strategy.Valid() {
+		return fmt.Errorf("churn: invalid Strategy %v", p.Strategy)
 	}
 	if p.MeanInterarrival <= 0 {
 		return fmt.Errorf("churn: MeanInterarrival must be positive, got %d", p.MeanInterarrival)
@@ -193,6 +200,13 @@ type Counts struct {
 	// missing write.
 	ModeDemotions    int
 	ModeRestorations int
+	// VoteReassignments and VoteRestorations count dynamic-voting
+	// reassignment churn (nonzero only under StrategyDynamic):
+	// reassignments are vote tables installed — each committed write or
+	// catch-up that changed an item's majority basis — and restorations are
+	// the subset that restored the full static copy set.
+	VoteReassignments int
+	VoteRestorations  int
 }
 
 // Add accumulates other into c.
@@ -213,6 +227,8 @@ func (c *Counts) Add(other Counts) {
 	c.WriteAvailable += other.WriteAvailable
 	c.ModeDemotions += other.ModeDemotions
 	c.ModeRestorations += other.ModeRestorations
+	c.VoteReassignments += other.VoteReassignments
+	c.VoteRestorations += other.VoteRestorations
 }
 
 func frac(num, den int) float64 {
@@ -307,7 +323,8 @@ func ms(d sim.Duration) float64 { return float64(d) / 1e6 }
 // FormatTable renders study results as an aligned text table. The rd-avl
 // and wr-avl columns are the arrival-time read/write availability samples;
 // under StrategyMissingWrites each row additionally reports the item-mode
-// churn as modes=demotions/restorations.
+// churn as modes=demotions/restorations, and under StrategyDynamic the
+// reassignment churn as votes=reassignments/restorations.
 func FormatTable(results []Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-8s %6s %6s %10s %9s %9s %9s %9s %9s %10s %8s %8s\n",
@@ -322,6 +339,9 @@ func FormatTable(results []Result) string {
 		if r.Counts.ModeDemotions > 0 || r.Counts.ModeRestorations > 0 {
 			fmt.Fprintf(&b, "  modes=%d/%d", r.Counts.ModeDemotions, r.Counts.ModeRestorations)
 		}
+		if r.Counts.VoteReassignments > 0 || r.Counts.VoteRestorations > 0 {
+			fmt.Fprintf(&b, "  votes=%d/%d", r.Counts.VoteReassignments, r.Counts.VoteRestorations)
+		}
 		if r.Violations > 0 {
 			fmt.Fprintf(&b, "  VIOLATIONS=%d", r.Violations)
 		}
@@ -332,7 +352,7 @@ func FormatTable(results []Result) string {
 
 // FormatTableCI renders study results with 95% Wilson intervals on the
 // committed and terminated fractions, plus the same rd-avl/wr-avl
-// availability and mode-churn columns as FormatTable.
+// availability, mode-churn and reassignment-churn columns as FormatTable.
 func FormatTableCI(results []Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-8s %6s %6s %22s %22s %10s %8s %8s %10s\n",
@@ -349,6 +369,9 @@ func FormatTableCI(results []Result) string {
 			r.Violations)
 		if r.Counts.ModeDemotions > 0 || r.Counts.ModeRestorations > 0 {
 			fmt.Fprintf(&b, "  modes=%d/%d", r.Counts.ModeDemotions, r.Counts.ModeRestorations)
+		}
+		if r.Counts.VoteReassignments > 0 || r.Counts.VoteRestorations > 0 {
+			fmt.Fprintf(&b, "  votes=%d/%d", r.Counts.VoteReassignments, r.Counts.VoteRestorations)
 		}
 		b.WriteByte('\n')
 	}

@@ -43,10 +43,11 @@ func TestStudyDeterministic(t *testing.T) {
 }
 
 // TestStudyParallelMatchesSerial is the tentpole determinism contract: for
-// every tested worker count, under both access strategies, the parallel
-// study returns Results bit-for-bit identical to the serial oracle.
+// every tested worker count, under all three access strategies, the
+// parallel study returns Results bit-for-bit identical to the serial
+// oracle.
 func TestStudyParallelMatchesSerial(t *testing.T) {
-	for _, strategy := range []voting.Strategy{voting.StrategyQuorum, voting.StrategyMissingWrites} {
+	for _, strategy := range []voting.Strategy{voting.StrategyQuorum, voting.StrategyMissingWrites, voting.StrategyDynamic} {
 		strategy := strategy
 		t.Run(strategy.String(), func(t *testing.T) {
 			params := testParams()
@@ -108,6 +109,81 @@ func TestMissingWritesStudySafetyAndMetrics(t *testing.T) {
 	// blocks instead), but churn this heavy must demote somewhere.
 	if totalDemotions == 0 {
 		t.Error("no protocol column recorded a single mode demotion")
+	}
+}
+
+// TestDynamicStudySafetyAndMetrics: the dynamic-voting strategy must stay
+// violation-free under combined site and partition churn, reassignment
+// churn must actually happen, and the static strategies must report zero
+// vote transitions.
+func TestDynamicStudySafetyAndMetrics(t *testing.T) {
+	params := testParams()
+	params.Strategy = voting.StrategyDynamic
+	res, err := StudyParallel(params, 6, 17, StandardBuilders(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalReassigns := 0
+	for _, r := range res {
+		if r.Label != "3PC" && r.Violations != 0 {
+			t.Errorf("%s: %d safety violations under dynamic-voting churn", r.Label, r.Violations)
+		}
+		c := r.Counts
+		if c.AccessChecks == 0 {
+			t.Fatalf("%s: no access probes sampled", r.Label)
+		}
+		if c.ReadAvailable > c.AccessChecks || c.WriteAvailable > c.AccessChecks {
+			t.Errorf("%s: availability counts exceed checks: %+v", r.Label, c)
+		}
+		if c.VoteRestorations > c.VoteReassignments {
+			t.Errorf("%s: more restorations (%d) than reassignments (%d)", r.Label, c.VoteRestorations, c.VoteReassignments)
+		}
+		if c.ModeDemotions != 0 || c.ModeRestorations != 0 {
+			t.Errorf("%s: dynamic strategy reported missing-writes mode churn %d/%d", r.Label, c.ModeDemotions, c.ModeRestorations)
+		}
+		totalReassigns += c.VoteReassignments
+	}
+	if totalReassigns == 0 {
+		t.Error("no protocol column recorded a single vote reassignment")
+	}
+}
+
+// TestDynamicSecondFailureHeadline pins the headline scenario at
+// study scale: on identical timelines heavy enough for overlapping
+// failures, the dynamic strategy's shrunken bases keep items
+// write-available at arrivals where static quorums have lost too many of
+// the original votes — so its write-availability count is strictly higher,
+// while the probe denominators stay identical (same worlds).
+func TestDynamicSecondFailureHeadline(t *testing.T) {
+	params := DefaultParams()
+	params.Horizon = 3 * sim.Second
+	params.MTTR = 800 * sim.Millisecond // slow repairs: failures overlap
+	builders := StandardBuilders()[3:4] // QC1 column suffices
+	quorum, err := Study(params, 6, 5, builders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.Strategy = voting.StrategyDynamic
+	dynamic, err := Study(params, 6, 5, builders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc, dc := quorum[0].Counts, dynamic[0].Counts
+	if qc.AccessChecks != dc.AccessChecks {
+		t.Fatalf("probe counts diverged: %d vs %d", qc.AccessChecks, dc.AccessChecks)
+	}
+	if dc.WriteAvailable <= qc.WriteAvailable {
+		t.Errorf("dynamic write availability %d/%d not above quorum %d/%d under overlapping failures",
+			dc.WriteAvailable, dc.AccessChecks, qc.WriteAvailable, qc.AccessChecks)
+	}
+	if qc.VoteReassignments != 0 || qc.VoteRestorations != 0 {
+		t.Errorf("quorum strategy reported vote transitions: %d/%d", qc.VoteReassignments, qc.VoteRestorations)
+	}
+	if dc.VoteReassignments == 0 {
+		t.Error("dynamic column never reassigned under overlapping failures")
+	}
+	if quorum[0].Violations != 0 || dynamic[0].Violations != 0 {
+		t.Errorf("violations: quorum %d, dynamic %d", quorum[0].Violations, dynamic[0].Violations)
 	}
 }
 
@@ -382,6 +458,7 @@ func TestParamsValidate(t *testing.T) {
 		{"copies exceed sites", func(p *Params) { p.CopiesPerItem = p.NumSites + 1 }},
 		{"writes exceed items", func(p *Params) { p.WritesPerTxn = p.NumItems + 1 }},
 		{"hot fraction 1", func(p *Params) { p.HotFraction = 1 }},
+		{"invalid strategy", func(p *Params) { p.Strategy = voting.StrategyInvalid }},
 		{"zero interarrival", func(p *Params) { p.MeanInterarrival = 0 }},
 		{"zero horizon", func(p *Params) { p.Horizon = 0 }},
 		{"negative mttf", func(p *Params) { p.MTTF = -1 }},

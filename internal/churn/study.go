@@ -197,6 +197,7 @@ func executeRun(sc *script, params Params, seed int64, spec protocol.Spec) (runS
 	st.counts.ReadAvailable = access.read
 	st.counts.WriteAvailable = access.write
 	st.counts.ModeDemotions, st.counts.ModeRestorations = cl.ModeTransitions()
+	st.counts.VoteReassignments, st.counts.VoteRestorations = cl.VoteTransitions()
 	all := cl.Sites()
 	for i, a := range sc.arrivals {
 		txn := txnOf[i]

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"qcommit/internal/msg"
 	"qcommit/internal/storage"
@@ -24,11 +25,18 @@ var (
 
 // tally is the result of one vote-counting pass over an item's copies.
 type tally struct {
-	// votes sums the votes of up, connected, unlocked copies reachable from
-	// the requesting site. Under the missing-writes strategy, copies
-	// carrying missing writes are excluded for reads (their values are
-	// stale) but counted for writes (a full-value write heals them).
+	// votes sums the static votes of up, connected, unlocked copies
+	// reachable from the requesting site. Under the missing-writes
+	// strategy, copies carrying missing writes are excluded for reads
+	// (their values are stale) but counted for writes (a full-value write
+	// heals them). Under the dynamic strategy the static sum is ignored;
+	// quorums are judged over sites under the current vote table instead.
 	votes int
+	// sites lists the counted copy sites, in copy declaration order — the
+	// group the dynamic strategy's epoch-guarded tables are consulted for.
+	// Collected only under StrategyDynamic; the other strategies judge
+	// quorums from the static vote sum alone.
+	sites []types.SiteID
 	// copies holds the (value, version) pairs behind votes when collect is
 	// set — the read path's resolution candidates.
 	copies []storage.Versioned
@@ -68,6 +76,9 @@ func (cl *Cluster) tallyVotes(from types.SiteID, item types.ItemID, forWrite, co
 			t.copies = append(t.copies, v)
 		}
 		t.votes += cp.Votes
+		if cl.dynamic != nil {
+			t.sites = append(t.sites, cp.Site)
+		}
 	}
 	return t, ic, nil
 }
@@ -85,16 +96,23 @@ func (cl *Cluster) readNeed(item types.ItemID, ic voting.ItemConfig) int {
 // ReadItem performs a strategy-aware read of item as seen from the given
 // site: it collects copies from up sites in the same partition group whose
 // copies are not locked, requires the current read quorum — r(x) votes under
-// StrategyQuorum, one fresh vote in optimistic missing-writes mode — and
-// returns the copy with the highest version number (which the constraint
-// r+w > v, or the absence of missing writes, guarantees is the most recently
-// committed one).
+// StrategyQuorum, one fresh vote in optimistic missing-writes mode, a
+// majority of the current vote table under StrategyDynamic — and returns the
+// copy with the highest version number (which the constraint r+w > v, the
+// absence of missing writes, or the table-majority intersection guarantees
+// is the most recently committed one).
 func (cl *Cluster) ReadItem(from types.SiteID, item types.ItemID) (storage.Versioned, error) {
 	t, ic, err := cl.tallyVotes(from, item, false, true)
 	if err != nil {
 		return storage.Versioned{}, err
 	}
-	if need := cl.readNeed(item, ic); t.votes < need {
+	if cl.dynamic != nil {
+		got, need, _, epoch := cl.dynamic.VotesAmong(item, t.sites)
+		if need == 0 || got < need {
+			return storage.Versioned{}, fmt.Errorf("%w: item %q has %d free votes under the epoch-%d table reachable from %s, read quorum is %d",
+				ErrNoQuorum, item, got, epoch, from, need)
+		}
+	} else if need := cl.readNeed(item, ic); t.votes < need {
 		return storage.Versioned{}, fmt.Errorf("%w: item %q has %d free votes reachable from %s, read quorum is %d",
 			ErrNoQuorum, item, t.votes, from, need)
 	}
@@ -103,10 +121,16 @@ func (cl *Cluster) ReadItem(from types.SiteID, item types.ItemID) (storage.Versi
 
 // CanRead reports whether a read of item could assemble its current read
 // quorum from the given site right now. Unlike ReadItem it resolves no
-// values and allocates nothing.
+// values.
 func (cl *Cluster) CanRead(from types.SiteID, item types.ItemID) bool {
 	t, ic, err := cl.tallyVotes(from, item, false, false)
-	return err == nil && t.votes >= cl.readNeed(item, ic)
+	if err != nil {
+		return false
+	}
+	if cl.dynamic != nil {
+		return cl.dynamic.CanRead(item, t.sites)
+	}
+	return t.votes >= cl.readNeed(item, ic)
 }
 
 // CanWrite reports whether a transaction writing item could assemble a write
@@ -114,10 +138,17 @@ func (cl *Cluster) CanRead(from types.SiteID, item types.ItemID) bool {
 // copies carrying ≥ w(x) votes). Under the missing-writes strategy the
 // threshold stays w(x): an optimistic write tries to reach every copy, but
 // one that reaches at least the pessimistic quorum proceeds and demotes the
-// item instead of failing.
+// item instead of failing. Under the dynamic strategy the threshold is a
+// majority of the newest vote table installed at the reachable copies.
 func (cl *Cluster) CanWrite(from types.SiteID, item types.ItemID) bool {
 	t, ic, err := cl.tallyVotes(from, item, true, false)
-	return err == nil && t.votes >= ic.W
+	if err != nil {
+		return false
+	}
+	if cl.dynamic != nil {
+		return cl.dynamic.CanWrite(item, t.sites)
+	}
+	return t.votes >= ic.W
 }
 
 // Strategy returns the cluster's access strategy.
@@ -151,20 +182,22 @@ func (cl *Cluster) ModeTransitions() (demotions, restorations int) {
 	return cl.adaptive.Transitions()
 }
 
-// noteCommitApplied is the missing-writes bookkeeping hook doCommit calls
-// after applying a committed writeset at one site. The first site to decide
+// noteCommitApplied is the strategy bookkeeping hook doCommit calls after
+// applying a committed writeset at one site. The first site to decide
 // records, for every written item, which copies the commit actually reaches:
 // a copy counts as reached only if its site is up, in the decider's
 // partition group, and bound to apply the write — it is the decider itself,
 // it already committed, or it still holds the transaction's X lock (voted,
 // so the decision will reach it via COMMIT or the termination protocol).
-// Copies at down, partitioned-away or never-voted sites gain missing writes
-// and the item demotes to pessimistic mode. Every subsequent local apply (a
-// late COMMIT at a previously unreachable site) may resolve that site's
-// missing writes, since an applied write installs the complete current
-// value.
+// Under the missing-writes strategy, copies at down, partitioned-away or
+// never-voted sites gain missing writes and the item demotes to pessimistic
+// mode; under the dynamic strategy the reached set becomes the item's new
+// majority basis (vote reassignment, epoch-guarded inside the tracker).
+// Every subsequent local apply (a late COMMIT at a previously unreachable
+// site) may resolve that site's missing writes or rejoin it to the basis,
+// since an applied write installs the complete current value.
 func (cl *Cluster) noteCommitApplied(s *Site, c *txnCtx) {
-	if cl.adaptive == nil {
+	if cl.adaptive == nil && cl.dynamic == nil {
 		return
 	}
 	if !cl.recordedWrites[c.txn] {
@@ -188,14 +221,18 @@ func (cl *Cluster) noteCommitApplied(s *Site, c *txnCtx) {
 					reached = append(reached, cp.Site)
 				}
 			}
-			if len(reached) < len(ic.Copies) {
+			if cl.adaptive != nil && len(reached) < len(ic.Copies) {
 				cl.adaptive.DegradeExcept(item, reached)
+			}
+			if cl.dynamic != nil {
+				cl.dynamic.Reassign(item, reached)
 			}
 		}
 	}
 	for _, item := range c.ws.Items() {
 		if s.store.Has(item) {
 			cl.maybeResolve(item, s.id)
+			cl.maybeRejoin(item, s.id)
 		}
 	}
 }
@@ -243,4 +280,101 @@ func (cl *Cluster) catchUpMissing() {
 			}
 		}
 	})
+}
+
+// catchUpDynamic is catchUpMissing's dynamic-strategy counterpart, called on
+// Heal: every copy outside its item's current majority basis asks its peers
+// for their current versions; the CopyResp applies bring it up to date and
+// maybeRejoin folds it back into the basis via a reassignment. Restart's
+// per-site syncCopies covers the crash/recovery path the same way.
+func (cl *Cluster) catchUpDynamic() {
+	if cl.dynamic == nil {
+		return
+	}
+	cl.cfg.Assignment.ForEachItem(func(ic voting.ItemConfig) {
+		for _, stale := range cl.dynamic.StaleSites(ic.Item) {
+			if cl.net.Down(stale) {
+				continue
+			}
+			for _, cp := range ic.Copies {
+				if cp.Site != stale {
+					cl.send(stale, cp.Site, msg.CopyReq{Item: ic.Item})
+				}
+			}
+		}
+	})
+}
+
+// maybeRejoin folds a caught-up copy back into its item's dynamic majority
+// basis: once site's copy holds the highest version any copy holds, the
+// reachable current copies (basis members plus the rejoiner) reassign votes
+// to include it. The tracker's epoch guard makes the call safe to issue
+// optimistically — a group not holding a majority under the newest table it
+// knows cannot install anything. No-op for sites already in the basis and
+// under the other strategies.
+func (cl *Cluster) maybeRejoin(item types.ItemID, site types.SiteID) {
+	if cl.dynamic == nil || cl.dynamic.InBasis(item, site) || cl.net.Down(site) {
+		return
+	}
+	ic, ok := cl.cfg.Assignment.Item(item)
+	if !ok {
+		return
+	}
+	var max uint64
+	versions := make(map[types.SiteID]uint64, len(ic.Copies))
+	for _, cp := range ic.Copies {
+		if v, err := cl.sites[cp.Site].store.Read(item); err == nil {
+			versions[cp.Site] = v.Version
+			if v.Version > max {
+				max = v.Version
+			}
+		}
+	}
+	if versions[site] < max {
+		return // not caught up yet; a later CopyResp will retry
+	}
+	group := make([]types.SiteID, 0, len(ic.Copies))
+	for _, cp := range ic.Copies {
+		if !cl.net.Down(cp.Site) && cl.net.Connected(site, cp.Site) && versions[cp.Site] == max {
+			group = append(group, cp.Site)
+		}
+	}
+	cl.dynamic.Reassign(item, group)
+}
+
+// VoteEpoch returns the version number of item's current dynamic vote table
+// (always 0 under the static strategies: the initial table is never
+// superseded).
+func (cl *Cluster) VoteEpoch(item types.ItemID) uint64 {
+	if cl.dynamic == nil {
+		return 0
+	}
+	return cl.dynamic.Epoch(item)
+}
+
+// VotesNow returns item's currently effective vote table, ascending by
+// site: the static assignment under StrategyQuorum and
+// StrategyMissingWrites, the newest reassigned table under StrategyDynamic
+// (sites outside the majority basis hold no votes and are omitted).
+func (cl *Cluster) VotesNow(item types.ItemID) []voting.Copy {
+	if cl.dynamic == nil {
+		ic, ok := cl.cfg.Assignment.Item(item)
+		if !ok {
+			return nil
+		}
+		out := append([]voting.Copy(nil), ic.Copies...)
+		sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+		return out
+	}
+	return cl.dynamic.VotesNow(item)
+}
+
+// VoteTransitions returns the cumulative dynamic-voting reassignment
+// counters: vote tables installed, and the subset that restored the full
+// static copy set. Both are zero under the other strategies.
+func (cl *Cluster) VoteTransitions() (reassignments, restorations int) {
+	if cl.dynamic == nil {
+		return 0, 0
+	}
+	return cl.dynamic.Transitions()
 }

@@ -28,7 +28,12 @@ type Config struct {
 	// writes unconditionally; StrategyMissingWrites runs optimistic
 	// read-one/write-all until a committed write misses a copy, then
 	// demotes that item to pessimistic quorum mode until anti-entropy
-	// catches the stale copies up (see internal/voting.Adaptive).
+	// catches the stale copies up (see internal/voting.Adaptive);
+	// StrategyDynamic reassigns votes to the copies each committed write
+	// reaches, so quorums are majorities of the current survivor set under
+	// version-numbered, epoch-guarded vote tables (see
+	// internal/voting.Dynamic). The commit and termination protocols
+	// themselves always run on the static assignment.
 	Strategy voting.Strategy
 	// Spec is the commit+termination protocol under test.
 	Spec protocol.Spec
@@ -79,10 +84,12 @@ type Cluster struct {
 	violations []string
 	rec        *trace.Recorder
 	// adaptive tracks per-item missing writes under StrategyMissingWrites
-	// (nil under StrategyQuorum); recordedWrites marks transactions whose
-	// commit-time copy reachability has been recorded, so the bookkeeping
-	// runs once per transaction even though every site applies the commit.
+	// and dynamic tracks per-item vote tables under StrategyDynamic (both
+	// nil otherwise); recordedWrites marks transactions whose commit-time
+	// copy reachability has been recorded, so the bookkeeping runs once per
+	// transaction even though every site applies the commit.
 	adaptive       *voting.Adaptive
+	dynamic        *voting.Dynamic
 	recordedWrites map[types.TxnID]bool
 }
 
@@ -96,6 +103,9 @@ func New(cfg Config) *Cluster {
 	if cfg.Spec == nil {
 		panic("engine: Config.Spec is required")
 	}
+	if !cfg.Strategy.Valid() {
+		panic(fmt.Sprintf("engine: invalid Config.Strategy %v", cfg.Strategy))
+	}
 	sched := sim.NewScheduler(cfg.Seed)
 	sched.MaxSteps = 2_000_000 // livelock guard
 	net := simnet.New(sched, cfg.Net)
@@ -106,8 +116,12 @@ func New(cfg Config) *Cluster {
 		sites: make(map[types.SiteID]*Site),
 		rec:   cfg.Recorder,
 	}
-	if cfg.Strategy == voting.StrategyMissingWrites {
+	switch cfg.Strategy {
+	case voting.StrategyMissingWrites:
 		cl.adaptive = voting.NewAdaptive(cfg.Assignment)
+		cl.recordedWrites = make(map[types.TxnID]bool)
+	case voting.StrategyDynamic:
+		cl.dynamic = voting.NewDynamic(cfg.Assignment)
 		cl.recordedWrites = make(map[types.TxnID]bool)
 	}
 
@@ -442,11 +456,14 @@ func (cl *Cluster) PartitionAt(t sim.Time, groups ...[]types.SiteID) {
 // Heal reconnects the network now. Under StrategyMissingWrites it also
 // starts the catch-up pass: every copy carrying a missing write asks its
 // peers for their current versions, and items whose stale copies catch up
-// return to optimistic mode.
+// return to optimistic mode. Under StrategyDynamic the same pass runs for
+// copies outside their item's current majority basis, whose catch-up
+// triggers a vote reassignment folding them back in.
 func (cl *Cluster) Heal() {
 	cl.net.Heal()
 	cl.rec.Annotate(cl.sched.Now(), 0, "HEAL")
 	cl.catchUpMissing()
+	cl.catchUpDynamic()
 }
 
 // HealAt schedules a heal at virtual time t.

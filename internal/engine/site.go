@@ -262,10 +262,12 @@ func (s *Site) handle(e msg.Envelope) {
 	case msg.CopyResp:
 		// Install only newer versions; storage.Apply enforces monotonicity.
 		// A copy that catches up to the newest committed version sheds its
-		// missing write (no-op under StrategyQuorum).
+		// missing write or rejoins its item's dynamic majority basis
+		// (no-ops under StrategyQuorum).
 		if s.store.Has(m.Item) {
 			_ = s.store.Apply(m.Item, m.Value, m.Version)
 			s.cl.maybeResolve(m.Item, s.id)
+			s.cl.maybeRejoin(m.Item, s.id)
 		}
 
 	case msg.VoteReq:

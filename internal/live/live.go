@@ -7,7 +7,9 @@
 package live
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -23,9 +25,10 @@ type Config struct {
 	// Assignment is the weighted-voting replica configuration.
 	Assignment *voting.Assignment
 	// Strategy selects the data-access strategy layered over the
-	// assignment (StrategyQuorum default, or StrategyMissingWrites for
-	// adaptive read-one/write-all with per-item demotion), exactly as in
-	// the deterministic engine.
+	// assignment (StrategyQuorum default, StrategyMissingWrites for
+	// adaptive read-one/write-all with per-item demotion, or
+	// StrategyDynamic for vote reassignment onto each committed write's
+	// survivor set), exactly as in the deterministic engine.
 	Strategy voting.Strategy
 	// Spec is the commit+termination protocol.
 	Spec protocol.Spec
@@ -71,20 +74,42 @@ type Cluster struct {
 	wg    sync.WaitGroup
 
 	// adaptive tracks per-item missing writes under StrategyMissingWrites
-	// (nil under StrategyQuorum). wroteMu guards recordedWrites (the
+	// and dynamic tracks per-item vote tables under StrategyDynamic (both
+	// nil otherwise). wroteMu guards recordedWrites (the
 	// once-per-transaction commit-reachability bookkeeping flag) and its
 	// high-water mark; unlike the engine's per-run clusters a live cluster
 	// is long-lived, so old entries are pruned once their transactions are
 	// far enough behind the newest recorded one that no straggler apply
 	// can still be in flight.
 	adaptive       *voting.Adaptive
+	dynamic        *voting.Dynamic
 	wroteMu        sync.Mutex
 	recordedWrites map[types.TxnID]bool
 	maxRecorded    types.TxnID
+
+	// noteMu guards notes, the per-transaction outcome watch channels
+	// behind WaitOutcome: every local decision (and every crash or restart,
+	// which changes the up-site set the aggregate is taken over) closes the
+	// transaction's current channel, so waiters re-evaluate immediately
+	// instead of sleep-polling. Each note counts its waiters, and the last
+	// waiter out removes an unnotified entry — a long-lived cluster must
+	// not accumulate one map entry per transaction ever waited on.
+	noteMu sync.Mutex
+	notes  map[types.TxnID]*outcomeNote
+}
+
+// outcomeNote is one transaction's outcome watch: the broadcast channel and
+// the number of WaitOutcome loops currently holding it.
+type outcomeNote struct {
+	ch      chan struct{}
+	waiters int
 }
 
 // New builds and starts one goroutine per site in the assignment.
 func New(cfg Config) *Cluster {
+	if !cfg.Strategy.Valid() {
+		panic(fmt.Sprintf("live: invalid Config.Strategy %v", cfg.Strategy))
+	}
 	if cfg.MinDelay == 0 && cfg.MaxDelay == 0 {
 		cfg.MinDelay, cfg.MaxDelay = 200*time.Microsecond, 2*time.Millisecond
 	}
@@ -101,9 +126,14 @@ func New(cfg Config) *Cluster {
 		down:  make(map[types.SiteID]bool),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		nodes: make(map[types.SiteID]*Node),
+		notes: make(map[types.TxnID]*outcomeNote),
 	}
-	if cfg.Strategy == voting.StrategyMissingWrites {
+	switch cfg.Strategy {
+	case voting.StrategyMissingWrites:
 		cl.adaptive = voting.NewAdaptive(cfg.Assignment)
+		cl.recordedWrites = make(map[types.TxnID]bool)
+	case voting.StrategyDynamic:
+		cl.dynamic = voting.NewDynamic(cfg.Assignment)
 		cl.recordedWrites = make(map[types.TxnID]bool)
 	}
 	seen := make(map[types.SiteID]bool)
@@ -165,6 +195,7 @@ func (cl *Cluster) Crash(id types.SiteID) {
 	cl.down[id] = true
 	cl.mu.Unlock()
 	cl.nodes[id].post(event{env: &msg.Envelope{Msg: crashMsg{}}})
+	cl.notifyAllOutcomes() // the up-site set changed; waiters re-aggregate
 }
 
 type crashMsg struct{}
@@ -177,6 +208,7 @@ func (cl *Cluster) Restart(id types.SiteID) {
 	cl.down[id] = false
 	cl.mu.Unlock()
 	cl.nodes[id].post(event{env: &msg.Envelope{Msg: restartMsg{}}})
+	cl.notifyAllOutcomes() // the up-site set changed; waiters re-aggregate
 }
 
 type restartMsg struct{}
@@ -199,16 +231,24 @@ func (cl *Cluster) Partition(groups ...[]types.SiteID) {
 // Heal reconnects the network. Under StrategyMissingWrites it also starts
 // the catch-up pass: every copy carrying a missing write asks its peers for
 // their current versions, and items whose stale copies catch up return to
-// optimistic mode.
+// optimistic mode. Under StrategyDynamic the same pass runs for copies
+// outside their item's current majority basis, whose catch-up triggers a
+// vote reassignment folding them back in.
 func (cl *Cluster) Heal() {
 	cl.mu.Lock()
 	cl.group = make(map[types.SiteID]int)
 	cl.mu.Unlock()
-	if cl.adaptive == nil {
+	if cl.adaptive == nil && cl.dynamic == nil {
 		return
 	}
+	staleSites := func(item types.ItemID) []types.SiteID {
+		if cl.adaptive != nil {
+			return cl.adaptive.MissingAt(item)
+		}
+		return cl.dynamic.StaleSites(item)
+	}
 	cl.cfg.Assignment.ForEachItem(func(ic voting.ItemConfig) {
-		for _, stale := range cl.adaptive.MissingAt(ic.Item) {
+		for _, stale := range staleSites(ic.Item) {
 			cl.mu.Lock()
 			isDown := cl.down[stale]
 			cl.mu.Unlock()
@@ -289,47 +329,112 @@ func (cl *Cluster) OutcomeAt(id types.SiteID, txn types.TxnID) types.Outcome {
 	}
 }
 
-// WaitOutcome polls until every up site holding a copy reports the same
+// watchOutcome registers the caller as a waiter on txn's outcome note,
+// whose channel is closed at the next outcome-affecting event: a site
+// records a local decision, or a crash/restart changes the up-site set the
+// aggregate ranges over. Waiters must register BEFORE evaluating the
+// aggregate, so a decision landing between evaluation and wait still wakes
+// them, and must pair every registration with unwatchOutcome.
+func (cl *Cluster) watchOutcome(txn types.TxnID) *outcomeNote {
+	cl.noteMu.Lock()
+	defer cl.noteMu.Unlock()
+	note := cl.notes[txn]
+	if note == nil {
+		note = &outcomeNote{ch: make(chan struct{})}
+		cl.notes[txn] = note
+	}
+	note.waiters++
+	return note
+}
+
+// unwatchOutcome releases one registration; the last waiter out removes the
+// entry if no notification consumed it already (the channel-closed paths
+// find cl.notes[txn] pointing at a fresh note or nothing).
+func (cl *Cluster) unwatchOutcome(txn types.TxnID, note *outcomeNote) {
+	cl.noteMu.Lock()
+	defer cl.noteMu.Unlock()
+	note.waiters--
+	if note.waiters == 0 && cl.notes[txn] == note {
+		delete(cl.notes, txn)
+	}
+}
+
+// notifyOutcome wakes the waiters watching txn.
+func (cl *Cluster) notifyOutcome(txn types.TxnID) {
+	cl.noteMu.Lock()
+	if note, ok := cl.notes[txn]; ok {
+		close(note.ch)
+		delete(cl.notes, txn)
+	}
+	cl.noteMu.Unlock()
+}
+
+// notifyAllOutcomes wakes every waiter (crash/restart changed the up set).
+func (cl *Cluster) notifyAllOutcomes() {
+	cl.noteMu.Lock()
+	for txn, note := range cl.notes {
+		close(note.ch)
+		delete(cl.notes, txn)
+	}
+	cl.noteMu.Unlock()
+}
+
+// outcomeSnapshot aggregates txn's fate across the up sites right now. It
+// returns settled=true once every up site holding state for txn reports the
+// same terminal outcome (or a mixed terminal pair — callers detect that via
+// Violated); otherwise it returns the value WaitOutcome should report if the
+// deadline struck now (blocked if some site is mid-protocol, else the
+// aggregate so far).
+func (cl *Cluster) outcomeSnapshot(txn types.TxnID) (types.Outcome, bool) {
+	agg := types.OutcomeUnknown
+	for id := range cl.nodes {
+		cl.mu.Lock()
+		isDown := cl.down[id]
+		cl.mu.Unlock()
+		if isDown {
+			continue
+		}
+		o := cl.OutcomeAt(id, txn)
+		if o == types.OutcomeUnknown {
+			continue
+		}
+		if !o.StateEquivalent().Terminal() {
+			return types.OutcomeBlocked, false
+		}
+		if agg == types.OutcomeUnknown {
+			agg = o
+		} else if agg != o {
+			return agg, true // mixed — caller detects via Violated
+		}
+	}
+	return agg, agg != types.OutcomeUnknown
+}
+
+// WaitOutcome blocks until every up site holding a copy reports the same
 // terminal outcome for txn, or the deadline passes (returning the aggregate
 // at that point: blocked/unknown if not uniform terminal). Crashed sites are
 // excluded — they learn the outcome from their WAL and the termination
-// protocol after Restart.
+// protocol after Restart. Waiters are woken by per-transaction decision
+// notifications (and by crash/restart events), so they observe the outcome
+// as soon as it lands and the deadline is honored exactly rather than
+// quantized to a polling interval.
 func (cl *Cluster) WaitOutcome(txn types.TxnID, deadline time.Duration) types.Outcome {
-	limit := time.Now().Add(deadline)
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
 	for {
-		agg := types.OutcomeUnknown
-		uniform := true
-		for id := range cl.nodes {
-			cl.mu.Lock()
-			isDown := cl.down[id]
-			cl.mu.Unlock()
-			if isDown {
-				continue
-			}
-			o := cl.OutcomeAt(id, txn)
-			if o == types.OutcomeUnknown {
-				continue
-			}
-			if !o.StateEquivalent().Terminal() {
-				uniform = false
-				break
-			}
-			if agg == types.OutcomeUnknown {
-				agg = o
-			} else if agg != o {
-				return agg // mixed — caller detects via Violated
-			}
-		}
-		if uniform && agg != types.OutcomeUnknown {
+		note := cl.watchOutcome(txn)
+		if agg, settled := cl.outcomeSnapshot(txn); settled {
+			cl.unwatchOutcome(txn, note)
 			return agg
 		}
-		if time.Now().After(limit) {
-			if !uniform {
-				return types.OutcomeBlocked
-			}
+		select {
+		case <-note.ch:
+			cl.unwatchOutcome(txn, note)
+		case <-timer.C:
+			cl.unwatchOutcome(txn, note)
+			agg, _ := cl.outcomeSnapshot(txn)
 			return agg
 		}
-		time.Sleep(2 * time.Millisecond)
 	}
 }
 
@@ -385,17 +490,20 @@ func (cl *Cluster) ModeTransitions() (demotions, restorations int) {
 	return cl.adaptive.Transitions()
 }
 
-// noteCommitApplied is the missing-writes bookkeeping hook a node's doCommit
+// noteCommitApplied is the strategy bookkeeping hook a node's doCommit
 // calls after applying a committed writeset — the live counterpart of the
 // engine's hook. The first node to decide records which copies the commit
 // reaches: a copy counts as reached if its site is up, in the decider's
 // group, and bound to apply the write — it is the decider itself, it still
 // holds the transaction's X lock (voted), or its store already carries the
 // transaction's version (applied concurrently; stores and lock managers are
-// mutex-guarded, so peeking across goroutines is safe). Copies that miss
-// the write demote the item; later local applies resolve them.
+// mutex-guarded, so peeking across goroutines is safe). Under the
+// missing-writes strategy copies that miss the write demote the item and
+// later local applies resolve them; under the dynamic strategy the reached
+// set becomes the item's new majority basis and later applies rejoin
+// stragglers.
 func (cl *Cluster) noteCommitApplied(n *Node, c *txnCtx) {
-	if cl.adaptive == nil {
+	if cl.adaptive == nil && cl.dynamic == nil {
 		return
 	}
 	cl.wroteMu.Lock()
@@ -437,14 +545,18 @@ func (cl *Cluster) noteCommitApplied(n *Node, c *txnCtx) {
 					reached = append(reached, cp.Site)
 				}
 			}
-			if len(reached) < len(ic.Copies) {
+			if cl.adaptive != nil && len(reached) < len(ic.Copies) {
 				cl.adaptive.DegradeExcept(item, reached)
+			}
+			if cl.dynamic != nil {
+				cl.dynamic.Reassign(item, reached)
 			}
 		}
 	}
 	for _, item := range c.ws.Items() {
 		if n.store.Has(item) {
 			cl.maybeResolve(item, n.id)
+			cl.maybeRejoin(item, n.id)
 		}
 	}
 }
@@ -469,4 +581,75 @@ func (cl *Cluster) maybeResolve(item types.ItemID, site types.SiteID) {
 	if v, err := cl.nodes[site].store.Read(item); err == nil && v.Version >= max {
 		cl.adaptive.ResolveMissing(item, site)
 	}
+}
+
+// maybeRejoin folds a caught-up copy back into its item's dynamic majority
+// basis, mirroring the engine's hook: once site's copy holds the highest
+// version any copy holds, the connected current copies plus the rejoiner
+// reassign votes to include it. The tracker's epoch guard makes the
+// optimistic call safe; no-op for basis members and under the other
+// strategies.
+func (cl *Cluster) maybeRejoin(item types.ItemID, site types.SiteID) {
+	if cl.dynamic == nil || cl.dynamic.InBasis(item, site) {
+		return
+	}
+	ic, ok := cl.cfg.Assignment.Item(item)
+	if !ok {
+		return
+	}
+	var max uint64
+	versions := make(map[types.SiteID]uint64, len(ic.Copies))
+	for _, cp := range ic.Copies {
+		if v, err := cl.nodes[cp.Site].store.Read(item); err == nil {
+			versions[cp.Site] = v.Version
+			if v.Version > max {
+				max = v.Version
+			}
+		}
+	}
+	if versions[site] < max {
+		return // not caught up yet; a later CopyResp will retry
+	}
+	group := make([]types.SiteID, 0, len(ic.Copies))
+	for _, cp := range ic.Copies {
+		if cl.connected(site, cp.Site) && versions[cp.Site] == max {
+			group = append(group, cp.Site)
+		}
+	}
+	cl.dynamic.Reassign(item, group)
+}
+
+// VoteEpoch returns the version number of item's current dynamic vote table
+// (always 0 under the static strategies).
+func (cl *Cluster) VoteEpoch(item types.ItemID) uint64 {
+	if cl.dynamic == nil {
+		return 0
+	}
+	return cl.dynamic.Epoch(item)
+}
+
+// VotesNow returns item's currently effective vote table, ascending by
+// site: the static assignment under StrategyQuorum and
+// StrategyMissingWrites, the newest reassigned table under StrategyDynamic.
+func (cl *Cluster) VotesNow(item types.ItemID) []voting.Copy {
+	if cl.dynamic == nil {
+		ic, ok := cl.cfg.Assignment.Item(item)
+		if !ok {
+			return nil
+		}
+		out := append([]voting.Copy(nil), ic.Copies...)
+		sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+		return out
+	}
+	return cl.dynamic.VotesNow(item)
+}
+
+// VoteTransitions returns the cumulative dynamic-voting reassignment
+// counters (tables installed, full-basis restorations); both zero under the
+// other strategies.
+func (cl *Cluster) VoteTransitions() (reassignments, restorations int) {
+	if cl.dynamic == nil {
+		return 0, 0
+	}
+	return cl.dynamic.Transitions()
 }

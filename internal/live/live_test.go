@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"qcommit/internal/core"
+	"qcommit/internal/msg"
 	"qcommit/internal/protocol"
 	"qcommit/internal/skeenq"
 	"qcommit/internal/threepc"
@@ -221,5 +222,190 @@ func TestLiveMissingWritesStrategy(t *testing.T) {
 	}
 	if d, r := cl.ModeTransitions(); d != 1 || r != 1 {
 		t.Errorf("transitions = %d/%d, want 1/1", d, r)
+	}
+}
+
+// TestLiveDynamicStrategy exercises dynamic vote reassignment on the
+// concurrent runtime: a failure-free commit keeps the full basis (no epoch
+// churn); a hand-shrunk basis is restored by the Heal-time catch-up pass
+// (CopyReq/CopyResp + rejoin reassignment).
+func TestLiveDynamicStrategy(t *testing.T) {
+	cl := New(Config{
+		Assignment: asgn(),
+		Strategy:   voting.StrategyDynamic,
+		Spec:       core.Spec{Variant: core.Protocol1},
+		Seed:       37, TimeoutBase: 30 * time.Millisecond,
+	})
+	defer cl.Stop()
+	if cl.Strategy() != voting.StrategyDynamic {
+		t.Fatalf("Strategy() = %v", cl.Strategy())
+	}
+	ws := types.Writeset{{Item: "x", Value: 42}, {Item: "y", Value: 7}}
+	txn := cl.Begin(1, ws)
+	if got := cl.WaitOutcome(txn, 5*time.Second); got != types.OutcomeCommitted {
+		t.Fatalf("outcome = %v, want committed", got)
+	}
+	// Applies may still be landing when WaitOutcome returns; the full-reach
+	// commit must leave the basis whole either way.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(cl.VotesNow("x")) != 4 || cl.VoteEpoch("x") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("failure-free commit churned the basis: epoch %d votes %v",
+				cl.VoteEpoch("x"), cl.VotesNow("x"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Shrink the basis by hand (the deterministic engine covers the real
+	// commit-misses-a-copy path) and let the heal-time catch-up pass
+	// restore it: site 4's copy already holds the newest version, so the
+	// CopyResp round-trip rejoins it.
+	if !cl.dynamic.Reassign("x", []types.SiteID{1, 2, 3}) {
+		t.Fatal("hand shrink rejected")
+	}
+	if cl.dynamic.InBasis("x", 4) {
+		t.Fatal("shrunk basis still contains site 4")
+	}
+	cl.Heal()
+	deadline = time.Now().Add(2 * time.Second)
+	for len(cl.VotesNow("x")) != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("heal catch-up did not restore the basis: epoch %d votes %v",
+				cl.VoteEpoch("x"), cl.VotesNow("x"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if re, ro := cl.VoteTransitions(); re != 2 || ro != 1 {
+		t.Errorf("transitions = %d/%d, want 2/1", re, ro)
+	}
+}
+
+// TestLivePostAfterStopShedsInsteadOfBlocking is the mailbox regression
+// test: posting to a stopped cluster must neither panic nor block, even far
+// past the old 1024-entry channel buffer. Before the unbounded stop-safe
+// mailbox, the 1025th post would hang forever and a post racing Stop could
+// hit a closed channel.
+func TestLivePostAfterStopShedsInsteadOfBlocking(t *testing.T) {
+	cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol1}, Seed: 8, TimeoutBase: 20 * time.Millisecond})
+	txn := cl.Begin(1, types.Writeset{{Item: "x", Value: 1}})
+	cl.WaitOutcome(txn, 3*time.Second)
+	cl.Stop()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n := cl.Node(1)
+		for i := 0; i < 5000; i++ {
+			n.post(event{env: &msg.Envelope{From: 2, To: 1, Msg: msg.CopyReq{Item: "x"}}})
+		}
+		// Public entry points must be equally safe after Stop.
+		cl.Begin(2, types.Writeset{{Item: "x", Value: 2}})
+		cl.Crash(3)
+		cl.Restart(3)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("posting to a stopped cluster blocked")
+	}
+}
+
+// TestLiveStopRacesTimersAndMessages: stop the cluster while transactions,
+// timers and crash churn are in full flight. Run under -race this pins the
+// stop-safety of the mailbox (the old channel could be sent to after the
+// loop exited, blocking the sender forever).
+func TestLiveStopRacesTimersAndMessages(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol2}, Seed: seed,
+			MinDelay: 100 * time.Microsecond, MaxDelay: 1 * time.Millisecond})
+		for i := 0; i < 8; i++ {
+			cl.Begin(types.SiteID(i%4+1), types.Writeset{{Item: "x", Value: int64(i)}, {Item: "y", Value: int64(i)}})
+		}
+		cl.Crash(2)
+		cl.Restart(2)
+		// Stop immediately: in-flight sends, AfterFunc timers and the churn
+		// above race the node shutdowns.
+		cl.Stop()
+	}
+}
+
+// TestLiveMailboxBacklogDoesNotDeadlock floods one node with far more
+// events than the old channel buffer held while its goroutine is running
+// normally — the cross-node flood that used to deadlock the cluster under
+// heavy submit load now just grows the mailbox.
+func TestLiveMailboxBacklogDoesNotDeadlock(t *testing.T) {
+	cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol1}, Seed: 9, TimeoutBase: 30 * time.Millisecond})
+	defer cl.Stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n := cl.Node(1)
+		for i := 0; i < 20000; i++ {
+			n.post(event{env: &msg.Envelope{From: 2, To: 1, Msg: msg.CopyReq{Item: "x"}}})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("mailbox flood blocked the poster")
+	}
+	// The node is still alive and serving after the flood.
+	txn := cl.Begin(1, types.Writeset{{Item: "x", Value: 5}})
+	if got := cl.WaitOutcome(txn, 5*time.Second); got != types.OutcomeCommitted {
+		t.Fatalf("post-flood transaction = %v", got)
+	}
+}
+
+// TestLiveWaitOutcomeWakesOnDecision is the WaitOutcome regression test:
+// waiters are notified per transaction instead of sleep-polling, so a
+// decided transaction returns well before a generous deadline, and
+// concurrent waiters all see it.
+func TestLiveWaitOutcomeWakesOnDecision(t *testing.T) {
+	cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol1}, Seed: 10, TimeoutBase: 30 * time.Millisecond})
+	defer cl.Stop()
+	txn := cl.Begin(1, types.Writeset{{Item: "x", Value: 3}})
+	results := make(chan types.Outcome, 4)
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		go func() { results <- cl.WaitOutcome(txn, 30*time.Second) }()
+	}
+	for i := 0; i < 4; i++ {
+		if got := <-results; got != types.OutcomeCommitted {
+			t.Fatalf("waiter %d outcome = %v", i, got)
+		}
+	}
+	// The commit itself takes a few timeout units; 30s minus slack proves
+	// the waiters woke on notification rather than deadline.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("waiters took %v, deadline-bound rather than notification-woken", elapsed)
+	}
+}
+
+// TestLiveWaitOutcomeDeadlineIsExact: with no decision coming, WaitOutcome
+// honors the requested deadline (timer-based) instead of quantizing to a
+// poll interval, and reports the aggregate at that instant.
+func TestLiveWaitOutcomeDeadlineIsExact(t *testing.T) {
+	cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol1}, Seed: 11, TimeoutBase: 30 * time.Millisecond})
+	defer cl.Stop()
+	// Transaction 999 does not exist: nothing will ever decide it.
+	start := time.Now()
+	got := cl.WaitOutcome(types.TxnID(999), 50*time.Millisecond)
+	elapsed := time.Since(start)
+	if got != types.OutcomeUnknown {
+		t.Fatalf("undecidable txn outcome = %v, want unknown", got)
+	}
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("WaitOutcome returned after %v, before the %v deadline", elapsed, 50*time.Millisecond)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("WaitOutcome overshot the deadline by %v", elapsed-50*time.Millisecond)
+	}
+	// The watch entry must not outlive the wait: an unnotified transaction
+	// would otherwise leak one map entry per WaitOutcome call forever.
+	cl.noteMu.Lock()
+	leaked := len(cl.notes)
+	cl.noteMu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d outcome watch entries leaked after WaitOutcome returned", leaked)
 	}
 }

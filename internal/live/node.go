@@ -42,9 +42,20 @@ func (c *txnCtx) terminal() bool {
 // Node is one live database site: a goroutine owning the site's durable
 // state and automata. All automaton access happens on the node goroutine.
 type Node struct {
-	id   types.SiteID
-	cl   *Cluster
-	mbox chan event
+	id types.SiteID
+	cl *Cluster
+
+	// The mailbox is an unbounded slice guarded by mboxMu/mboxCond rather
+	// than a buffered channel: a channel's buffer puts a hard cap on
+	// outstanding deliveries, and once it filled, post blocked its caller —
+	// under heavy submit/churn load two nodes posting into each other's
+	// full mailboxes from their own loops deadlocked the whole cluster.
+	// After the loop exits (stop), posts are shed instead of blocking or
+	// panicking, so message/timer callbacks racing Cluster.Stop are safe.
+	mboxMu   sync.Mutex
+	mboxCond *sync.Cond
+	mbox     []event
+	stopped  bool
 
 	walMu sync.Mutex
 	log   *wal.MemLog
@@ -57,32 +68,56 @@ type Node struct {
 }
 
 func newNode(id types.SiteID, cl *Cluster) *Node {
-	return &Node{
+	n := &Node{
 		id:    id,
 		cl:    cl,
-		mbox:  make(chan event, 1024),
 		log:   wal.NewMemLog(),
 		store: storage.NewStore(id),
 		locks: lockmgr.New(id),
 		txns:  make(map[types.TxnID]*txnCtx),
 	}
+	n.mboxCond = sync.NewCond(&n.mboxMu)
+	return n
 }
 
 // Store exposes the node's versioned store.
 func (n *Node) Store() *storage.Store { return n.store }
 
-func (n *Node) post(ev event) { n.mbox <- ev }
+// post enqueues an event for the node goroutine. It never blocks: the
+// mailbox grows as needed, and events posted to a stopped node are shed.
+func (n *Node) post(ev event) {
+	n.mboxMu.Lock()
+	defer n.mboxMu.Unlock()
+	if n.stopped {
+		return
+	}
+	n.mbox = append(n.mbox, ev)
+	n.mboxCond.Signal()
+}
 
 func (n *Node) loop(wg *sync.WaitGroup) {
 	defer wg.Done()
-	for ev := range n.mbox {
-		switch {
-		case ev.stop:
-			return
-		case ev.timer != nil:
-			n.onTimer(ev.timer)
-		case ev.env != nil:
-			n.dispatch(*ev.env)
+	for {
+		n.mboxMu.Lock()
+		for len(n.mbox) == 0 {
+			n.mboxCond.Wait()
+		}
+		batch := n.mbox
+		n.mbox = nil
+		n.mboxMu.Unlock()
+		for _, ev := range batch {
+			switch {
+			case ev.stop:
+				n.mboxMu.Lock()
+				n.stopped = true
+				n.mbox = nil // shed anything queued behind the stop
+				n.mboxMu.Unlock()
+				return
+			case ev.timer != nil:
+				n.onTimer(ev.timer)
+			case ev.env != nil:
+				n.dispatch(*ev.env)
+			}
 		}
 	}
 }
@@ -176,6 +211,7 @@ func (n *Node) dispatch(e msg.Envelope) {
 		if n.store.Has(m.Item) {
 			_ = n.store.Apply(m.Item, m.Value, m.Version)
 			n.cl.maybeResolve(m.Item, n.id)
+			n.cl.maybeRejoin(m.Item, n.id)
 		}
 
 	case msg.VoteReq:
@@ -365,6 +401,7 @@ func (n *Node) doCommit(c *txnCtx) {
 	n.locks.ReleaseAll(c.txn)
 	c.outcome = types.OutcomeCommitted
 	n.quiesce(c)
+	n.cl.notifyOutcome(c.txn)
 }
 
 func (n *Node) doAbort(c *txnCtx) {
@@ -377,6 +414,7 @@ func (n *Node) doAbort(c *txnCtx) {
 	n.locks.ReleaseAll(c.txn)
 	c.outcome = types.OutcomeAborted
 	n.quiesce(c)
+	n.cl.notifyOutcome(c.txn)
 }
 
 func (n *Node) quiesce(c *txnCtx) {
@@ -419,8 +457,7 @@ func (e *nodeEnv) SetTimer(d sim.Duration, token int) {
 	n := e.node
 	t := &timerEvent{txn: e.txn, role: e.role, gen: e.gen, token: token}
 	time.AfterFunc(time.Duration(d), func() {
-		defer func() { recover() }() // mailbox may be closed at shutdown
-		n.post(event{timer: t})
+		n.post(event{timer: t}) // stop-safe: a stopped node sheds the event
 	})
 }
 

@@ -193,7 +193,8 @@ func TestAdaptiveDegradeExceptAndTransitions(t *testing.T) {
 }
 
 func TestStrategyStringAndParse(t *testing.T) {
-	if StrategyQuorum.String() != "quorum" || StrategyMissingWrites.String() != "missing-writes" {
+	if StrategyQuorum.String() != "quorum" || StrategyMissingWrites.String() != "missing-writes" ||
+		StrategyDynamic.String() != "dynamic" || StrategyInvalid.String() != "invalid" {
 		t.Error("strategy strings wrong")
 	}
 	if Strategy(99).String() == "" {
@@ -203,6 +204,8 @@ func TestStrategyStringAndParse(t *testing.T) {
 		"quorum": StrategyQuorum, "Quorum": StrategyQuorum, "": StrategyQuorum,
 		"missing-writes": StrategyMissingWrites, "missingwrites": StrategyMissingWrites,
 		"MW": StrategyMissingWrites, " mw ": StrategyMissingWrites,
+		"dynamic": StrategyDynamic, "dynamic-voting": StrategyDynamic,
+		"DynamicVoting": StrategyDynamic, " dv ": StrategyDynamic,
 	}
 	for in, want := range cases {
 		got, err := ParseStrategy(in)
@@ -210,7 +213,14 @@ func TestStrategyStringAndParse(t *testing.T) {
 			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
-	if _, err := ParseStrategy("bogus"); err == nil {
+	// The error path must NOT return the zero value (StrategyQuorum): a
+	// caller that drops the error would otherwise silently run under the
+	// quorum fallback.
+	got, err := ParseStrategy("bogus")
+	if err == nil {
 		t.Error("bogus strategy accepted")
+	}
+	if got != StrategyInvalid {
+		t.Errorf("ParseStrategy error path returned %v, want StrategyInvalid", got)
 	}
 }

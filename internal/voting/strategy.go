@@ -14,7 +14,7 @@ type Strategy uint8
 const (
 	// StrategyQuorum is Gifford weighted voting: every read collects r(x)
 	// votes and every write collects w(x) votes, always. This is the
-	// strategy the paper's protocols are built around.
+	// strategy the paper's protocols are built around, and the zero value.
 	StrategyQuorum Strategy = iota
 	// StrategyMissingWrites is the Eager & Sevcik adaptive scheme (ACM TODS
 	// 1983, reference [5] of the paper): while an item has no missing
@@ -22,7 +22,34 @@ const (
 	// and the first write that misses a copy demotes the item to
 	// pessimistic quorum mode until the stale copies catch up.
 	StrategyMissingWrites
+	// StrategyDynamic is dynamic vote reassignment (Jajodia & Mutchler,
+	// SIGMOD 1987; Barbara, Garcia-Molina & Spauster, ACM TODS 1989): after
+	// each committed write the reachable majority of an item's copies
+	// installs a new, version-numbered vote table in which only the current
+	// survivor set holds votes, so quorums are majorities of the survivors
+	// rather than of the original copy set. Epoch guards keep a stale
+	// minority from ever forming a quorum under a superseded table.
+	StrategyDynamic
+
+	// StrategyInvalid is the value ParseStrategy returns alongside a
+	// non-nil error. It is deliberately NOT the zero value: a caller that
+	// ignores the error cannot silently fall back to StrategyQuorum, and
+	// every consumer of the value treats it as unusable.
+	StrategyInvalid Strategy = 0xFF
 )
+
+// Valid reports whether s is one of the three usable strategies. Cluster
+// constructors reject invalid values instead of silently running under the
+// quorum default — the same dropped-error hazard ParseStrategy's
+// StrategyInvalid sentinel exists to prevent.
+func (s Strategy) Valid() bool {
+	switch s {
+	case StrategyQuorum, StrategyMissingWrites, StrategyDynamic:
+		return true
+	default:
+		return false
+	}
+}
 
 // String implements fmt.Stringer.
 func (s Strategy) String() string {
@@ -31,20 +58,31 @@ func (s Strategy) String() string {
 		return "quorum"
 	case StrategyMissingWrites:
 		return "missing-writes"
+	case StrategyDynamic:
+		return "dynamic"
+	case StrategyInvalid:
+		return "invalid"
 	default:
 		return fmt.Sprintf("Strategy(%d)", uint8(s))
 	}
 }
 
 // ParseStrategy maps a command-line spelling onto a Strategy. It accepts
-// "quorum", "missing-writes", "missingwrites" and "mw" (case-insensitive).
+// "quorum" and "gifford"; "missing-writes", "missingwrites" and "mw";
+// "dynamic", "dynamic-voting", "dynamicvoting" and "dv" (all
+// case-insensitive). The empty string is documented shorthand for the
+// default, StrategyQuorum. Unrecognized spellings return StrategyInvalid —
+// never a usable strategy — together with a non-nil error, so callers that
+// drop the error cannot silently run under the quorum fallback.
 func ParseStrategy(s string) (Strategy, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "quorum", "gifford", "":
 		return StrategyQuorum, nil
 	case "missing-writes", "missingwrites", "mw":
 		return StrategyMissingWrites, nil
+	case "dynamic", "dynamic-voting", "dynamicvoting", "dv":
+		return StrategyDynamic, nil
 	default:
-		return StrategyQuorum, fmt.Errorf("voting: unknown strategy %q (want quorum or missing-writes)", s)
+		return StrategyInvalid, fmt.Errorf("voting: unknown strategy %q (want quorum, missing-writes or dynamic)", s)
 	}
 }

@@ -41,6 +41,9 @@ func NewLiveCluster(items []ReplicatedItem, opts LiveOptions) (*LiveCluster, err
 	if len(items) == 0 {
 		return nil, fmt.Errorf("qcommit: at least one replicated item is required")
 	}
+	if !opts.Strategy.Valid() {
+		return nil, fmt.Errorf("qcommit: invalid LiveOptions.Strategy %v", opts.Strategy)
+	}
 	configs := make([]voting.ItemConfig, 0, len(items))
 	siteSet := make(map[SiteID]bool)
 	for _, it := range items {
@@ -149,6 +152,20 @@ func (c *LiveCluster) MissingWritesAt(item ItemID) []SiteID { return c.lc.Missin
 // (demotions, restorations).
 func (c *LiveCluster) ModeTransitions() (demotions, restorations int) {
 	return c.lc.ModeTransitions()
+}
+
+// VoteEpoch returns the version number of item's current dynamic vote table
+// (always 0 under the static strategies).
+func (c *LiveCluster) VoteEpoch(item ItemID) uint64 { return c.lc.VoteEpoch(item) }
+
+// VotesNow returns item's currently effective vote table, ascending by site
+// (under StrategyDynamic, sites outside the majority basis are omitted).
+func (c *LiveCluster) VotesNow(item ItemID) []VoteCopy { return c.lc.VotesNow(item) }
+
+// VoteTransitions returns the cumulative dynamic-voting reassignment
+// counters (tables installed, full-basis restorations).
+func (c *LiveCluster) VoteTransitions() (reassignments, restorations int) {
+	return c.lc.VoteTransitions()
 }
 
 // CopyAt reads the raw copy at one site.

@@ -66,4 +66,10 @@ func TestLiveClusterValidation(t *testing.T) {
 	if _, err := NewLiveCluster(liveItems(), LiveOptions{Protocol: "bogus"}); err == nil {
 		t.Error("unknown protocol accepted")
 	}
+	// A dropped ParseStrategy error yields StrategyInvalid; constructors
+	// must reject it rather than fall back to quorum silently.
+	bad, _ := ParseStrategy("bogus")
+	if _, err := NewLiveCluster(liveItems(), LiveOptions{Strategy: bad}); err == nil {
+		t.Error("invalid strategy accepted by NewLiveCluster")
+	}
 }

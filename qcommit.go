@@ -100,14 +100,31 @@ const (
 	// committed write misses a copy, restoration once stale copies catch up
 	// (on heal or restart, via anti-entropy).
 	StrategyMissingWrites = voting.StrategyMissingWrites
+	// StrategyDynamic is dynamic vote reassignment (Jajodia & Mutchler,
+	// SIGMOD 1987; Barbara, Garcia-Molina & Spauster, ACM TODS 1989): after
+	// each committed write (and at heal/restart catch-up) the reachable
+	// majority of an item's copies installs a new version-numbered vote
+	// table in which only the current survivor set holds votes, so quorums
+	// are majorities of the survivors. Epoch guards keep a stale minority
+	// from ever forming a quorum; Cluster.VoteEpoch and VotesNow expose the
+	// tables.
+	StrategyDynamic = voting.StrategyDynamic
 )
 
 // AllStrategies lists the supported access strategies in comparison order.
-func AllStrategies() []Strategy { return []Strategy{StrategyQuorum, StrategyMissingWrites} }
+func AllStrategies() []Strategy {
+	return []Strategy{StrategyQuorum, StrategyMissingWrites, StrategyDynamic}
+}
 
-// ParseStrategy maps a command-line spelling ("quorum", "missing-writes",
-// "missingwrites", "mw") onto a Strategy.
+// ParseStrategy maps a command-line spelling ("quorum", "missing-writes"/
+// "mw", "dynamic"/"dv"; the empty string means the StrategyQuorum default)
+// onto a Strategy. Unrecognized spellings return a non-nil error together
+// with voting.StrategyInvalid — never a usable strategy — so a dropped
+// error cannot silently select the quorum fallback.
 func ParseStrategy(s string) (Strategy, error) { return voting.ParseStrategy(s) }
+
+// VoteCopy is one entry of a vote table: a site and its current weight.
+type VoteCopy = voting.Copy
 
 // Mode is an item's current missing-writes operating mode.
 type Mode = voting.Mode

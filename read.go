@@ -76,6 +76,24 @@ func (c *Cluster) ModeTransitions() (demotions, restorations int) {
 	return c.eng.ModeTransitions()
 }
 
+// VoteEpoch returns the version number of item's current dynamic vote table
+// — how many reassignments the item has been through. Always 0 under the
+// static strategies.
+func (c *Cluster) VoteEpoch(item ItemID) uint64 { return c.eng.VoteEpoch(item) }
+
+// VotesNow returns item's currently effective vote table, ascending by
+// site: the static assignment under StrategyQuorum and
+// StrategyMissingWrites, the newest reassigned table under StrategyDynamic
+// (sites outside the current majority basis hold no votes and are omitted).
+func (c *Cluster) VotesNow(item ItemID) []VoteCopy { return c.eng.VotesNow(item) }
+
+// VoteTransitions returns the cumulative dynamic-voting reassignment
+// counters: vote tables installed, and the subset that restored the full
+// static copy set. Both are zero under the other strategies.
+func (c *Cluster) VoteTransitions() (reassignments, restorations int) {
+	return c.eng.VoteTransitions()
+}
+
 // CopyAt returns the raw copy (value, version) stored at one site, without
 // quorum checking — a debugging/verification helper.
 func (c *Cluster) CopyAt(id SiteID, item ItemID) (value int64, version uint64, err error) {
