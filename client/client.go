@@ -1,0 +1,171 @@
+// Package client speaks the qcommitd client protocol: a thin synchronous
+// request/response layer over the same stream framing the peer links use
+// (see internal/msg). One Client holds one TCP connection to one node and
+// serializes its calls; open one Client per node (or per concurrent caller).
+//
+// The control calls (Partition, Heal) drive the e2e failure-injection
+// machinery: a multi-process cluster has no shared memory to install a
+// partition through, so a harness tells every node's transport its local
+// topology view, one control round-trip per node.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"qcommit/internal/msg"
+	"qcommit/internal/transport"
+	"qcommit/internal/types"
+)
+
+// ioTimeout bounds one request/response exchange that is not itself a
+// deadline-carrying wait.
+const ioTimeout = 10 * time.Second
+
+// Client is one connection to one qcommitd node.
+type Client struct {
+	site types.SiteID
+	conn net.Conn
+	br   *bufio.Reader
+
+	mu  sync.Mutex // serializes exchanges on the connection
+	req uint64
+}
+
+// Dial connects to the qcommitd node serving site at addr.
+func Dial(addr string, site types.SiteID) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, ioTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial site%d at %s: %w", site, addr, err)
+	}
+	return &Client{site: site, conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// Site returns the site this client talks to.
+func (c *Client) Site() types.SiteID { return c.site }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads frames until the response carrying
+// its correlation number arrives.
+func (c *Client) roundTrip(build func(req uint64) msg.Message, timeout time.Duration) (msg.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.req++
+	req := c.req
+	deadline := time.Now().Add(timeout)
+	c.conn.SetDeadline(deadline)
+	defer c.conn.SetDeadline(time.Time{})
+	env := msg.Envelope{From: transport.ClientID, To: c.site, Msg: build(req)}
+	if err := msg.WriteEnvelope(c.conn, env); err != nil {
+		return nil, fmt.Errorf("client: site%d request: %w", c.site, err)
+	}
+	for {
+		resp, err := msg.ReadEnvelope(c.br)
+		if err != nil {
+			return nil, fmt.Errorf("client: site%d response: %w", c.site, err)
+		}
+		if reqOf(resp.Msg) == req {
+			return resp.Msg, nil
+		}
+		// A stale frame from an abandoned exchange; skip it.
+	}
+}
+
+func reqOf(m msg.Message) uint64 {
+	switch v := m.(type) {
+	case msg.ClientBeginAck:
+		return v.Req
+	case msg.ClientOutcome:
+		return v.Req
+	case msg.ClientValue:
+		return v.Req
+	case msg.CtrlAck:
+		return v.Req
+	default:
+		return 0
+	}
+}
+
+// Begin asks the node to coordinate a transaction writing the given values
+// and returns its cluster-wide transaction ID.
+func (c *Client) Begin(writes map[types.ItemID]int64) (types.TxnID, error) {
+	items := make([]types.ItemID, 0, len(writes))
+	for it := range writes {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	ws := make(types.Writeset, 0, len(items))
+	for _, it := range items {
+		ws = append(ws, types.Update{Item: it, Value: writes[it]})
+	}
+	resp, err := c.roundTrip(func(req uint64) msg.Message {
+		return msg.ClientBegin{Req: req, Writeset: ws}
+	}, ioTimeout)
+	if err != nil {
+		return 0, err
+	}
+	ack, ok := resp.(msg.ClientBeginAck)
+	if !ok {
+		return 0, fmt.Errorf("client: site%d: unexpected %T to Begin", c.site, resp)
+	}
+	return ack.Txn, nil
+}
+
+// WaitOutcome blocks until the node has durably decided txn or timeout
+// passes, returning the node's local view at that point (OutcomeBlocked for
+// a node wedged mid-protocol — the observable that distinguishes a blocked
+// 2PC survivor from a terminated quorum-protocol one).
+func (c *Client) WaitOutcome(txn types.TxnID, timeout time.Duration) (types.Outcome, error) {
+	resp, err := c.roundTrip(func(req uint64) msg.Message {
+		return msg.ClientWait{Req: req, Txn: txn, Timeout: timeout}
+	}, timeout+ioTimeout)
+	if err != nil {
+		return types.OutcomeUnknown, err
+	}
+	out, ok := resp.(msg.ClientOutcome)
+	if !ok {
+		return types.OutcomeUnknown, fmt.Errorf("client: site%d: unexpected %T to WaitOutcome", c.site, resp)
+	}
+	return out.Outcome, nil
+}
+
+// Read returns the node's local copy of item (found=false when the node
+// holds no copy).
+func (c *Client) Read(item types.ItemID) (value int64, version uint64, found bool, err error) {
+	resp, err := c.roundTrip(func(req uint64) msg.Message {
+		return msg.ClientRead{Req: req, Item: item}
+	}, ioTimeout)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	v, ok := resp.(msg.ClientValue)
+	if !ok {
+		return 0, 0, false, fmt.Errorf("client: site%d: unexpected %T to Read", c.site, resp)
+	}
+	return v.Value, v.Version, v.Found, nil
+}
+
+// Partition installs a partition view on this node's transport; the groups
+// describe the whole network, unlisted sites forming a residual group. Drive
+// the same call to every node to cut a real multi-process cluster.
+func (c *Client) Partition(groups ...[]types.SiteID) error {
+	resp, err := c.roundTrip(func(req uint64) msg.Message {
+		return msg.CtrlPartition{Req: req, Groups: groups}
+	}, ioTimeout)
+	if err != nil {
+		return err
+	}
+	if _, ok := resp.(msg.CtrlAck); !ok {
+		return fmt.Errorf("client: site%d: unexpected %T to Partition", c.site, resp)
+	}
+	return nil
+}
+
+// Heal removes this node's partition view.
+func (c *Client) Heal() error { return c.Partition() }

@@ -1,0 +1,246 @@
+// Command qcommitd serves ONE database site of a replicated qcommit cluster
+// as a real networked process: protocol frames travel over TCP to the peer
+// qcommitd processes, clients drive transactions over the same wire, and
+// kill -9 is a genuine site failure. Every process of a deployment must be
+// started with the same -sites/-items/-protocol configuration, since the
+// weighted-voting assignment is part of the protocol contract.
+//
+// A three-site cluster on one machine:
+//
+//	qcommitd -site 1 -peers '1=:7001,2=:7002,3=:7003' -items x,y &
+//	qcommitd -site 2 -peers '1=:7001,2=:7002,3=:7003' -items x,y &
+//	qcommitd -site 3 -peers '1=:7001,2=:7002,3=:7003' -items x,y &
+//
+// Each item is replicated at every site with one vote per copy and majority
+// read/write quorums. The -failpoint flag deterministically injects the
+// paper's motivating failure for the e2e harness: crash-before-decision
+// SIGKILLs this process the instant its coordinator is about to send the
+// first decision-phase message, after every participant has voted — the
+// exact window where two-phase commit blocks all survivors and the paper's
+// quorum-based protocols terminate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"qcommit/internal/core"
+	"qcommit/internal/live"
+	"qcommit/internal/msg"
+	"qcommit/internal/protocol"
+	"qcommit/internal/skeenq"
+	"qcommit/internal/threepc"
+	"qcommit/internal/transport"
+	"qcommit/internal/transport/tcp"
+	"qcommit/internal/twopc"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+func main() {
+	var (
+		site       = flag.Int("site", 0, "site ID served by this process (required)")
+		peersFlag  = flag.String("peers", "", "comma-separated site=host:port map for every site, e.g. '1=127.0.0.1:7001,2=127.0.0.1:7002' (required)")
+		itemsFlag  = flag.String("items", "x", "comma-separated item names, each replicated at every site with majority quorums")
+		protoFlag  = flag.String("protocol", "qc1", "commit protocol: qc1, qc2, 2pc, 3pc or skeenq")
+		stratFlag  = flag.String("strategy", "quorum", "data-access strategy (only 'quorum' is supported across processes)")
+		timeout    = flag.Duration("timeout-base", 50*time.Millisecond, "protocol timeout unit T")
+		termRounds = flag.Int("max-term-rounds", 3, "termination retry cap")
+		failpoint  = flag.String("failpoint", "", "deterministic fault injection: 'crash-before-decision' SIGKILLs the process when its coordinator first sends a decision-phase message")
+	)
+	flag.Parse()
+	if err := run(*site, *peersFlag, *itemsFlag, *protoFlag, *stratFlag, *timeout, *termRounds, *failpoint); err != nil {
+		fmt.Fprintln(os.Stderr, "qcommitd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(site int, peersFlag, itemsFlag, protoFlag, stratFlag string, timeoutBase time.Duration, termRounds int, failpoint string) error {
+	if site <= 0 {
+		return fmt.Errorf("-site is required and must be positive")
+	}
+	self := types.SiteID(site)
+	peers, err := parsePeers(peersFlag)
+	if err != nil {
+		return err
+	}
+	listen, ok := peers[self]
+	if !ok {
+		return fmt.Errorf("-peers does not list site %d", site)
+	}
+	if stratFlag != "quorum" {
+		return fmt.Errorf("strategy %q: only 'quorum' works across processes (the adaptive strategies track cluster-global state this deployment shape cannot share)", stratFlag)
+	}
+	sites := make([]types.SiteID, 0, len(peers))
+	for s := range peers {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	asgn, err := buildAssignment(itemsFlag, sites)
+	if err != nil {
+		return err
+	}
+	spec, err := buildSpec(protoFlag, sites)
+	if err != nil {
+		return err
+	}
+
+	ep, err := tcp.New(self, listen, peers, tcp.Options{})
+	if err != nil {
+		return err
+	}
+	var tr transport.Transport = ep
+	if failpoint != "" {
+		if failpoint != "crash-before-decision" {
+			return fmt.Errorf("unknown failpoint %q", failpoint)
+		}
+		tr = &crashBeforeDecision{Transport: ep}
+	}
+
+	// The client handler needs the server, which needs the bound transport;
+	// the pointer closes the loop. Frames racing the startup window see nil
+	// and are dropped — clients connect after the ready line below.
+	var srv atomic.Pointer[live.Server]
+	ep.BindClient(func(env msg.Envelope, reply func(msg.Message) error) {
+		if s := srv.Load(); s != nil {
+			handleClient(s, ep, env, reply)
+		}
+	})
+	s, err := live.NewServer(self, live.ServerConfig{
+		Assignment:           asgn,
+		Spec:                 spec,
+		TimeoutBase:          timeoutBase,
+		MaxTerminationRounds: termRounds,
+	}, tr)
+	if err != nil {
+		return err
+	}
+	srv.Store(s)
+	fmt.Printf("qcommitd: site %d serving %s on %s (%d sites, T=%v)\n",
+		site, protoFlag, ep.Addr(), len(sites), timeoutBase)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	s.Stop()
+	return nil
+}
+
+// handleClient serves one client request. ClientWait blocks for up to the
+// request's own deadline, so it answers from a goroutine; the connection
+// reply path is safe from any goroutine.
+func handleClient(s *live.Server, ep *tcp.Endpoint, env msg.Envelope, reply func(msg.Message) error) {
+	switch m := env.Msg.(type) {
+	case msg.ClientBegin:
+		txn := s.Begin(m.Writeset)
+		reply(msg.ClientBeginAck{Req: m.Req, Txn: txn})
+	case msg.ClientWait:
+		go func() {
+			o := s.WaitOutcome(m.Txn, m.Timeout)
+			reply(msg.ClientOutcome{Req: m.Req, Txn: m.Txn, Outcome: o})
+		}()
+	case msg.ClientRead:
+		v, ver, ok := s.ReadItem(m.Item)
+		reply(msg.ClientValue{Req: m.Req, Item: m.Item, Value: v, Version: ver, Found: ok})
+	case msg.CtrlPartition:
+		if len(m.Groups) == 0 {
+			ep.Heal()
+		} else {
+			ep.Partition(m.Groups...)
+		}
+		reply(msg.CtrlAck{Req: m.Req})
+	}
+}
+
+// parsePeers parses '1=host:port,2=host:port,...'.
+func parsePeers(s string) (map[types.SiteID]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-peers is required")
+	}
+	peers := make(map[types.SiteID]string)
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("-peers entry %q is not site=addr", part)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-peers entry %q: bad site ID", part)
+		}
+		peers[types.SiteID(n)] = addr
+	}
+	return peers, nil
+}
+
+// buildAssignment replicates every named item at every site, one vote per
+// copy, majority read/write quorums.
+func buildAssignment(itemsFlag string, sites []types.SiteID) (*voting.Assignment, error) {
+	var configs []voting.ItemConfig
+	for _, name := range strings.Split(itemsFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		copies := make([]voting.Copy, len(sites))
+		for i, s := range sites {
+			copies[i] = voting.Copy{Site: s, Votes: 1}
+		}
+		w := len(sites)/2 + 1
+		r := len(sites) + 1 - w
+		configs = append(configs, voting.ItemConfig{Item: types.ItemID(name), Copies: copies, R: r, W: w})
+	}
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("-items names no items")
+	}
+	return voting.NewAssignment(configs...)
+}
+
+func buildSpec(proto string, sites []types.SiteID) (protocol.Spec, error) {
+	switch strings.ToLower(proto) {
+	case "qc1":
+		return core.Spec{Variant: core.Protocol1}, nil
+	case "qc2":
+		return core.Spec{Variant: core.Protocol2}, nil
+	case "2pc":
+		return twopc.Spec{}, nil
+	case "3pc":
+		return threepc.Spec{}, nil
+	case "skeenq":
+		vc := len(sites)/2 + 1
+		va := len(sites) + 1 - vc
+		spec := skeenq.Uniform(sites, vc, va)
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		return spec, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (want qc1, qc2, 2pc, 3pc or skeenq)", proto)
+	}
+}
+
+// crashBeforeDecision SIGKILLs the process the moment the hosted coordinator
+// tries to send its first decision-phase message. Coordinators only reach
+// that point after collecting every vote, so the kill lands in the exact
+// window the paper studies: all participants are prepared and none has heard
+// a decision. kill(2) with SIGKILL means no deferred cleanup, no WAL flush
+// ordering tricks — the process is simply gone, as in a power failure.
+type crashBeforeDecision struct {
+	transport.Transport
+}
+
+func (t *crashBeforeDecision) Send(env msg.Envelope) {
+	switch env.Msg.Kind() {
+	case msg.KindPrepareToCommit, msg.KindPrepareToAbort, msg.KindCommit, msg.KindAbort:
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // unreachable: SIGKILL cannot be handled
+	}
+	t.Transport.Send(env)
+}

@@ -105,6 +105,20 @@ func TestCommandsSmoke(t *testing.T) {
 			args: []string{"run", "./examples/churnstudy"},
 			want: []string{"repair-speed sweep", "MTTR = 100ms", "partition churn", "3PC violated atomicity"},
 		},
+		{
+			// Real processes on real sockets: qcommitd daemons driven through
+			// the client protocol, including a partition installed over the
+			// control channel (terminates, never blocks) and a post-heal
+			// commit.
+			name: "networked-example",
+			args: []string{"run", "./examples/networked"},
+			want: []string{
+				"cluster up: 3 qcommitd processes speaking QC1 over TCP",
+				"committed",
+				"aborted (terminated, not blocked)",
+				"after heal",
+			},
+		},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -1,0 +1,41 @@
+package live
+
+import (
+	"time"
+
+	"qcommit/internal/msg"
+	"qcommit/internal/protocol"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+// host is what a Node needs from whatever runtime hosts it. Two hosts exist:
+// Cluster runs every site of an assignment in one process over a shared
+// transport, and Server runs exactly one site — the qcommitd deployment
+// shape, where each peer site lives in its own process and only the
+// transport connects them. Node code must go through this interface for
+// anything beyond its own state, so it cannot accidentally grow a dependency
+// on cluster-global shared memory that a distributed host cannot provide.
+type host interface {
+	// spec is the commit+termination protocol the host runs.
+	spec() protocol.Spec
+	// assignment is the weighted-voting replica configuration.
+	assignment() *voting.Assignment
+	// timeoutBase is the protocol timeout unit T.
+	timeoutBase() time.Duration
+	// maxTermRounds caps termination retries.
+	maxTermRounds() int
+	// startTime anchors the host's monotonic protocol clock.
+	startTime() time.Time
+	// send routes a protocol message through the host's transport.
+	send(from, to types.SiteID, m msg.Message)
+	// notifyOutcome wakes outcome waiters after a local decision.
+	notifyOutcome(txn types.TxnID)
+	// noteCommitApplied, maybeResolve and maybeRejoin are the adaptive
+	// strategy bookkeeping hooks. They peek across sites, so only the
+	// single-process Cluster implements them meaningfully; a distributed
+	// host is restricted to the static quorum strategy and no-ops them.
+	noteCommitApplied(n *Node, c *txnCtx)
+	maybeResolve(item types.ItemID, site types.SiteID)
+	maybeRejoin(item types.ItemID, site types.SiteID)
+}

@@ -8,16 +8,16 @@ package live
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"qcommit/internal/msg"
 	"qcommit/internal/protocol"
+	"qcommit/internal/transport"
+	"qcommit/internal/transport/inproc"
 	"qcommit/internal/types"
 	"qcommit/internal/voting"
-	"qcommit/internal/wal"
 )
 
 // Config parameterizes a live cluster.
@@ -44,6 +44,12 @@ type Config struct {
 	Seed int64
 	// MaxTerminationRounds caps termination retries (default 3).
 	MaxTerminationRounds int
+	// Transport optionally supplies the message fabric serving every site.
+	// Nil builds the in-process fabric from MinDelay/MaxDelay/Seed — the
+	// historical mailbox path. A tcp.Fabric here runs the same cluster over
+	// real loopback sockets. The cluster takes ownership and closes the
+	// transport on Stop.
+	Transport transport.Transport
 }
 
 type event struct {
@@ -64,10 +70,13 @@ type Cluster struct {
 	cfg   Config
 	start time.Time
 
-	mu      sync.Mutex // guards partition/crash state and rng
-	group   map[types.SiteID]int
-	down    map[types.SiteID]bool
-	rng     *rand.Rand
+	// tr is the message fabric. All routing policy — propagation delay,
+	// partition and crash filtering, the wire-codec round-trip — lives
+	// behind it; the cluster only posts inbound envelopes to node mailboxes
+	// and consults the transport's topology view.
+	tr transport.Transport
+
+	mu      sync.Mutex // guards nextTxn
 	nextTxn types.TxnID
 
 	nodes map[types.SiteID]*Node
@@ -119,12 +128,14 @@ func New(cfg Config) *Cluster {
 	if cfg.MaxTerminationRounds <= 0 {
 		cfg.MaxTerminationRounds = 3
 	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = inproc.New(inproc.Options{MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay, Seed: cfg.Seed})
+	}
 	cl := &Cluster{
 		cfg:   cfg,
 		start: time.Now(),
-		group: make(map[types.SiteID]int),
-		down:  make(map[types.SiteID]bool),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		tr:    tr,
 		nodes: make(map[types.SiteID]*Node),
 		notes: make(map[types.TxnID]*outcomeNote),
 	}
@@ -157,8 +168,20 @@ func New(cfg Config) *Cluster {
 		cl.wg.Add(1)
 		go n.loop(&cl.wg)
 	}
+	tr.Bind(cl.deliver)
 	return cl
 }
+
+// deliver posts an inbound envelope to the destination node's mailbox; it is
+// the transport's delivery callback and must not block (post never does).
+func (cl *Cluster) deliver(env msg.Envelope) {
+	if n := cl.nodes[env.To]; n != nil {
+		n.post(event{env: &env})
+	}
+}
+
+// Transport exposes the cluster's message fabric.
+func (cl *Cluster) Transport() transport.Transport { return cl.tr }
 
 // Node returns a site's node.
 func (cl *Cluster) Node(id types.SiteID) *Node { return cl.nodes[id] }
@@ -191,9 +214,7 @@ func (beginMsg) Kind() msg.Kind { return msg.KindInvalid }
 
 // Crash takes a site down (volatile state lost, WAL kept).
 func (cl *Cluster) Crash(id types.SiteID) {
-	cl.mu.Lock()
-	cl.down[id] = true
-	cl.mu.Unlock()
+	cl.tr.Crash(id)
 	cl.nodes[id].post(event{env: &msg.Envelope{Msg: crashMsg{}}})
 	cl.notifyAllOutcomes() // the up-site set changed; waiters re-aggregate
 }
@@ -204,9 +225,7 @@ func (crashMsg) Kind() msg.Kind { return msg.KindInvalid }
 
 // Restart recovers a crashed site from its WAL.
 func (cl *Cluster) Restart(id types.SiteID) {
-	cl.mu.Lock()
-	cl.down[id] = false
-	cl.mu.Unlock()
+	cl.tr.Restart(id)
 	cl.nodes[id].post(event{env: &msg.Envelope{Msg: restartMsg{}}})
 	cl.notifyAllOutcomes() // the up-site set changed; waiters re-aggregate
 }
@@ -218,14 +237,7 @@ func (restartMsg) Kind() msg.Kind { return msg.KindInvalid }
 // Partition splits the network into groups; unlisted sites form a residual
 // group.
 func (cl *Cluster) Partition(groups ...[]types.SiteID) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	cl.group = make(map[types.SiteID]int)
-	for gi, g := range groups {
-		for _, s := range g {
-			cl.group[s] = gi + 1
-		}
-	}
+	cl.tr.Partition(groups...)
 }
 
 // Heal reconnects the network. Under StrategyMissingWrites it also starts
@@ -235,9 +247,7 @@ func (cl *Cluster) Partition(groups ...[]types.SiteID) {
 // outside their item's current majority basis, whose catch-up triggers a
 // vote reassignment folding them back in.
 func (cl *Cluster) Heal() {
-	cl.mu.Lock()
-	cl.group = make(map[types.SiteID]int)
-	cl.mu.Unlock()
+	cl.tr.Heal()
 	if cl.adaptive == nil && cl.dynamic == nil {
 		return
 	}
@@ -249,10 +259,7 @@ func (cl *Cluster) Heal() {
 	}
 	cl.cfg.Assignment.ForEachItem(func(ic voting.ItemConfig) {
 		for _, stale := range staleSites(ic.Item) {
-			cl.mu.Lock()
-			isDown := cl.down[stale]
-			cl.mu.Unlock()
-			if isDown {
+			if cl.tr.Down(stale) {
 				continue
 			}
 			for _, cp := range ic.Copies {
@@ -264,69 +271,23 @@ func (cl *Cluster) Heal() {
 	})
 }
 
-func (cl *Cluster) connected(a, b types.SiteID) bool {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	if cl.down[a] || cl.down[b] {
-		return false
-	}
-	return cl.group[a] == cl.group[b]
-}
-
-func (cl *Cluster) delay() time.Duration {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	lo, hi := cl.cfg.MinDelay, cl.cfg.MaxDelay
-	if hi <= lo {
-		return lo
-	}
-	return lo + time.Duration(cl.rng.Int63n(int64(hi-lo)+1))
-}
-
-// send routes a message with delay, loss-on-partition and codec round-trip.
+// send routes a message through the transport, which applies delay,
+// loss-on-partition and the wire-codec round-trip.
 func (cl *Cluster) send(from, to types.SiteID, m msg.Message) {
-	frame, err := msg.Marshal(m)
-	if err != nil {
-		return // internal control messages are never sent over the wire
-	}
-	decoded, err := msg.Unmarshal(frame)
-	if err != nil {
-		return
-	}
-	if !cl.connected(from, to) {
-		return
-	}
-	d := cl.delay()
-	time.AfterFunc(d, func() {
-		if !cl.connected(from, to) {
-			return
-		}
-		if n := cl.nodes[to]; n != nil {
-			n.post(event{env: &msg.Envelope{From: from, To: to, Msg: decoded}})
-		}
-	})
+	cl.tr.Send(msg.Envelope{From: from, To: to, Msg: m})
 }
+
+// host accessors (see host.go): Cluster hosts every node of the assignment.
+
+func (cl *Cluster) spec() protocol.Spec            { return cl.cfg.Spec }
+func (cl *Cluster) assignment() *voting.Assignment { return cl.cfg.Assignment }
+func (cl *Cluster) timeoutBase() time.Duration     { return cl.cfg.TimeoutBase }
+func (cl *Cluster) maxTermRounds() int             { return cl.cfg.MaxTerminationRounds }
+func (cl *Cluster) startTime() time.Time           { return cl.start }
 
 // OutcomeAt reads txn's fate at one site from its WAL.
 func (cl *Cluster) OutcomeAt(id types.SiteID, txn types.TxnID) types.Outcome {
-	n := cl.nodes[id]
-	n.walMu.Lock()
-	recs, _ := n.log.Records()
-	n.walMu.Unlock()
-	img := wal.Replay(recs)[txn]
-	if img == nil {
-		return types.OutcomeUnknown
-	}
-	switch img.State {
-	case types.StateCommitted:
-		return types.OutcomeCommitted
-	case types.StateAborted:
-		return types.OutcomeAborted
-	case types.StateWait, types.StatePC, types.StatePA:
-		return types.OutcomeBlocked
-	default:
-		return types.OutcomeUnknown
-	}
+	return walOutcome(cl.nodes[id], txn)
 }
 
 // watchOutcome registers the caller as a waiter on txn's outcome note,
@@ -388,10 +349,7 @@ func (cl *Cluster) notifyAllOutcomes() {
 func (cl *Cluster) outcomeSnapshot(txn types.TxnID) (types.Outcome, bool) {
 	agg := types.OutcomeUnknown
 	for id := range cl.nodes {
-		cl.mu.Lock()
-		isDown := cl.down[id]
-		cl.mu.Unlock()
-		if isDown {
+		if cl.tr.Down(id) {
 			continue
 		}
 		o := cl.OutcomeAt(id, txn)
@@ -458,6 +416,7 @@ func (cl *Cluster) Stop() {
 		n.post(event{stop: true})
 	}
 	cl.wg.Wait()
+	cl.tr.Close()
 }
 
 // Strategy returns the cluster's access strategy.
@@ -533,7 +492,7 @@ func (cl *Cluster) noteCommitApplied(n *Node, c *txnCtx) {
 			}
 			reached := make([]types.SiteID, 0, len(ic.Copies))
 			for _, cp := range ic.Copies {
-				if !cl.connected(n.id, cp.Site) {
+				if !cl.tr.Connected(n.id, cp.Site) {
 					continue
 				}
 				peer := cl.nodes[cp.Site]
@@ -612,7 +571,7 @@ func (cl *Cluster) maybeRejoin(item types.ItemID, site types.SiteID) {
 	}
 	group := make([]types.SiteID, 0, len(ic.Copies))
 	for _, cp := range ic.Copies {
-		if cl.connected(site, cp.Site) && versions[cp.Site] == max {
+		if cl.tr.Connected(site, cp.Site) && versions[cp.Site] == max {
 			group = append(group, cp.Site)
 		}
 	}

@@ -334,7 +334,11 @@ func TestLiveStopRacesTimersAndMessages(t *testing.T) {
 // normally — the cross-node flood that used to deadlock the cluster under
 // heavy submit load now just grows the mailbox.
 func TestLiveMailboxBacklogDoesNotDeadlock(t *testing.T) {
-	cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol1}, Seed: 9, TimeoutBase: 30 * time.Millisecond})
+	// T must outlast draining the flood: the post-flood VoteReqs queue
+	// behind ~20k CopyResp events in the peer mailboxes, and a vote-phase
+	// timeout would abort the transaction (a liveness test shouldn't hinge
+	// on drain speed).
+	cl := New(Config{Assignment: asgn(), Spec: core.Spec{Variant: core.Protocol1}, Seed: 9, TimeoutBase: 300 * time.Millisecond})
 	defer cl.Stop()
 	done := make(chan struct{})
 	go func() {

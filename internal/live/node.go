@@ -43,7 +43,7 @@ func (c *txnCtx) terminal() bool {
 // state and automata. All automaton access happens on the node goroutine.
 type Node struct {
 	id types.SiteID
-	cl *Cluster
+	h  host
 
 	// The mailbox is an unbounded slice guarded by mboxMu/mboxCond rather
 	// than a buffered channel: a channel's buffer puts a hard cap on
@@ -67,10 +67,10 @@ type Node struct {
 	crashed bool
 }
 
-func newNode(id types.SiteID, cl *Cluster) *Node {
+func newNode(id types.SiteID, h host) *Node {
 	n := &Node{
 		id:    id,
-		cl:    cl,
+		h:     h,
 		log:   wal.NewMemLog(),
 		store: storage.NewStore(id),
 		locks: lockmgr.New(id),
@@ -163,7 +163,7 @@ func (n *Node) dispatch(e msg.Envelope) {
 		c.ws = m.ws
 		c.participants = m.participants
 		c.coordSite = n.id
-		n.install(c, protocol.RoleCoordinator, n.cl.cfg.Spec.NewCoordinator(m.txn, m.ws, m.participants))
+		n.install(c, protocol.RoleCoordinator, n.h.spec().NewCoordinator(m.txn, m.ws, m.participants))
 		return
 	case crashMsg:
 		n.crashed = true
@@ -183,10 +183,10 @@ func (n *Node) dispatch(e msg.Envelope) {
 		n.recoverVolatile()
 		// Anti-entropy: repair copies that missed writes while down.
 		for _, item := range n.store.Items() {
-			if ic, ok := n.cl.cfg.Assignment.Item(item); ok {
+			if ic, ok := n.h.assignment().Item(item); ok {
 				for _, cp := range ic.Copies {
 					if cp.Site != n.id {
-						n.cl.send(n.id, cp.Site, msg.CopyReq{Item: item})
+						n.h.send(n.id, cp.Site, msg.CopyReq{Item: item})
 					}
 				}
 			}
@@ -203,15 +203,15 @@ func (n *Node) dispatch(e msg.Envelope) {
 	case msg.CopyReq:
 		if n.store.Has(m.Item) && !n.locks.Locked(m.Item) {
 			if v, err := n.store.Read(m.Item); err == nil {
-				n.cl.send(n.id, e.From, msg.CopyResp{Item: m.Item, Value: v.Value, Version: v.Version})
+				n.h.send(n.id, e.From, msg.CopyResp{Item: m.Item, Value: v.Value, Version: v.Version})
 			}
 		}
 
 	case msg.CopyResp:
 		if n.store.Has(m.Item) {
 			_ = n.store.Apply(m.Item, m.Value, m.Version)
-			n.cl.maybeResolve(m.Item, n.id)
-			n.cl.maybeRejoin(m.Item, n.id)
+			n.h.maybeResolve(m.Item, n.id)
+			n.h.maybeRejoin(m.Item, n.id)
 		}
 
 	case msg.VoteReq:
@@ -225,7 +225,7 @@ func (n *Node) dispatch(e msg.Envelope) {
 			c.coordSite = m.Coord
 		}
 		if c.auto[protocol.RoleParticipant] == nil {
-			n.install(c, protocol.RoleParticipant, n.cl.cfg.Spec.NewParticipant(txn, nil))
+			n.install(c, protocol.RoleParticipant, n.h.spec().NewParticipant(txn, nil))
 		}
 		n.deliver(c, protocol.RoleParticipant, e)
 
@@ -250,7 +250,7 @@ func (n *Node) dispatch(e msg.Envelope) {
 			if c != nil && c.terminal() {
 				st = c.outcome.StateEquivalent()
 			}
-			n.cl.send(n.id, e.From, msg.StateResp{Txn: txn, Epoch: m.Epoch, State: st})
+			n.h.send(n.id, e.From, msg.StateResp{Txn: txn, Epoch: m.Epoch, State: st})
 			return
 		}
 		n.deliver(c, protocol.RoleParticipant, e)
@@ -267,7 +267,7 @@ func (n *Node) dispatch(e msg.Envelope) {
 					resp.Decision = types.DecisionAbort
 				}
 			}
-			n.cl.send(n.id, e.From, resp)
+			n.h.send(n.id, e.From, resp)
 			return
 		}
 		n.deliver(c, protocol.RoleParticipant, e)
@@ -317,7 +317,7 @@ func (n *Node) startElection(c *txnCtx, epoch uint32, campaign bool) {
 		return
 	}
 	if campaign {
-		if c.rounds >= n.cl.cfg.MaxTerminationRounds {
+		if c.rounds >= n.h.maxTermRounds() {
 			return
 		}
 		c.rounds++
@@ -332,7 +332,7 @@ func (n *Node) startElection(c *txnCtx, epoch uint32, campaign bool) {
 	}
 	f := election.New(c.txn, n.id, peers, epoch)
 	f.OnElected = func(uint32) {
-		term := n.cl.cfg.Spec.NewTerminator(c.txn, c.ws, c.participants, epoch)
+		term := n.h.spec().NewTerminator(c.txn, c.ws, c.participants, epoch)
 		n.install(c, protocol.RoleTerminator, term)
 	}
 	f.OnRetry = func() {
@@ -384,7 +384,7 @@ func (n *Node) recoverVolatile() {
 			c.outcome = types.OutcomeAborted
 		case types.StateWait, types.StatePC, types.StatePA:
 			n.lockLocalCopies(txn, c.ws)
-			n.install(c, protocol.RoleParticipant, n.cl.cfg.Spec.NewParticipant(txn, im))
+			n.install(c, protocol.RoleParticipant, n.h.spec().NewParticipant(txn, im))
 		}
 	}
 }
@@ -397,11 +397,11 @@ func (n *Node) doCommit(c *txnCtx) {
 	_ = n.log.Append(wal.Record{Type: wal.RecCommit, Txn: c.txn})
 	n.walMu.Unlock()
 	n.store.ApplyWriteset(c.ws, uint64(c.txn)+1)
-	n.cl.noteCommitApplied(n, c)
+	n.h.noteCommitApplied(n, c)
 	n.locks.ReleaseAll(c.txn)
 	c.outcome = types.OutcomeCommitted
 	n.quiesce(c)
-	n.cl.notifyOutcome(c.txn)
+	n.h.notifyOutcome(c.txn)
 }
 
 func (n *Node) doAbort(c *txnCtx) {
@@ -414,7 +414,7 @@ func (n *Node) doAbort(c *txnCtx) {
 	n.locks.ReleaseAll(c.txn)
 	c.outcome = types.OutcomeAborted
 	n.quiesce(c)
-	n.cl.notifyOutcome(c.txn)
+	n.h.notifyOutcome(c.txn)
 }
 
 func (n *Node) quiesce(c *txnCtx) {
@@ -445,13 +445,13 @@ var _ protocol.Env = (*nodeEnv)(nil)
 
 func (e *nodeEnv) Self() types.SiteID { return e.node.id }
 
-func (e *nodeEnv) Now() sim.Time { return sim.Time(time.Since(e.node.cl.start)) }
+func (e *nodeEnv) Now() sim.Time { return sim.Time(time.Since(e.node.h.startTime())) }
 
-func (e *nodeEnv) T() sim.Duration { return sim.Duration(e.node.cl.cfg.TimeoutBase) }
+func (e *nodeEnv) T() sim.Duration { return sim.Duration(e.node.h.timeoutBase()) }
 
-func (e *nodeEnv) Assignment() *voting.Assignment { return e.node.cl.cfg.Assignment }
+func (e *nodeEnv) Assignment() *voting.Assignment { return e.node.h.assignment() }
 
-func (e *nodeEnv) Send(to types.SiteID, m msg.Message) { e.node.cl.send(e.node.id, to, m) }
+func (e *nodeEnv) Send(to types.SiteID, m msg.Message) { e.node.h.send(e.node.id, to, m) }
 
 func (e *nodeEnv) SetTimer(d sim.Duration, token int) {
 	n := e.node

@@ -1,0 +1,96 @@
+package msg
+
+import (
+	"time"
+
+	"qcommit/internal/types"
+)
+
+// Client protocol: the small request/response vocabulary spoken between a
+// client (package client at the repository root) and a qcommitd node over
+// the same stream framing the peer links use. Client messages carry a Req
+// correlation number so a pipelined connection can match responses; the
+// envelope From/To fields are 0 on client links (clients are not sites).
+//
+// CtrlPartition/CtrlAck are the e2e harness's failure-injection control: a
+// multi-process cluster has no shared memory to install a partition through,
+// so the harness tells every node's transport its local topology view.
+
+// ClientBegin asks the receiving node to coordinate a new transaction.
+type ClientBegin struct {
+	Req      uint64
+	Writeset types.Writeset
+}
+
+// Kind implements Message.
+func (ClientBegin) Kind() Kind { return KindClientBegin }
+
+// ClientBeginAck returns the transaction ID assigned by the coordinator.
+type ClientBeginAck struct {
+	Req uint64
+	Txn types.TxnID
+}
+
+// Kind implements Message.
+func (ClientBeginAck) Kind() Kind { return KindClientBeginAck }
+
+// ClientWait asks the node to report Txn's locally durable outcome, waiting
+// up to Timeout for it to become terminal.
+type ClientWait struct {
+	Req     uint64
+	Txn     types.TxnID
+	Timeout time.Duration
+}
+
+// Kind implements Message.
+func (ClientWait) Kind() Kind { return KindClientWait }
+
+// ClientOutcome answers a ClientWait with the node's local view of Txn.
+type ClientOutcome struct {
+	Req     uint64
+	Txn     types.TxnID
+	Outcome types.Outcome
+}
+
+// Kind implements Message.
+func (ClientOutcome) Kind() Kind { return KindClientOutcome }
+
+// ClientRead asks for the node's local copy of Item.
+type ClientRead struct {
+	Req  uint64
+	Item types.ItemID
+}
+
+// Kind implements Message.
+func (ClientRead) Kind() Kind { return KindClientRead }
+
+// ClientValue answers a ClientRead. Found is false when the node holds no
+// copy of the item.
+type ClientValue struct {
+	Req     uint64
+	Item    types.ItemID
+	Value   int64
+	Version uint64
+	Found   bool
+}
+
+// Kind implements Message.
+func (ClientValue) Kind() Kind { return KindClientValue }
+
+// CtrlPartition installs a partition view on the receiving node's transport;
+// an empty Groups list heals the network.
+type CtrlPartition struct {
+	Req    uint64
+	Groups [][]types.SiteID
+}
+
+// Kind implements Message.
+func (CtrlPartition) Kind() Kind { return KindCtrlPartition }
+
+// CtrlAck acknowledges a control request.
+type CtrlAck struct {
+	Req uint64
+}
+
+// Kind implements Message.
+func (CtrlAck) Kind() Kind { return KindCtrlAck }

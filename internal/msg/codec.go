@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"time"
 
 	"qcommit/internal/types"
 )
@@ -202,6 +203,41 @@ func Marshal(m Message) ([]byte, error) {
 		w.str(string(v.Item))
 		w.varint(v.Value)
 		w.uvarint(v.Version)
+	case ClientBegin:
+		w.uvarint(v.Req)
+		w.writeset(v.Writeset)
+	case ClientBeginAck:
+		w.uvarint(v.Req)
+		w.uvarint(uint64(v.Txn))
+	case ClientWait:
+		w.uvarint(v.Req)
+		w.uvarint(uint64(v.Txn))
+		w.varint(int64(v.Timeout))
+	case ClientOutcome:
+		w.uvarint(v.Req)
+		w.uvarint(uint64(v.Txn))
+		w.u8(uint8(v.Outcome))
+	case ClientRead:
+		w.uvarint(v.Req)
+		w.str(string(v.Item))
+	case ClientValue:
+		w.uvarint(v.Req)
+		w.str(string(v.Item))
+		w.varint(v.Value)
+		w.uvarint(v.Version)
+		if v.Found {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	case CtrlPartition:
+		w.uvarint(v.Req)
+		w.uvarint(uint64(len(v.Groups)))
+		for _, g := range v.Groups {
+			w.sites(g)
+		}
+	case CtrlAck:
+		w.uvarint(v.Req)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrBadKind, m)
 	}
@@ -308,6 +344,55 @@ func Unmarshal(frame []byte) (Message, error) {
 			Value:   r.varint(),
 			Version: r.uvarint(),
 		}
+	case KindClientBegin:
+		m = ClientBegin{Req: r.uvarint(), Writeset: r.writeset()}
+	case KindClientBeginAck:
+		m = ClientBeginAck{Req: r.uvarint(), Txn: types.TxnID(r.uvarint())}
+	case KindClientWait:
+		m = ClientWait{
+			Req:     r.uvarint(),
+			Txn:     types.TxnID(r.uvarint()),
+			Timeout: time.Duration(r.varint()),
+		}
+	case KindClientOutcome:
+		txn := ClientOutcome{Req: r.uvarint(), Txn: types.TxnID(r.uvarint())}
+		if len(r.buf) < 1 {
+			r.fail(ErrTruncated)
+		} else {
+			txn.Outcome = types.Outcome(r.buf[0])
+			r.buf = r.buf[1:]
+		}
+		m = txn
+	case KindClientRead:
+		m = ClientRead{Req: r.uvarint(), Item: types.ItemID(r.str())}
+	case KindClientValue:
+		v := ClientValue{
+			Req:     r.uvarint(),
+			Item:    types.ItemID(r.str()),
+			Value:   r.varint(),
+			Version: r.uvarint(),
+		}
+		if len(r.buf) < 1 {
+			r.fail(ErrTruncated)
+		} else {
+			v.Found = r.buf[0] == 1
+			r.buf = r.buf[1:]
+		}
+		m = v
+	case KindCtrlPartition:
+		cp := CtrlPartition{Req: r.uvarint()}
+		n := r.uvarint()
+		if n > uint64(len(r.buf)) {
+			// each group takes ≥1 byte, so n > len(buf) is certainly truncated
+			r.fail(ErrTruncated)
+		} else {
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				cp.Groups = append(cp.Groups, r.sites())
+			}
+		}
+		m = cp
+	case KindCtrlAck:
+		m = CtrlAck{Req: r.uvarint()}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
 	}

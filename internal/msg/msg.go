@@ -40,6 +40,14 @@ const (
 	KindCoordAnnounce
 	KindCopyReq
 	KindCopyResp
+	KindClientBegin
+	KindClientBeginAck
+	KindClientWait
+	KindClientOutcome
+	KindClientRead
+	KindClientValue
+	KindCtrlPartition
+	KindCtrlAck
 )
 
 var kindNames = map[Kind]string{
@@ -61,6 +69,14 @@ var kindNames = map[Kind]string{
 	KindCoordAnnounce:   "COORDINATOR",
 	KindCopyReq:         "COPY-REQ",
 	KindCopyResp:        "COPY-RESP",
+	KindClientBegin:     "CLIENT-BEGIN",
+	KindClientBeginAck:  "CLIENT-BEGIN-ACK",
+	KindClientWait:      "CLIENT-WAIT",
+	KindClientOutcome:   "CLIENT-OUTCOME",
+	KindClientRead:      "CLIENT-READ",
+	KindClientValue:     "CLIENT-VALUE",
+	KindCtrlPartition:   "CTRL-PARTITION",
+	KindCtrlAck:         "CTRL-ACK",
 }
 
 // String implements fmt.Stringer.
@@ -287,6 +303,12 @@ func TxnOf(m Message) types.TxnID {
 	case ElectionOK:
 		return v.Txn
 	case CoordAnnounce:
+		return v.Txn
+	case ClientBeginAck:
+		return v.Txn
+	case ClientWait:
+		return v.Txn
+	case ClientOutcome:
 		return v.Txn
 	default:
 		return 0

@@ -1,0 +1,162 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"qcommit/internal/types"
+)
+
+// allWireMessages returns one populated instance of every marshalable
+// message kind — the full wire vocabulary, including the anti-entropy and
+// client/control messages that allMessages (protocol-only) leaves out.
+func allWireMessages() []Message {
+	ws := types.Writeset{{Item: "x", Value: -42}, {Item: "account/7", Value: 1 << 40}}
+	return append(allMessages(),
+		CopyReq{Item: "widgets"},
+		CopyResp{Item: "widgets", Value: -17, Version: 1 << 50},
+		ClientBegin{Req: 3, Writeset: ws},
+		ClientBeginAck{Req: 3, Txn: 7},
+		ClientWait{Req: 4, Txn: 7, Timeout: 1500 * time.Millisecond},
+		ClientOutcome{Req: 4, Txn: 7, Outcome: types.OutcomeCommitted},
+		ClientRead{Req: 5, Item: "widgets"},
+		ClientValue{Req: 5, Item: "widgets", Value: -17, Version: 9, Found: true},
+		ClientValue{Req: 6, Item: "nope"},
+		CtrlPartition{Req: 7, Groups: [][]types.SiteID{{1, 2}, {3, 4, 5}}},
+		CtrlPartition{Req: 8},
+		CtrlAck{Req: 7},
+	)
+}
+
+// normalizeWire extends normalize to the client messages carrying slices.
+func normalizeWire(m Message) Message {
+	switch v := m.(type) {
+	case ClientBegin:
+		if len(v.Writeset) == 0 {
+			v.Writeset = nil
+		}
+		return v
+	case CtrlPartition:
+		if len(v.Groups) == 0 {
+			v.Groups = nil
+		}
+		return v
+	default:
+		return normalize(m)
+	}
+}
+
+// TestStreamRoundTripAllKinds writes every message kind through the stream
+// framing into one buffer and reads them all back, closing the round-trip
+// coverage gap: every kind in kindNames except KindInvalid must appear.
+func TestStreamRoundTripAllKinds(t *testing.T) {
+	msgs := allWireMessages()
+	covered := make(map[Kind]bool)
+	var buf bytes.Buffer
+	for i, m := range msgs {
+		covered[m.Kind()] = true
+		env := Envelope{From: types.SiteID(i % 9), To: types.SiteID((i + 1) % 9), Msg: m}
+		if err := WriteEnvelope(&buf, env); err != nil {
+			t.Fatalf("WriteEnvelope(%T): %v", m, err)
+		}
+	}
+	for k := range kindNames {
+		if !covered[k] {
+			t.Errorf("kind %v missing from the stream round-trip corpus", k)
+		}
+	}
+	for i, m := range msgs {
+		env, err := ReadEnvelope(&buf)
+		if err != nil {
+			t.Fatalf("ReadEnvelope #%d (%T): %v", i, m, err)
+		}
+		if env.From != types.SiteID(i%9) || env.To != types.SiteID((i+1)%9) {
+			t.Errorf("#%d routing = %v->%v", i, env.From, env.To)
+		}
+		if !reflect.DeepEqual(normalizeWire(m), normalizeWire(env.Msg)) {
+			t.Errorf("round trip %T:\n in: %#v\nout: %#v", m, m, env.Msg)
+		}
+	}
+	if _, err := ReadEnvelope(&buf); err != io.EOF {
+		t.Errorf("exhausted stream error = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binary.AppendUvarint(nil, MaxFrame+1))
+	if _, err := ReadEnvelope(&buf); err != ErrFrameTooLarge {
+		t.Errorf("oversized frame error = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestStreamRejectsEmptyFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(0)
+	if _, err := ReadEnvelope(&buf); err != ErrEmptyFrame {
+		t.Errorf("empty frame error = %v, want ErrEmptyFrame", err)
+	}
+}
+
+func TestStreamTruncatedPayload(t *testing.T) {
+	full, err := AppendEnvelope(nil, Envelope{From: 1, To: 2, Msg: Commit{Txn: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		r := bytes.NewReader(full[:cut])
+		if _, err := ReadEnvelope(r); err == nil {
+			t.Errorf("truncation at %d/%d went undetected", cut, len(full))
+		}
+	}
+}
+
+// TestStreamControlMessagesDoNotFrame: messages with KindInvalid (internal
+// control events) must be rejected by the stream writer, staying local by
+// construction.
+func TestStreamControlMessagesDoNotFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, Envelope{From: 1, To: 2, Msg: localControl{}}); err == nil {
+		t.Error("an unmarshalable control message crossed the stream framing")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d bytes written for a rejected message", buf.Len())
+	}
+}
+
+// TestStreamUnbufferedReader: ReadEnvelope must work on a reader without
+// ReadByte and must not consume bytes past the frame.
+func TestStreamUnbufferedReader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, Envelope{From: 3, To: 4, Msg: Done{Txn: 11}}); err != nil {
+		t.Fatal(err)
+	}
+	tail := []byte{0xAA, 0xBB}
+	stream := append(append([]byte(nil), buf.Bytes()...), tail...)
+	r := &readerOnly{bytes.NewReader(stream)}
+	env, err := ReadEnvelope(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Msg.(Done).Txn != 11 {
+		t.Errorf("decoded %#v", env.Msg)
+	}
+	rest, _ := io.ReadAll(r.r)
+	if !bytes.Equal(rest, tail) {
+		t.Errorf("bytes past the frame were consumed: %v left, want %v", rest, tail)
+	}
+}
+
+// readerOnly hides every interface except io.Reader.
+type readerOnly struct{ r io.Reader }
+
+func (r *readerOnly) Read(p []byte) (int, error) { return r.r.Read(p) }
+
+// localControl stands in for runtime-internal events (KindInvalid).
+type localControl struct{}
+
+func (localControl) Kind() Kind { return KindInvalid }

@@ -1,0 +1,101 @@
+// Package inproc is the in-process transport: the mailbox fabric the live
+// runtime has always run on, refactored behind the transport.Transport
+// interface. Messages pay a full wire-codec round-trip (so anything that
+// cannot cross a real socket cannot cross this fabric either), a randomized
+// propagation delay drawn from a seeded source, and the crash/partition
+// filters — then land in the hosting runtime's delivery callback.
+package inproc
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"qcommit/internal/msg"
+	"qcommit/internal/transport"
+)
+
+// Options parameterizes the fabric.
+type Options struct {
+	// MinDelay/MaxDelay bound the simulated propagation delay. When
+	// MaxDelay <= MinDelay every message takes exactly MinDelay.
+	MinDelay, MaxDelay time.Duration
+	// Seed drives the delay randomness.
+	Seed int64
+}
+
+// Network is a single in-process fabric serving every site of a cluster.
+type Network struct {
+	transport.Topology
+
+	opts Options
+
+	mu     sync.Mutex // guards rng, h and closed
+	rng    *rand.Rand
+	h      transport.Handler
+	closed bool
+}
+
+var _ transport.Transport = (*Network)(nil)
+
+// New builds an unbound fabric; call Bind before the first Send.
+func New(opts Options) *Network {
+	return &Network{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Bind implements transport.Transport.
+func (n *Network) Bind(h transport.Handler) {
+	n.mu.Lock()
+	n.h = h
+	n.mu.Unlock()
+}
+
+// delay draws the next propagation delay.
+func (n *Network) delay() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lo, hi := n.opts.MinDelay, n.opts.MaxDelay
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(n.rng.Int63n(int64(hi-lo)+1))
+}
+
+// Send implements transport.Transport: codec round-trip, connectivity check
+// at send time and again at delivery time (a partition formed mid-flight
+// loses the message), randomized delay.
+func (n *Network) Send(env msg.Envelope) {
+	frame, err := msg.Marshal(env.Msg)
+	if err != nil {
+		return // internal control messages are never sent over the wire
+	}
+	decoded, err := msg.Unmarshal(frame)
+	if err != nil {
+		return
+	}
+	if !n.Connected(env.From, env.To) {
+		return
+	}
+	d := n.delay()
+	out := msg.Envelope{From: env.From, To: env.To, Msg: decoded}
+	time.AfterFunc(d, func() {
+		if !n.Connected(out.From, out.To) {
+			return
+		}
+		n.mu.Lock()
+		h, closed := n.h, n.closed
+		n.mu.Unlock()
+		if h != nil && !closed {
+			h(out)
+		}
+	})
+}
+
+// Close implements transport.Transport. In-flight timers may still fire but
+// deliver nothing.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,461 @@
+// Package tcp is the real-socket transport: length-prefixed internal/msg
+// frames over persistent TCP connections, with dial-on-demand, reconnect
+// backoff, and a bounded write queue per peer. One Endpoint serves one site —
+// the shape the qcommitd node binary deploys — and a Fabric bundles one
+// endpoint per site for single-process clusters and conformance tests.
+//
+// Failure semantics: Send is best-effort. A message is dropped when the
+// local topology view says the route is cut (crash/partition), when the
+// peer's write queue is full, or when the connection dies mid-write; the
+// commit protocols recover through their timeout machinery, exactly as they
+// do under the simulated fabric. Inbound frames are filtered by the same
+// local topology view, so a partition installed on every node of a cluster
+// cuts traffic in both directions even if one side's view lags.
+package tcp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"qcommit/internal/msg"
+	"qcommit/internal/transport"
+	"qcommit/internal/types"
+)
+
+// Options tunes an endpoint.
+type Options struct {
+	// QueueLen caps buffered outbound frames per peer (default 1024).
+	QueueLen int
+	// DialTimeout bounds one connection attempt (default 1s).
+	DialTimeout time.Duration
+	// BackoffMin/BackoffMax bound the reconnect backoff between failed
+	// dials (defaults 10ms and 500ms).
+	BackoffMin, BackoffMax time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueLen <= 0 {
+		o.QueueLen = 1024
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 10 * time.Millisecond
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Endpoint is one site's socket endpoint.
+type Endpoint struct {
+	transport.Topology
+
+	self types.SiteID
+	opts Options
+	ln   net.Listener
+	done chan struct{}
+
+	mu      sync.Mutex
+	addrs   map[types.SiteID]string
+	h       transport.Handler
+	clientH ClientHandler
+	peers   map[types.SiteID]*peer
+	conns   map[net.Conn]bool
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// ClientHandler receives one client-link request (Envelope.From ==
+// transport.ClientID) together with a reply function bound to the inbound
+// connection. reply is safe to call from any goroutine; the handler itself
+// runs on the connection's read goroutine and must not block.
+type ClientHandler func(env msg.Envelope, reply func(m msg.Message) error)
+
+var _ transport.Transport = (*Endpoint)(nil)
+
+// peer is the outbound side of one link: a bounded frame queue drained by a
+// writer goroutine that dials on demand and redials with backoff.
+type peer struct {
+	addr string
+	q    chan []byte
+}
+
+// New builds an endpoint for site self listening on listen (empty means an
+// ephemeral loopback port; read it back with Addr). peers maps every site to
+// its peer address and may be nil if SetPeers is called before Bind.
+func New(self types.SiteID, listen string, peers map[types.SiteID]string, opts Options) (*Endpoint, error) {
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: site%d listen %s: %w", self, listen, err)
+	}
+	e := &Endpoint{
+		self:  self,
+		opts:  opts.withDefaults(),
+		ln:    ln,
+		done:  make(chan struct{}),
+		addrs: make(map[types.SiteID]string),
+		peers: make(map[types.SiteID]*peer),
+		conns: make(map[net.Conn]bool),
+	}
+	for id, a := range peers {
+		e.addrs[id] = a
+	}
+	return e, nil
+}
+
+// Addr returns the listener's actual address.
+func (e *Endpoint) Addr() string { return e.ln.Addr().String() }
+
+// Self returns the hosted site.
+func (e *Endpoint) Self() types.SiteID { return e.self }
+
+// SetPeers installs the peer address map; call before Bind when the
+// addresses were not known at construction (ephemeral-port fabrics).
+func (e *Endpoint) SetPeers(addrs map[types.SiteID]string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id, a := range addrs {
+		e.addrs[id] = a
+	}
+}
+
+// BindClient installs the client-link handler; call before Bind. Without
+// one, client frames are dropped (peer-only endpoints).
+func (e *Endpoint) BindClient(h ClientHandler) {
+	e.mu.Lock()
+	e.clientH = h
+	e.mu.Unlock()
+}
+
+// Bind implements transport.Transport: installs the delivery callback and
+// starts accepting inbound connections.
+func (e *Endpoint) Bind(h transport.Handler) {
+	e.mu.Lock()
+	e.h = h
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go e.acceptLoop()
+}
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.conns[conn] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *Endpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.conns, conn)
+		e.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	var wmu sync.Mutex // serializes replies on this client connection
+	reply := func(m msg.Message) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return msg.WriteEnvelope(conn, msg.Envelope{From: e.self, To: transport.ClientID, Msg: m})
+	}
+	for {
+		env, err := msg.ReadEnvelope(br)
+		if err != nil {
+			return
+		}
+		if env.To != e.self {
+			continue // misrouted frame
+		}
+		if env.From == transport.ClientID {
+			// Client link: bypasses the site topology filters (see
+			// transport.ClientID) and answers over this connection.
+			e.mu.Lock()
+			ch := e.clientH
+			e.mu.Unlock()
+			if ch != nil {
+				ch(env, reply)
+			}
+			continue
+		}
+		if !e.Connected(env.From, e.self) {
+			continue // partitioned or crashed in the local view
+		}
+		e.mu.Lock()
+		h := e.h
+		e.mu.Unlock()
+		if h != nil {
+			h(env)
+		}
+	}
+}
+
+// Send implements transport.Transport.
+func (e *Endpoint) Send(env msg.Envelope) {
+	frame, err := msg.Marshal(env.Msg)
+	if err != nil {
+		return // control messages (KindInvalid) stay local by construction
+	}
+	if !e.Connected(env.From, env.To) {
+		return
+	}
+	if env.To == e.self {
+		// Loopback: decode the wire bytes back, proving the same
+		// serialization boundary the remote path crosses.
+		decoded, err := msg.Unmarshal(frame)
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		h, closed := e.h, e.closed
+		e.mu.Unlock()
+		if h != nil && !closed {
+			h(msg.Envelope{From: env.From, To: env.To, Msg: decoded})
+		}
+		return
+	}
+	buf := msg.AppendFrame(nil, env.From, env.To, frame)
+	p := e.peer(env.To)
+	if p == nil {
+		return
+	}
+	select {
+	case p.q <- buf:
+	default:
+		// Queue full: shed. The protocols' timeout machinery recovers.
+	}
+}
+
+// peer returns (lazily creating) the outbound link to site id.
+func (e *Endpoint) peer(id types.SiteID) *peer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	if p, ok := e.peers[id]; ok {
+		return p
+	}
+	addr, ok := e.addrs[id]
+	if !ok {
+		return nil
+	}
+	p := &peer{addr: addr, q: make(chan []byte, e.opts.QueueLen)}
+	e.peers[id] = p
+	e.wg.Add(1)
+	go e.writeLoop(p)
+	return p
+}
+
+// writeLoop drains one peer's queue: dial on demand, write length-prefixed
+// frames (coalescing whatever is queued into one flush), redial with
+// exponential backoff after failures.
+func (e *Endpoint) writeLoop(p *peer) {
+	defer e.wg.Done()
+	var conn net.Conn
+	var bw *bufio.Writer
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	backoff := e.opts.BackoffMin
+	for {
+		var buf []byte
+		select {
+		case <-e.done:
+			return
+		case buf = <-p.q:
+		}
+		for conn == nil {
+			c, err := net.DialTimeout("tcp", p.addr, e.opts.DialTimeout)
+			if err != nil {
+				select {
+				case <-e.done:
+					return
+				case <-time.After(backoff):
+				}
+				if backoff *= 2; backoff > e.opts.BackoffMax {
+					backoff = e.opts.BackoffMax
+				}
+				continue
+			}
+			conn, bw = c, bufio.NewWriter(c)
+			backoff = e.opts.BackoffMin
+		}
+		_, err := bw.Write(buf)
+		// Coalesce: drain whatever else is queued before flushing.
+		for err == nil {
+			select {
+			case more := <-p.q:
+				_, err = bw.Write(more)
+				continue
+			default:
+			}
+			break
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			conn.Close()
+			conn, bw = nil, nil // dropped; redial on the next frame
+		}
+	}
+}
+
+// Close implements transport.Transport.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	conns := make([]net.Conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+	err := e.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	e.wg.Wait()
+	return err
+}
+
+// Fabric bundles one endpoint per site in a single process, so a live
+// cluster (or a conformance test) can run every site over real loopback
+// sockets. It implements transport.Transport by routing Send through the
+// sender's endpoint and applying every control to all endpoints, keeping
+// their local topology views consistent.
+type Fabric struct {
+	order []types.SiteID
+	eps   map[types.SiteID]*Endpoint
+}
+
+var _ transport.Transport = (*Fabric)(nil)
+
+// NewFabric builds endpoints for the given sites on ephemeral loopback
+// ports and cross-wires their peer address maps.
+func NewFabric(sites []types.SiteID, opts Options) (*Fabric, error) {
+	f := &Fabric{eps: make(map[types.SiteID]*Endpoint, len(sites))}
+	addrs := make(map[types.SiteID]string, len(sites))
+	for _, s := range sites {
+		ep, err := New(s, "", nil, opts)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.eps[s] = ep
+		f.order = append(f.order, s)
+		addrs[s] = ep.Addr()
+	}
+	for _, ep := range f.eps {
+		ep.SetPeers(addrs)
+	}
+	return f, nil
+}
+
+// Addrs returns each site's listen address.
+func (f *Fabric) Addrs() map[types.SiteID]string {
+	out := make(map[types.SiteID]string, len(f.eps))
+	for s, ep := range f.eps {
+		out[s] = ep.Addr()
+	}
+	return out
+}
+
+// Bind implements transport.Transport.
+func (f *Fabric) Bind(h transport.Handler) {
+	for _, ep := range f.eps {
+		ep.Bind(h)
+	}
+}
+
+// Send implements transport.Transport.
+func (f *Fabric) Send(env msg.Envelope) {
+	if ep := f.eps[env.From]; ep != nil {
+		ep.Send(env)
+	}
+}
+
+// Crash implements transport.Transport.
+func (f *Fabric) Crash(id types.SiteID) {
+	for _, ep := range f.eps {
+		ep.Crash(id)
+	}
+}
+
+// Restart implements transport.Transport.
+func (f *Fabric) Restart(id types.SiteID) {
+	for _, ep := range f.eps {
+		ep.Restart(id)
+	}
+}
+
+// Partition implements transport.Transport.
+func (f *Fabric) Partition(groups ...[]types.SiteID) {
+	for _, ep := range f.eps {
+		ep.Partition(groups...)
+	}
+}
+
+// Heal implements transport.Transport.
+func (f *Fabric) Heal() {
+	for _, ep := range f.eps {
+		ep.Heal()
+	}
+}
+
+// Connected implements transport.Transport (all endpoints share one view).
+func (f *Fabric) Connected(a, b types.SiteID) bool {
+	if len(f.order) == 0 {
+		return false
+	}
+	return f.eps[f.order[0]].Connected(a, b)
+}
+
+// Down implements transport.Transport.
+func (f *Fabric) Down(id types.SiteID) bool {
+	if len(f.order) == 0 {
+		return false
+	}
+	return f.eps[f.order[0]].Down(id)
+}
+
+// Close implements transport.Transport.
+func (f *Fabric) Close() error {
+	var first error
+	for _, ep := range f.eps {
+		if err := ep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,145 @@
+// Package transport defines the message fabric a live runtime sends protocol
+// frames through, decoupling the hosting of sites (package live) from the
+// routing of messages between them.
+//
+// The interface is deliberately shaped like a fault-injectable network rather
+// than a plain socket: the quorum-commit protocols in this repository exist
+// to survive crashed sites and partitioned links, so the controls to create
+// those failures (Crash/Restart/Partition/Heal) are part of the transport
+// contract, not bolted onto one implementation. Two implementations are
+// provided:
+//
+//   - inproc: the deterministic in-process fabric — randomized propagation
+//     delay, partition/crash filtering, and a codec round-trip on every send,
+//     delivering into the hosting runtime's mailboxes. This is the fast path
+//     the simulation studies and most tests run on.
+//   - tcp: real sockets — length-prefixed msg frames over persistent
+//     connections with dial-on-demand, reconnect backoff and per-peer write
+//     queues. One Endpoint serves one site (the qcommitd node binary);
+//     a Fabric bundles one endpoint per site for single-process use.
+//
+// Both implementations marshal every message through the internal/msg wire
+// codec, so a message that cannot cross a real wire cannot cross the inproc
+// fabric either; internal control messages (msg.KindInvalid) are dropped by
+// construction and never leave the hosting runtime.
+package transport
+
+import (
+	"sync"
+
+	"qcommit/internal/msg"
+	"qcommit/internal/types"
+)
+
+// Handler receives an inbound envelope from the fabric. Implementations call
+// it from internal goroutines (timer callbacks, connection readers); it must
+// not block.
+type Handler func(env msg.Envelope)
+
+// ClientID is the reserved sender ID client links use in Envelope.From.
+// Clients are not sites: frames from ClientID bypass the site topology
+// filters (a partitioned node must still answer its local clients and accept
+// the control frames that will later heal it), and no transport ever dials
+// ClientID — replies flow back over the connection the request arrived on.
+const ClientID types.SiteID = -1
+
+// Transport is a message fabric endpoint with failure-injection controls.
+//
+// Send is asynchronous and best-effort: messages may be dropped (partition,
+// crashed site, connection failure, backpressure) and the protocols recover
+// via their timeout machinery. Send never blocks and never delivers a
+// message whose kind does not marshal (msg.KindInvalid).
+//
+// The failure controls describe this endpoint's local view of the network.
+// For the in-process implementations one call updates the whole fabric; for
+// distributed tcp endpoints each process must be told separately (the e2e
+// harness scripts this through the qcommitd control protocol).
+type Transport interface {
+	// Bind installs the delivery callback. It must be called exactly once
+	// before the first Send; implementations may also use it to start
+	// accepting inbound traffic.
+	Bind(h Handler)
+
+	// Send routes env.Msg from env.From to env.To.
+	Send(env msg.Envelope)
+
+	// Crash marks a site down: sends from and deliveries to it are dropped.
+	Crash(id types.SiteID)
+	// Restart clears a site's down mark.
+	Restart(id types.SiteID)
+	// Partition splits the network into the given groups; unlisted sites
+	// form a residual group. Calling it with no groups is equivalent to Heal.
+	Partition(groups ...[]types.SiteID)
+	// Heal removes all partition splits.
+	Heal()
+
+	// Connected reports whether a and b can currently exchange messages in
+	// this endpoint's view (both up, same partition group).
+	Connected(a, b types.SiteID) bool
+	// Down reports whether id is currently marked crashed in this endpoint's
+	// view.
+	Down(id types.SiteID) bool
+
+	// Close releases the endpoint; subsequent Sends are dropped.
+	Close() error
+}
+
+// Topology is the shared crash/partition bookkeeping every implementation
+// embeds: a down-site set and a partition group map, both guarded by one
+// mutex. The zero value is a fully connected, fully up network.
+type Topology struct {
+	mu    sync.Mutex
+	group map[types.SiteID]int
+	down  map[types.SiteID]bool
+}
+
+// Crash marks id down.
+func (tp *Topology) Crash(id types.SiteID) {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if tp.down == nil {
+		tp.down = make(map[types.SiteID]bool)
+	}
+	tp.down[id] = true
+}
+
+// Restart clears id's down mark.
+func (tp *Topology) Restart(id types.SiteID) {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if tp.down != nil {
+		delete(tp.down, id)
+	}
+}
+
+// Partition installs the given groups; unlisted sites form a residual group.
+func (tp *Topology) Partition(groups ...[]types.SiteID) {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	tp.group = make(map[types.SiteID]int)
+	for gi, g := range groups {
+		for _, s := range g {
+			tp.group[s] = gi + 1
+		}
+	}
+}
+
+// Heal removes all partition splits.
+func (tp *Topology) Heal() { tp.Partition() }
+
+// Connected reports whether a and b are both up and in the same group.
+func (tp *Topology) Connected(a, b types.SiteID) bool {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if tp.down[a] || tp.down[b] {
+		return false
+	}
+	return tp.group[a] == tp.group[b]
+}
+
+// Down reports whether id is marked crashed.
+func (tp *Topology) Down(id types.SiteID) bool {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	return tp.down[id]
+}

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"qcommit/internal/live"
+	"qcommit/internal/transport"
+	"qcommit/internal/transport/tcp"
 	"qcommit/internal/voting"
 )
 
@@ -26,6 +28,14 @@ type LiveOptions struct {
 	TimeoutBase time.Duration
 	// SkeenVc/SkeenVa as in Options.
 	SkeenVc, SkeenVa int
+	// Transport selects the fabric carrying protocol frames between sites:
+	// "inproc" (or empty, the default) delivers through in-process mailboxes
+	// with the simulated MinDelay/MaxDelay propagation; "tcp" gives every
+	// site a real loopback TCP endpoint and runs each frame through the
+	// stream codec and the sockets, trading speed for wire fidelity. For a
+	// cluster of separate processes on separate machines, run cmd/qcommitd
+	// instead.
+	Transport string
 }
 
 // LiveCluster runs the same protocols on real goroutines and wall-clock
@@ -43,6 +53,12 @@ func NewLiveCluster(items []ReplicatedItem, opts LiveOptions) (*LiveCluster, err
 	}
 	if !opts.Strategy.Valid() {
 		return nil, fmt.Errorf("qcommit: invalid LiveOptions.Strategy %v", opts.Strategy)
+	}
+	if opts.MinDelay < 0 || opts.MaxDelay < 0 {
+		return nil, fmt.Errorf("qcommit: negative delay bounds (MinDelay %v, MaxDelay %v)", opts.MinDelay, opts.MaxDelay)
+	}
+	if opts.MaxDelay != 0 && opts.MaxDelay < opts.MinDelay {
+		return nil, fmt.Errorf("qcommit: MaxDelay %v < MinDelay %v", opts.MaxDelay, opts.MinDelay)
 	}
 	configs := make([]voting.ItemConfig, 0, len(items))
 	siteSet := make(map[SiteID]bool)
@@ -81,14 +97,35 @@ func NewLiveCluster(items []ReplicatedItem, opts LiveOptions) (*LiveCluster, err
 	if err != nil {
 		return nil, err
 	}
+	var tr transport.Transport
+	timeoutBase := opts.TimeoutBase
+	switch opts.Transport {
+	case "", "inproc":
+		// live.New builds the in-process fabric from the delay options.
+	case "tcp":
+		fab, err := tcp.NewFabric(sites, tcp.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("qcommit: tcp transport: %w", err)
+		}
+		tr = fab
+		if timeoutBase == 0 {
+			// Loopback sockets don't pay the simulated propagation delay the
+			// 4×MaxDelay default is calibrated for, but they do pay kernel
+			// scheduling; give T socket-sized headroom.
+			timeoutBase = 50 * time.Millisecond
+		}
+	default:
+		return nil, fmt.Errorf("qcommit: unknown LiveOptions.Transport %q (want \"inproc\" or \"tcp\")", opts.Transport)
+	}
 	lc := live.New(live.Config{
 		Assignment:  asgn,
 		Strategy:    opts.Strategy,
 		Spec:        spec,
 		MinDelay:    opts.MinDelay,
 		MaxDelay:    opts.MaxDelay,
-		TimeoutBase: opts.TimeoutBase,
+		TimeoutBase: timeoutBase,
 		Seed:        opts.Seed,
+		Transport:   tr,
 	})
 	// Apply initial values.
 	for _, it := range items {

@@ -72,4 +72,39 @@ func TestLiveClusterValidation(t *testing.T) {
 	if _, err := NewLiveCluster(liveItems(), LiveOptions{Strategy: bad}); err == nil {
 		t.Error("invalid strategy accepted by NewLiveCluster")
 	}
+	// Delay bounds: negative durations would reach time.AfterFunc, and an
+	// inverted window would silently collapse to its lower bound.
+	if _, err := NewLiveCluster(liveItems(), LiveOptions{MinDelay: -time.Millisecond}); err == nil {
+		t.Error("negative MinDelay accepted")
+	}
+	if _, err := NewLiveCluster(liveItems(), LiveOptions{MaxDelay: -time.Millisecond}); err == nil {
+		t.Error("negative MaxDelay accepted")
+	}
+	if _, err := NewLiveCluster(liveItems(), LiveOptions{MinDelay: 2 * time.Millisecond, MaxDelay: time.Millisecond}); err == nil {
+		t.Error("MaxDelay < MinDelay accepted")
+	}
+	if _, err := NewLiveCluster(liveItems(), LiveOptions{Transport: "carrier-pigeon"}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}
+
+// TestLiveClusterTCPTransport runs the public live API over real loopback
+// sockets: same protocols, same assignment, every frame through the stream
+// codec and the kernel.
+func TestLiveClusterTCPTransport(t *testing.T) {
+	c, err := NewLiveCluster(liveItems(), LiveOptions{
+		Protocol:  ProtoQC1,
+		Transport: "tcp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	txn := c.Submit(1, map[ItemID]int64{"x": 11, "y": 22})
+	if got := c.WaitOutcome(txn, 10*time.Second); got != OutcomeCommitted {
+		t.Fatalf("outcome over tcp = %v", got)
+	}
+	if v, _, err := c.CopyAt(3, "y"); err != nil || v != 22 {
+		t.Errorf("y at site3 = %d, %v", v, err)
+	}
 }
