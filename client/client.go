@@ -1,7 +1,10 @@
-// Package client speaks the qcommitd client protocol: a thin synchronous
-// request/response layer over the same stream framing the peer links use
-// (see internal/msg). One Client holds one TCP connection to one node and
-// serializes its calls; open one Client per node (or per concurrent caller).
+// Package client speaks the qcommitd client protocol: a request/response
+// layer over the same stream framing the peer links use (see internal/msg).
+// One Client holds one TCP connection to one node and pipelines its calls: a
+// dedicated reader goroutine demultiplexes responses by correlation number,
+// so any number of goroutines may issue requests concurrently on one Client
+// and independent exchanges overlap on the wire instead of queueing behind
+// each other's round-trip latency.
 //
 // The control calls (Partition, Heal) drive the e2e failure-injection
 // machinery: a multi-process cluster has no shared memory to install a
@@ -30,10 +33,13 @@ const ioTimeout = 10 * time.Second
 type Client struct {
 	site types.SiteID
 	conn net.Conn
-	br   *bufio.Reader
 
-	mu  sync.Mutex // serializes exchanges on the connection
-	req uint64
+	wmu sync.Mutex // serializes frame writes on the connection
+
+	mu      sync.Mutex
+	req     uint64
+	waiters map[uint64]chan msg.Message
+	readErr error // sticky; set when the reader goroutine exits
 }
 
 // Dial connects to the qcommitd node serving site at addr.
@@ -42,39 +48,95 @@ func Dial(addr string, site types.SiteID) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dial site%d at %s: %w", site, addr, err)
 	}
-	return &Client{site: site, conn: conn, br: bufio.NewReader(conn)}, nil
+	c := &Client{
+		site:    site,
+		conn:    conn,
+		waiters: make(map[uint64]chan msg.Message),
+	}
+	go c.readLoop()
+	return c, nil
 }
 
 // Site returns the site this client talks to.
 func (c *Client) Site() types.SiteID { return c.site }
 
-// Close closes the connection.
+// Close closes the connection; in-flight calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends one request and reads frames until the response carrying
-// its correlation number arrives.
+// readLoop demultiplexes inbound frames to the calls waiting on them. A
+// response whose waiter already gave up (per-call timeout) is dropped.
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.conn)
+	for {
+		env, err := msg.ReadEnvelope(br)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for req, ch := range c.waiters {
+				close(ch)
+				delete(c.waiters, req)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		if ch, ok := c.waiters[reqOf(env.Msg)]; ok {
+			ch <- env.Msg // buffered; reader never blocks
+			delete(c.waiters, reqOf(env.Msg))
+		}
+		c.mu.Unlock()
+	}
+}
+
+// roundTrip registers a waiter, sends one request, and blocks until the
+// response carrying its correlation number arrives or timeout passes. Other
+// calls' exchanges proceed concurrently.
 func (c *Client) roundTrip(build func(req uint64) msg.Message, timeout time.Duration) (msg.Message, error) {
+	ch := make(chan msg.Message, 1)
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: site%d: connection down: %w", c.site, err)
+	}
 	c.req++
 	req := c.req
-	deadline := time.Now().Add(timeout)
-	c.conn.SetDeadline(deadline)
-	defer c.conn.SetDeadline(time.Time{})
+	c.waiters[req] = ch
+	c.mu.Unlock()
+
 	env := msg.Envelope{From: transport.ClientID, To: c.site, Msg: build(req)}
-	if err := msg.WriteEnvelope(c.conn, env); err != nil {
+	c.wmu.Lock()
+	c.conn.SetWriteDeadline(time.Now().Add(ioTimeout))
+	err := msg.WriteEnvelope(c.conn, env)
+	c.conn.SetWriteDeadline(time.Time{})
+	c.wmu.Unlock()
+	if err != nil {
+		c.abandon(req)
 		return nil, fmt.Errorf("client: site%d request: %w", c.site, err)
 	}
-	for {
-		resp, err := msg.ReadEnvelope(c.br)
-		if err != nil {
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
 			return nil, fmt.Errorf("client: site%d response: %w", c.site, err)
 		}
-		if reqOf(resp.Msg) == req {
-			return resp.Msg, nil
-		}
-		// A stale frame from an abandoned exchange; skip it.
+		return m, nil
+	case <-timer.C:
+		c.abandon(req)
+		return nil, fmt.Errorf("client: site%d: no response within %v", c.site, timeout)
 	}
+}
+
+// abandon drops the waiter for req; a late response is discarded by readLoop.
+func (c *Client) abandon(req uint64) {
+	c.mu.Lock()
+	delete(c.waiters, req)
+	c.mu.Unlock()
 }
 
 func reqOf(m msg.Message) uint64 {

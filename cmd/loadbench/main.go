@@ -1,0 +1,451 @@
+// Command loadbench drives sustained transaction load through a live qcommit
+// cluster and reports commit throughput and latency — the companion of the
+// Monte Carlo availability benchmarks, measuring the runtime instead of the
+// protocol math. The cluster runs in-process, either on the inproc fabric or
+// on real loopback TCP sockets, with each site's WAL selectable between the
+// in-memory log, the fsync-per-append FileLog, and the group-commit
+// GroupLog, so the fast-commit-path optimizations are measurable against
+// their baselines in one binary.
+//
+// Two load modes:
+//
+//	closed loop (default): -clients N goroutines each submit a transaction,
+//	    wait for its outcome, and immediately submit the next — throughput
+//	    is limited by commit latency, the classic interactive shape.
+//	open loop: -rate R submits R transactions per second regardless of
+//	    completions, the arrival-driven shape; overload shows up as latency
+//	    growth and unresolved outcomes rather than reduced submission.
+//
+// Examples:
+//
+//	loadbench -transport inproc -clients 16 -duration 2s
+//	loadbench -transport tcp -wal group -lockshards 16 -zipf 1.2
+//	loadbench -rate 500 -duration 5s -wal file
+//	loadbench -preset sweep -json BENCH_live.json
+//
+// The sweep preset runs the baseline-vs-optimized grid (file WAL + single
+// lock shard vs group WAL + sharded locks, on both transports) that
+// BENCH_live.json tracks across commits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"qcommit/internal/core"
+	"qcommit/internal/live"
+	"qcommit/internal/protocol"
+	"qcommit/internal/skeenq"
+	"qcommit/internal/threepc"
+	"qcommit/internal/transport/inproc"
+	"qcommit/internal/transport/tcp"
+	"qcommit/internal/twopc"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+	"qcommit/internal/wal"
+	"qcommit/internal/workload"
+)
+
+// params is one benchmark configuration.
+type params struct {
+	Label       string        `json:"label"`
+	Transport   string        `json:"transport"`
+	Protocol    string        `json:"protocol"`
+	Sites       int           `json:"sites"`
+	Items       int           `json:"items"`
+	Writes      int           `json:"writes_per_txn"`
+	ZipfS       float64       `json:"zipf_s"`
+	Hot         float64       `json:"hot_fraction"`
+	Clients     int           `json:"clients"`
+	Rate        float64       `json:"rate_per_sec"` // 0 = closed loop
+	Duration    time.Duration `json:"-"`
+	WAL         string        `json:"wal"`
+	LockShards  int           `json:"lock_shards"`
+	TimeoutBase time.Duration `json:"-"`
+	Seed        int64         `json:"seed"`
+}
+
+// result is one row of the JSON document.
+type result struct {
+	params
+	DurationMs    float64 `json:"duration_ms"`
+	TimeoutBaseMs float64 `json:"timeout_base_ms"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	Completed     int     `json:"completed"`
+	Committed     int     `json:"committed"`
+	Aborted       int     `json:"aborted"`
+	Unresolved    int     `json:"unresolved"`
+	TxnsPerSec    float64 `json:"txns_per_sec"`
+	AbortRate     float64 `json:"abort_rate"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	WALFsyncs     uint64  `json:"wal_fsyncs"`
+	WriteFrames   uint64  `json:"write_frames"`
+	WriteBatches  uint64  `json:"write_batches"`
+}
+
+// doc is the top-level JSON document (same convention as BENCH_avail.json
+// and BENCH_churn.json: the command line plus one row per run).
+type doc struct {
+	Command string   `json:"command"`
+	Runs    []result `json:"runs"`
+}
+
+func main() {
+	var (
+		transportF = flag.String("transport", "inproc", "message fabric: inproc or tcp")
+		protoF     = flag.String("protocol", "qc1", "commit protocol: qc1, qc2, 2pc, 3pc or skeenq")
+		sitesF     = flag.Int("sites", 4, "number of database sites")
+		itemsF     = flag.Int("items", 16, "number of items, each replicated at every site with majority quorums")
+		writesF    = flag.Int("writes", 1, "items written per transaction")
+		zipfF      = flag.Float64("zipf", 0, "zipfian item skew exponent (>1; 0 = uniform)")
+		hotF       = flag.Float64("hot", 0, "single-hot-spot fraction in [0,1) (mutually exclusive with -zipf)")
+		clientsF   = flag.Int("clients", 16, "closed-loop client goroutines")
+		rateF      = flag.Float64("rate", 0, "open-loop submission rate per second (0 = closed loop)")
+		durationF  = flag.Duration("duration", 2*time.Second, "how long to apply load")
+		txnsF      = flag.Int("txns", 0, "stop after this many completed transactions (0 = run for -duration)")
+		walF       = flag.String("wal", "mem", "per-site WAL: mem, file (fsync per append) or group (group commit)")
+		waldirF    = flag.String("waldir", "", "directory for file/group WALs (default: a temp dir, removed afterwards)")
+		shardsF    = flag.Int("lockshards", 0, "lock-manager shards per site (0 = default, 1 = unsharded baseline)")
+		timeoutF   = flag.Duration("timeout-base", 200*time.Millisecond, "protocol timeout unit T")
+		seedF      = flag.Int64("seed", 1, "workload seed")
+		presetF    = flag.String("preset", "", "'sweep' runs the baseline-vs-optimized grid, ignoring the single-run flags")
+		jsonF      = flag.String("json", "", "write machine-readable results to this path")
+	)
+	flag.Parse()
+
+	var runs []params
+	if *presetF != "" {
+		if *presetF != "sweep" {
+			fmt.Fprintf(os.Stderr, "loadbench: unknown preset %q\n", *presetF)
+			os.Exit(1)
+		}
+		runs = sweepGrid(*durationF, *seedF)
+	} else {
+		runs = []params{{
+			Label:       fmt.Sprintf("%s/%s-wal/shards=%d", *transportF, *walF, *shardsF),
+			Transport:   *transportF,
+			Protocol:    *protoF,
+			Sites:       *sitesF,
+			Items:       *itemsF,
+			Writes:      *writesF,
+			ZipfS:       *zipfF,
+			Hot:         *hotF,
+			Clients:     *clientsF,
+			Rate:        *rateF,
+			Duration:    *durationF,
+			WAL:         *walF,
+			LockShards:  *shardsF,
+			TimeoutBase: *timeoutF,
+			Seed:        *seedF,
+		}}
+	}
+
+	out := doc{Command: "loadbench " + strings.Join(os.Args[1:], " ")}
+	for _, p := range runs {
+		r, err := runOne(p, *waldirF, *txnsF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadbench:", err)
+			os.Exit(1)
+		}
+		out.Runs = append(out.Runs, r)
+		fmt.Printf("%-40s %8.1f txn/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  abort %5.1f%%  (%d committed, %d aborted, %d unresolved)\n",
+			r.Label, r.TxnsPerSec, r.P50Ms, r.P95Ms, r.P99Ms, 100*r.AbortRate, r.Committed, r.Aborted, r.Unresolved)
+	}
+
+	if *jsonF != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonF, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loadbench: wrote %s (%d runs)\n", *jsonF, len(out.Runs))
+	}
+}
+
+// sweepGrid is the tracked baseline-vs-optimized comparison: the pre-PR
+// commit path (fsync per append, one lock shard, per-frame writes) against
+// the optimized one (group commit, sharded locks, coalesced writev batches),
+// on both fabrics, plus the memory-WAL ceiling and one open-loop point.
+func sweepGrid(d time.Duration, seed int64) []params {
+	base := params{
+		Protocol: "qc1", Sites: 3, Items: 256, Writes: 1, ZipfS: 1.2,
+		Clients: 32, Duration: d, TimeoutBase: 200 * time.Millisecond, Seed: seed,
+	}
+	mk := func(label, tr, wal string, shards int, rate float64) params {
+		p := base
+		p.Label, p.Transport, p.WAL, p.LockShards, p.Rate = label, tr, wal, shards, rate
+		return p
+	}
+	return []params{
+		mk("inproc/mem-wal/ceiling", "inproc", "mem", 0, 0),
+		mk("inproc/file-wal/shards=1/baseline", "inproc", "file", 1, 0),
+		mk("inproc/group-wal/sharded/optimized", "inproc", "group", 0, 0),
+		mk("tcp/file-wal/shards=1/baseline", "tcp", "file", 1, 0),
+		mk("tcp/group-wal/sharded/optimized", "tcp", "group", 0, 0),
+		mk("inproc/group-wal/open-loop-2000", "inproc", "group", 0, 2000),
+	}
+}
+
+// fsyncCounter is implemented by WALs that count their fsyncs.
+type fsyncCounter interface{ Fsyncs() uint64 }
+
+func runOne(p params, waldir string, maxTxns int) (result, error) {
+	sites := make([]types.SiteID, p.Sites)
+	for i := range sites {
+		sites[i] = types.SiteID(i + 1)
+	}
+	configs := make([]voting.ItemConfig, p.Items)
+	for i := range configs {
+		copies := make([]voting.Copy, len(sites))
+		for j, s := range sites {
+			copies[j] = voting.Copy{Site: s, Votes: 1}
+		}
+		w := len(sites)/2 + 1
+		r := len(sites) + 1 - w
+		configs[i] = voting.ItemConfig{Item: types.ItemID(fmt.Sprintf("k%03d", i)), Copies: copies, R: r, W: w}
+	}
+	asgn, err := voting.NewAssignment(configs...)
+	if err != nil {
+		return result{}, err
+	}
+	spec, err := buildSpec(p.Protocol, sites)
+	if err != nil {
+		return result{}, err
+	}
+
+	cfg := live.Config{
+		Assignment: asgn,
+		Spec:       spec,
+		// The benchmark measures the runtime, not simulated propagation:
+		// keep the inproc fabric's injected delay minimal.
+		MinDelay:    time.Microsecond,
+		MaxDelay:    20 * time.Microsecond,
+		TimeoutBase: p.TimeoutBase,
+		Seed:        p.Seed,
+		LockShards:  p.LockShards,
+	}
+	var tcpFab *tcp.Fabric
+	switch p.Transport {
+	case "inproc":
+		cfg.Transport = inproc.New(inproc.Options{MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay, Seed: p.Seed})
+	case "tcp":
+		tcpFab, err = tcp.NewFabric(sites, tcp.Options{})
+		if err != nil {
+			return result{}, err
+		}
+		cfg.Transport = tcpFab
+	default:
+		return result{}, fmt.Errorf("unknown transport %q (want inproc or tcp)", p.Transport)
+	}
+
+	if p.WAL != "mem" {
+		if waldir == "" {
+			dir, err := os.MkdirTemp("", "loadbench-wal-")
+			if err != nil {
+				return result{}, err
+			}
+			defer os.RemoveAll(dir)
+			waldir = dir
+		}
+	}
+	var logMu sync.Mutex
+	logs := map[types.SiteID]wal.Log{}
+	cfg.WAL = func(id types.SiteID) wal.Log {
+		var l wal.Log
+		var err error
+		path := filepath.Join(waldir, fmt.Sprintf("%s-site%d.wal", sanitize(p.Label), id))
+		switch p.WAL {
+		case "mem":
+			return nil
+		case "file":
+			l, err = wal.OpenFileLog(path)
+		case "group":
+			l, err = wal.OpenGroupLog(path)
+		default:
+			err = fmt.Errorf("unknown -wal %q (want mem, file or group)", p.WAL)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("loadbench: site%d wal: %v", id, err))
+		}
+		logMu.Lock()
+		logs[id] = l
+		logMu.Unlock()
+		return l
+	}
+
+	mix := workload.Mix{WritesPerTxn: p.Writes, ZipfS: p.ZipfS, HotFraction: p.Hot}
+	gen, err := workload.NewGenerator(asgn, mix, p.Seed)
+	if err != nil {
+		return result{}, err
+	}
+
+	cl := live.New(cfg)
+	st := newStats()
+	var genMu sync.Mutex
+	next := func() workload.Txn {
+		genMu.Lock()
+		defer genMu.Unlock()
+		return gen.Next()
+	}
+	waitDeadline := 10*p.TimeoutBase + 5*time.Second
+
+	start := time.Now()
+	stopAt := start.Add(p.Duration)
+	oneTxn := func() {
+		t := next()
+		began := time.Now()
+		id := cl.Begin(t.Coord, t.Writeset)
+		o := cl.WaitOutcome(id, waitDeadline)
+		st.record(o, time.Since(began), maxTxns)
+	}
+	var wg sync.WaitGroup
+	if p.Rate <= 0 {
+		for c := 0; c < p.Clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(stopAt) && !st.done() {
+					oneTxn()
+				}
+			}()
+		}
+	} else {
+		interval := time.Duration(float64(time.Second) / p.Rate)
+		ticker := time.NewTicker(interval)
+		for time.Now().Before(stopAt) && !st.done() {
+			<-ticker.C
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				oneTxn()
+			}()
+		}
+		ticker.Stop()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	cl.Stop()
+
+	r := result{params: p,
+		DurationMs:    float64(p.Duration) / float64(time.Millisecond),
+		TimeoutBaseMs: float64(p.TimeoutBase) / float64(time.Millisecond),
+	}
+	st.fill(&r, elapsed)
+	for _, l := range logs {
+		if fc, ok := l.(fsyncCounter); ok {
+			r.WALFsyncs += fc.Fsyncs()
+		}
+		if c, ok := l.(interface{ Close() error }); ok {
+			c.Close()
+		}
+	}
+	if tcpFab != nil {
+		ws := tcpFab.WriteStats()
+		r.WriteFrames, r.WriteBatches = ws.Frames, ws.Batches
+	}
+	return r, nil
+}
+
+// stats accumulates completions.
+type stats struct {
+	mu         sync.Mutex
+	latencies  []time.Duration // committed only
+	committed  int
+	aborted    int
+	unresolved int
+	stop       bool
+}
+
+func newStats() *stats { return &stats{} }
+
+func (s *stats) record(o types.Outcome, d time.Duration, maxTxns int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch o {
+	case types.OutcomeCommitted:
+		s.committed++
+		s.latencies = append(s.latencies, d)
+	case types.OutcomeAborted:
+		s.aborted++
+	default:
+		s.unresolved++
+	}
+	if maxTxns > 0 && s.committed+s.aborted >= maxTxns {
+		s.stop = true
+	}
+}
+
+func (s *stats) done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stop
+}
+
+func (s *stats) fill(r *result, elapsed time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Committed, r.Aborted, r.Unresolved = s.committed, s.aborted, s.unresolved
+	r.Completed = s.committed + s.aborted
+	r.ElapsedSec = elapsed.Seconds()
+	if r.ElapsedSec > 0 {
+		r.TxnsPerSec = float64(r.Completed) / r.ElapsedSec
+	}
+	if r.Completed > 0 {
+		r.AbortRate = float64(s.aborted) / float64(r.Completed)
+	}
+	if len(s.latencies) > 0 {
+		sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+		pct := func(p float64) float64 {
+			idx := int(p * float64(len(s.latencies)-1))
+			return float64(s.latencies[idx]) / float64(time.Millisecond)
+		}
+		r.P50Ms, r.P95Ms, r.P99Ms = pct(0.50), pct(0.95), pct(0.99)
+	}
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func buildSpec(proto string, sites []types.SiteID) (protocol.Spec, error) {
+	switch strings.ToLower(proto) {
+	case "qc1":
+		return core.Spec{Variant: core.Protocol1}, nil
+	case "qc2":
+		return core.Spec{Variant: core.Protocol2}, nil
+	case "2pc":
+		return twopc.Spec{}, nil
+	case "3pc":
+		return threepc.Spec{}, nil
+	case "skeenq":
+		vc := len(sites)/2 + 1
+		va := len(sites) + 1 - vc
+		spec := skeenq.Uniform(sites, vc, va)
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		return spec, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (want qc1, qc2, 2pc, 3pc or skeenq)", proto)
+	}
+}

@@ -23,8 +23,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,6 +46,7 @@ import (
 	"qcommit/internal/twopc"
 	"qcommit/internal/types"
 	"qcommit/internal/voting"
+	"qcommit/internal/wal"
 )
 
 func main() {
@@ -54,16 +58,43 @@ func main() {
 		stratFlag  = flag.String("strategy", "quorum", "data-access strategy (only 'quorum' is supported across processes)")
 		timeout    = flag.Duration("timeout-base", 50*time.Millisecond, "protocol timeout unit T")
 		termRounds = flag.Int("max-term-rounds", 3, "termination retry cap")
+		walFlag    = flag.String("wal", "mem", "write-ahead log: mem (lost on process exit), file (fsync per append) or group (group commit: concurrent appends share one fsync)")
+		waldir     = flag.String("waldir", ".", "directory for the on-disk WAL (-wal file|group); the log is qcommitd-site<N>.wal, reused across restarts for recovery")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		failpoint  = flag.String("failpoint", "", "deterministic fault injection: 'crash-before-decision' SIGKILLs the process when its coordinator first sends a decision-phase message")
 	)
 	flag.Parse()
-	if err := run(*site, *peersFlag, *itemsFlag, *protoFlag, *stratFlag, *timeout, *termRounds, *failpoint); err != nil {
+	if err := run(*site, *peersFlag, *itemsFlag, *protoFlag, *stratFlag, *timeout, *termRounds, *walFlag, *waldir, *pprofAddr, *failpoint); err != nil {
 		fmt.Fprintln(os.Stderr, "qcommitd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(site int, peersFlag, itemsFlag, protoFlag, stratFlag string, timeoutBase time.Duration, termRounds int, failpoint string) error {
+// openWAL opens this site's log per -wal. The returned closer is nil for the
+// in-memory log.
+func openWAL(mode, dir string, site int) (wal.Log, func() error, error) {
+	path := filepath.Join(dir, fmt.Sprintf("qcommitd-site%d.wal", site))
+	switch mode {
+	case "mem":
+		return nil, nil, nil // NewServer defaults to a fresh MemLog
+	case "file":
+		l, err := wal.OpenFileLog(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, l.Close, nil
+	case "group":
+		l, err := wal.OpenGroupLog(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, l.Close, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown -wal mode %q (want mem, file or group)", mode)
+	}
+}
+
+func run(site int, peersFlag, itemsFlag, protoFlag, stratFlag string, timeoutBase time.Duration, termRounds int, walMode, waldir, pprofAddr, failpoint string) error {
 	if site <= 0 {
 		return fmt.Errorf("-site is required and must be positive")
 	}
@@ -93,6 +124,22 @@ func run(site int, peersFlag, itemsFlag, protoFlag, stratFlag string, timeoutBas
 		return err
 	}
 
+	log, closeWAL, err := openWAL(walMode, waldir, site)
+	if err != nil {
+		return err
+	}
+	if closeWAL != nil {
+		defer closeWAL()
+	}
+	if pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "qcommitd: pprof:", err)
+			}
+		}()
+	}
+
 	ep, err := tcp.New(self, listen, peers, tcp.Options{})
 	if err != nil {
 		return err
@@ -119,6 +166,7 @@ func run(site int, peersFlag, itemsFlag, protoFlag, stratFlag string, timeoutBas
 		Spec:                 spec,
 		TimeoutBase:          timeoutBase,
 		MaxTerminationRounds: termRounds,
+		WAL:                  log,
 	}, tr)
 	if err != nil {
 		return err

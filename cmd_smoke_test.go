@@ -1,9 +1,15 @@
 package qcommit
 
 import (
+	"bufio"
+	"encoding/json"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // TestCommandsSmoke builds and runs each CLI tool once, checking for the
@@ -106,6 +112,16 @@ func TestCommandsSmoke(t *testing.T) {
 			want: []string{"repair-speed sweep", "MTTR = 100ms", "partition churn", "3PC violated atomicity"},
 		},
 		{
+			// Closed-loop load against a live in-process cluster with the
+			// optimized commit path: group WAL would need a directory, so the
+			// smoke run uses the memory WAL and just checks the report shape.
+			name: "loadbench",
+			args: []string{"run", "./cmd/loadbench", "-transport", "inproc",
+				"-wal", "mem", "-sites", "3", "-items", "8", "-clients", "8",
+				"-zipf", "1.2", "-duration", "300ms"},
+			want: []string{"txn/s", "p99", "abort"},
+		},
+		{
 			// Real processes on real sockets: qcommitd daemons driven through
 			// the client protocol, including a partition installed over the
 			// control channel (terminates, never blocks) and a post-heal
@@ -135,4 +151,121 @@ func TestCommandsSmoke(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestLoadbenchJSON is the loadbench gate: a short deterministic run with the
+// full optimized path (group WAL on disk, sharded locks) must emit the
+// machine-readable document BENCH_live.json is built from, with sane fields.
+func TestLoadbenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI smoke tests in -short mode")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	out, err := exec.Command("go", "run", "./cmd/loadbench",
+		"-transport", "inproc", "-wal", "group", "-waldir", dir,
+		"-sites", "3", "-items", "8", "-clients", "8", "-zipf", "1.2",
+		"-duration", "500ms", "-seed", "7", "-json", jsonPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadbench: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Command string `json:"command"`
+		Runs    []struct {
+			Label      string  `json:"label"`
+			WAL        string  `json:"wal"`
+			Completed  int     `json:"completed"`
+			Committed  int     `json:"committed"`
+			TxnsPerSec float64 `json:"txns_per_sec"`
+			P99Ms      float64 `json:"p99_ms"`
+			WALFsyncs  uint64  `json:"wal_fsyncs"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if doc.Command == "" || len(doc.Runs) != 1 {
+		t.Fatalf("want command + 1 run, got %q / %d runs", doc.Command, len(doc.Runs))
+	}
+	r := doc.Runs[0]
+	if r.WAL != "group" || r.Committed <= 0 || r.TxnsPerSec <= 0 || r.P99Ms <= 0 {
+		t.Errorf("implausible run: %+v", r)
+	}
+	// Group commit's point is amortization: a run this concurrent must have
+	// forced the log fewer times than it committed transactions (each commit
+	// writes multiple records across the 3 sites).
+	if r.WALFsyncs == 0 || r.WALFsyncs >= uint64(r.Completed)*3 {
+		t.Errorf("fsyncs = %d for %d completed txns: group commit not amortizing", r.WALFsyncs, r.Completed)
+	}
+}
+
+// TestQcommitdGroupWAL starts a real qcommitd with -wal group and -pprof,
+// waits for the ready line, shuts it down, and restarts it on the same WAL
+// directory — the on-disk log must exist and the restart must come up (the
+// recovery path runs on the non-empty directory).
+func TestQcommitdGroupWAL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI smoke tests in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "qcommitd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/qcommitd").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin, "-site", "1", "-peers", "1=127.0.0.1:0",
+			"-items", "x", "-wal", "group", "-waldir", dir, "-pprof", "127.0.0.1:0")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		ready := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				if strings.Contains(sc.Text(), "serving") {
+					ready <- sc.Text()
+					return
+				}
+			}
+			ready <- ""
+		}()
+		select {
+		case line := <-ready:
+			if line == "" {
+				cmd.Process.Kill()
+				t.Fatal("qcommitd exited before the ready line")
+			}
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			t.Fatal("qcommitd never printed the ready line")
+		}
+		return cmd
+	}
+	stop := func(cmd *exec.Cmd) {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+			t.Fatal("qcommitd did not exit on SIGTERM")
+		}
+	}
+	stop(start())
+	walPath := filepath.Join(dir, "qcommitd-site1.wal")
+	if _, err := os.Stat(walPath); err != nil {
+		t.Fatalf("WAL file not created: %v", err)
+	}
+	stop(start()) // restart on the existing directory: recovery must not wedge startup
 }

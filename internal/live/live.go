@@ -18,6 +18,7 @@ import (
 	"qcommit/internal/transport/inproc"
 	"qcommit/internal/types"
 	"qcommit/internal/voting"
+	"qcommit/internal/wal"
 )
 
 // Config parameterizes a live cluster.
@@ -50,6 +51,16 @@ type Config struct {
 	// real loopback sockets. The cluster takes ownership and closes the
 	// transport on Stop.
 	Transport transport.Transport
+	// WAL optionally supplies each site's log (nil sites fall back to a
+	// fresh MemLog). Supplying a wal.AsyncLog (e.g. wal.GroupLog) enables
+	// commit pipelining: a node's durability-gated sends are released by a
+	// flusher goroutine once the group fsync lands, so the event loop keeps
+	// processing other transactions while a batch is being forced. The
+	// caller retains ownership and closes the logs after Stop.
+	WAL func(types.SiteID) wal.Log
+	// LockShards overrides each node's lock-manager shard count
+	// (0 means lockmgr.DefaultShards).
+	LockShards int
 }
 
 type event struct {
@@ -155,7 +166,11 @@ func New(cfg Config) *Cluster {
 		}
 	}
 	for id := range seen {
-		n := newNode(id, cl)
+		var log wal.Log
+		if cfg.WAL != nil {
+			log = cfg.WAL(id)
+		}
+		n := newNode(id, cl, log, cfg.LockShards)
 		cl.nodes[id] = n
 	}
 	for _, item := range cfg.Assignment.Items() {
@@ -167,6 +182,10 @@ func New(cfg Config) *Cluster {
 	for _, n := range cl.nodes {
 		cl.wg.Add(1)
 		go n.loop(&cl.wg)
+		if n.alog != nil {
+			cl.wg.Add(1)
+			go n.flusher(&cl.wg)
+		}
 	}
 	tr.Bind(cl.deliver)
 	return cl

@@ -58,7 +58,36 @@ type Node struct {
 	stopped  bool
 
 	walMu sync.Mutex
-	log   *wal.MemLog
+	log   wal.Log
+	alog  wal.AsyncLog // non-nil when log supports async group commit
+
+	// Event-scoped pipelining state, owned by the node goroutine. When the
+	// log is an AsyncLog, an event's WAL appends return a ticket instead of
+	// blocking on the fsync; the sends and outcome notifications that the
+	// protocol gates on durability are buffered here and handed to the
+	// flusher goroutine at the end of the event. The event loop moves on to
+	// the next transaction's event while the batch is being forced — that is
+	// what lets independent transactions overlap their protocol rounds on
+	// one site.
+	pendingTicket wal.Ticket
+	havePending   bool
+	defRecs       []wal.Record
+	defSends      []sendOp
+	defNotifies   []types.TxnID
+
+	flushMu   sync.Mutex
+	flushCond *sync.Cond
+	flushQ    []flushJob
+	flushStop bool
+
+	// view is the per-transaction outcome fold of the node's DURABLE log
+	// records, maintained incrementally: synchronous appends apply on
+	// return, asynchronous ones when their batch's fsync lands. Outcome
+	// reads (WaitOutcome aggregation, Violated, Server.Outcome) hit this
+	// map instead of replaying the whole log — replaying is O(history)
+	// per probe and was the dominant cost of a long benchmark run.
+	viewMu sync.Mutex
+	view   map[types.TxnID]types.Outcome
 
 	store *storage.Store
 	locks *lockmgr.Manager
@@ -67,17 +96,62 @@ type Node struct {
 	crashed bool
 }
 
-func newNode(id types.SiteID, h host) *Node {
+// sendOp is one deferred transport send.
+type sendOp struct {
+	from, to types.SiteID
+	m        msg.Message
+}
+
+// flushJob is one event's durability-gated output: released in FIFO order
+// once the WAL batch covering ticket is forced.
+type flushJob struct {
+	ticket   wal.Ticket
+	recs     []wal.Record
+	sends    []sendOp
+	notifies []types.TxnID
+}
+
+func newNode(id types.SiteID, h host, log wal.Log, lockShards int) *Node {
+	if log == nil {
+		log = wal.NewMemLog()
+	}
 	n := &Node{
 		id:    id,
 		h:     h,
-		log:   wal.NewMemLog(),
+		log:   log,
 		store: storage.NewStore(id),
-		locks: lockmgr.New(id),
+		locks: lockmgr.NewSharded(id, lockShards),
 		txns:  make(map[types.TxnID]*txnCtx),
+		view:  make(map[types.TxnID]types.Outcome),
+	}
+	n.alog, _ = log.(wal.AsyncLog)
+	if recs, err := log.Records(); err == nil && len(recs) > 0 {
+		n.applyView(recs)
 	}
 	n.mboxCond = sync.NewCond(&n.mboxMu)
+	n.flushCond = sync.NewCond(&n.flushMu)
 	return n
+}
+
+// applyView folds durable records into the outcome view, with the same
+// precedence Replay uses: terminal states are irrevocable.
+func (n *Node) applyView(recs []wal.Record) {
+	n.viewMu.Lock()
+	defer n.viewMu.Unlock()
+	for _, rec := range recs {
+		cur := n.view[rec.Txn]
+		if cur == types.OutcomeCommitted || cur == types.OutcomeAborted {
+			continue
+		}
+		switch rec.Type {
+		case wal.RecCommit:
+			n.view[rec.Txn] = types.OutcomeCommitted
+		case wal.RecAbort, wal.RecVotedNo:
+			n.view[rec.Txn] = types.OutcomeAborted
+		case wal.RecVotedYes, wal.RecPC, wal.RecPA:
+			n.view[rec.Txn] = types.OutcomeBlocked
+		}
+	}
 }
 
 // Store exposes the node's versioned store.
@@ -112,14 +186,108 @@ func (n *Node) loop(wg *sync.WaitGroup) {
 				n.stopped = true
 				n.mbox = nil // shed anything queued behind the stop
 				n.mboxMu.Unlock()
+				n.stopFlusher()
 				return
 			case ev.timer != nil:
 				n.onTimer(ev.timer)
 			case ev.env != nil:
 				n.dispatch(*ev.env)
 			}
+			n.finishEvent()
 		}
 	}
+}
+
+// append writes rec through the node's log: asynchronously — recording the
+// ticket in the event's pending context — on an AsyncLog, synchronously
+// otherwise.
+func (n *Node) append(rec wal.Record) {
+	if n.alog != nil {
+		n.pendingTicket = n.alog.AppendAsync(rec)
+		n.havePending = true
+		n.defRecs = append(n.defRecs, rec)
+		return
+	}
+	n.walMu.Lock()
+	_ = n.log.Append(rec)
+	n.walMu.Unlock()
+	n.applyView([]wal.Record{rec})
+}
+
+// notifyOutcome defers the notification behind a pending append (outcome
+// reads see only durable records, so an early wake-up would be consumed
+// before the decision is visible) or fires it immediately.
+func (n *Node) notifyOutcome(txn types.TxnID) {
+	if n.havePending {
+		n.defNotifies = append(n.defNotifies, txn)
+		return
+	}
+	n.h.notifyOutcome(txn)
+}
+
+// finishEvent closes the current event's pending context: the sends and
+// notifications it gated on durability become one flush job. Events that
+// appended nothing (or whose appends gate nothing) produce no job.
+func (n *Node) finishEvent() {
+	if !n.havePending {
+		return
+	}
+	job := flushJob{ticket: n.pendingTicket, recs: n.defRecs, sends: n.defSends, notifies: n.defNotifies}
+	n.havePending = false
+	n.defRecs, n.defSends, n.defNotifies = nil, nil, nil
+	if len(job.recs) == 0 && len(job.sends) == 0 && len(job.notifies) == 0 {
+		return
+	}
+	n.flushMu.Lock()
+	if !n.flushStop {
+		n.flushQ = append(n.flushQ, job)
+	}
+	n.flushMu.Unlock()
+	n.flushCond.Signal()
+}
+
+// flusher releases durability-gated output in FIFO order: wait until the
+// job's WAL batch is forced, then perform its sends and notifications. It
+// runs only for AsyncLog-backed nodes.
+func (n *Node) flusher(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		n.flushMu.Lock()
+		for len(n.flushQ) == 0 && !n.flushStop {
+			n.flushCond.Wait()
+		}
+		if n.flushStop {
+			n.flushMu.Unlock()
+			return
+		}
+		jobs := n.flushQ
+		n.flushQ = nil
+		n.flushMu.Unlock()
+		for _, j := range jobs {
+			if err := n.alog.WaitDurable(j.ticket); err != nil {
+				continue // log closed or failed: shed, timeouts recover
+			}
+			// The records are durable now: publish them to the outcome view
+			// BEFORE the notifications it gates, so a woken waiter observes
+			// the decision.
+			n.applyView(j.recs)
+			for _, op := range j.sends {
+				n.h.send(op.from, op.to, op.m)
+			}
+			for _, txn := range j.notifies {
+				n.h.notifyOutcome(txn)
+			}
+		}
+	}
+}
+
+// stopFlusher sheds queued jobs and stops the flusher goroutine.
+func (n *Node) stopFlusher() {
+	n.flushMu.Lock()
+	n.flushStop = true
+	n.flushQ = nil
+	n.flushMu.Unlock()
+	n.flushCond.Broadcast()
 }
 
 func (n *Node) onTimer(t *timerEvent) {
@@ -393,28 +561,24 @@ func (n *Node) doCommit(c *txnCtx) {
 	if c.terminal() {
 		return
 	}
-	n.walMu.Lock()
-	_ = n.log.Append(wal.Record{Type: wal.RecCommit, Txn: c.txn})
-	n.walMu.Unlock()
+	n.append(wal.Record{Type: wal.RecCommit, Txn: c.txn})
 	n.store.ApplyWriteset(c.ws, uint64(c.txn)+1)
 	n.h.noteCommitApplied(n, c)
 	n.locks.ReleaseAll(c.txn)
 	c.outcome = types.OutcomeCommitted
 	n.quiesce(c)
-	n.h.notifyOutcome(c.txn)
+	n.notifyOutcome(c.txn)
 }
 
 func (n *Node) doAbort(c *txnCtx) {
 	if c.terminal() {
 		return
 	}
-	n.walMu.Lock()
-	_ = n.log.Append(wal.Record{Type: wal.RecAbort, Txn: c.txn})
-	n.walMu.Unlock()
+	n.append(wal.Record{Type: wal.RecAbort, Txn: c.txn})
 	n.locks.ReleaseAll(c.txn)
 	c.outcome = types.OutcomeAborted
 	n.quiesce(c)
-	n.h.notifyOutcome(c.txn)
+	n.notifyOutcome(c.txn)
 }
 
 func (n *Node) quiesce(c *txnCtx) {
@@ -451,7 +615,17 @@ func (e *nodeEnv) T() sim.Duration { return sim.Duration(e.node.h.timeoutBase())
 
 func (e *nodeEnv) Assignment() *voting.Assignment { return e.node.h.assignment() }
 
-func (e *nodeEnv) Send(to types.SiteID, m msg.Message) { e.node.h.send(e.node.id, to, m) }
+// Send routes through the host, unless this event has a WAL append in
+// flight — then the send joins the event's flush job and goes out only once
+// the append is durable, preserving force-before-send.
+func (e *nodeEnv) Send(to types.SiteID, m msg.Message) {
+	n := e.node
+	if n.havePending {
+		n.defSends = append(n.defSends, sendOp{from: n.id, to: to, m: m})
+		return
+	}
+	n.h.send(n.id, to, m)
+}
 
 func (e *nodeEnv) SetTimer(d sim.Duration, token int) {
 	n := e.node
@@ -461,11 +635,7 @@ func (e *nodeEnv) SetTimer(d sim.Duration, token int) {
 	})
 }
 
-func (e *nodeEnv) Append(rec wal.Record) {
-	e.node.walMu.Lock()
-	defer e.node.walMu.Unlock()
-	_ = e.node.log.Append(rec)
-}
+func (e *nodeEnv) Append(rec wal.Record) { e.node.append(rec) }
 
 func (e *nodeEnv) Commit(txn types.TxnID) {
 	if c := e.node.txns[txn]; c != nil {

@@ -29,6 +29,17 @@ type ServerConfig struct {
 	MaxTerminationRounds int
 	// InitialValues seeds the store copies this site holds.
 	InitialValues map[types.ItemID]int64
+	// WAL optionally supplies this site's log (nil means a fresh MemLog,
+	// durable only for the process lifetime). A non-empty log triggers
+	// recovery on startup: terminal transactions are replayed and
+	// in-doubt ones resume their participant automata. Supplying a
+	// wal.AsyncLog (e.g. wal.GroupLog) additionally enables commit
+	// pipelining, as in Config.WAL. The caller retains ownership and
+	// closes the log after Stop.
+	WAL wal.Log
+	// LockShards overrides the lock-manager shard count (0 means
+	// lockmgr.DefaultShards).
+	LockShards int
 }
 
 // Server hosts ONE site of an assignment over a transport — the deployment
@@ -77,7 +88,7 @@ func NewServer(id types.SiteID, cfg ServerConfig, tr transport.Transport) (*Serv
 		tr:    tr,
 		notes: make(map[types.TxnID]*outcomeNote),
 	}
-	s.node = newNode(id, s)
+	s.node = newNode(id, s, cfg.WAL, cfg.LockShards)
 	for _, item := range cfg.Assignment.Items() {
 		ic, _ := cfg.Assignment.Item(item)
 		for _, cp := range ic.Copies {
@@ -86,8 +97,33 @@ func NewServer(id types.SiteID, cfg ServerConfig, tr transport.Transport) (*Serv
 			}
 		}
 	}
+	// A restarted process recovers from its surviving WAL before serving:
+	// terminal outcomes are reapplied, in-doubt transactions re-lock their
+	// copies and resume the protocol. Safe here — the node goroutine has
+	// not started, and any sends the recovery defers are flushed normally.
+	if recs, err := s.node.log.Records(); err == nil && len(recs) > 0 {
+		// Unlike a simulated crash, a process restart loses the store, so
+		// committed writesets are reapplied from the log before the usual
+		// volatile-state recovery resumes in-doubt transactions.
+		for _, im := range wal.Replay(recs) {
+			if im.State != types.StateCommitted {
+				continue
+			}
+			for _, u := range im.Writeset {
+				if s.node.store.Has(u.Item) {
+					_ = s.node.store.Apply(u.Item, u.Value, uint64(im.Txn)+1)
+				}
+			}
+		}
+		s.node.recoverVolatile()
+		s.node.finishEvent()
+	}
 	s.wg.Add(1)
 	go s.node.loop(&s.wg)
+	if s.node.alog != nil {
+		s.wg.Add(1)
+		go s.node.flusher(&s.wg)
+	}
 	tr.Bind(s.deliver)
 	return s, nil
 }
@@ -226,23 +262,11 @@ func (s *Server) maybeResolve(types.ItemID, types.SiteID) {}
 func (s *Server) maybeRejoin(types.ItemID, types.SiteID)  {}
 
 // walOutcome reads txn's fate from one node's WAL: terminal records map to
-// their outcome, a surviving mid-protocol state (W/PC/PA) is Blocked.
+// their outcome, a surviving mid-protocol state (W/PC/PA) is Blocked. It
+// consults the node's incrementally-maintained durable-record view rather
+// than replaying the log, which would be O(history) per probe.
 func walOutcome(n *Node, txn types.TxnID) types.Outcome {
-	n.walMu.Lock()
-	recs, _ := n.log.Records()
-	n.walMu.Unlock()
-	img := wal.Replay(recs)[txn]
-	if img == nil {
-		return types.OutcomeUnknown
-	}
-	switch img.State {
-	case types.StateCommitted:
-		return types.OutcomeCommitted
-	case types.StateAborted:
-		return types.OutcomeAborted
-	case types.StateWait, types.StatePC, types.StatePA:
-		return types.OutcomeBlocked
-	default:
-		return types.OutcomeUnknown
-	}
+	n.viewMu.Lock()
+	defer n.viewMu.Unlock()
+	return n.view[txn]
 }

@@ -10,11 +10,20 @@
 // Locking is strict two-phase: locks are only released at commit or abort.
 // Shared (read) and exclusive (write) modes are supported, with FIFO waiting
 // and waits-for-graph deadlock detection.
+//
+// The lock table is sharded by item hash so independent transactions touching
+// different items never serialize on one mutex; each shard has its own lock
+// and per-item FIFO queues, while the waits-for graph stays global (guarded
+// by its own mutex) so deadlock cycles spanning shards are still detected —
+// edge insertion and the cycle check happen in one critical section of the
+// graph mutex, which serializes the checks exactly as the old single mutex
+// did.
 package lockmgr
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
 
@@ -65,36 +74,77 @@ type lockState struct {
 	queue   []*request
 }
 
+// shard is one slice of the lock table: its own mutex, its own items.
+type shard struct {
+	mu    sync.Mutex
+	locks map[types.ItemID]*lockState
+}
+
+// DefaultShards is the shard count New uses.
+const DefaultShards = 16
+
+// hashSeed is shared by every manager so equal items always land in the
+// same shard index regardless of which manager hashes them.
+var hashSeed = maphash.MakeSeed()
+
 // Manager is a per-site lock table.
 type Manager struct {
-	mu    sync.Mutex
-	site  types.SiteID
-	locks map[types.ItemID]*lockState
-	// waitsFor[t] = set of transactions t waits for (deadlock detection).
+	site   types.SiteID
+	shards []shard
+
+	// graphMu guards waitsFor, the global waits-for relation used for
+	// deadlock detection across all shards. Lock order: a shard's mu may be
+	// held while taking graphMu, never the reverse.
+	graphMu sync.Mutex
+	// waitsFor[t] = set of transactions t waits for.
 	waitsFor map[types.TxnID]map[types.TxnID]bool
 }
 
-// New creates a lock manager for a site.
-func New(site types.SiteID) *Manager {
-	return &Manager{
+// New creates a lock manager for a site with DefaultShards shards.
+func New(site types.SiteID) *Manager { return NewSharded(site, DefaultShards) }
+
+// NewSharded creates a lock manager with an explicit shard count; shards=1
+// reproduces the historical single-mutex table (the loadbench baseline).
+func NewSharded(site types.SiteID, shards int) *Manager {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	m := &Manager{
 		site:     site,
-		locks:    make(map[types.ItemID]*lockState),
+		shards:   make([]shard, shards),
 		waitsFor: make(map[types.TxnID]map[types.TxnID]bool),
 	}
+	for i := range m.shards {
+		m.shards[i].locks = make(map[types.ItemID]*lockState)
+	}
+	return m
 }
 
 // Site returns the owning site.
 func (m *Manager) Site() types.SiteID { return m.site }
 
+// Shards returns the shard count.
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// shardOf returns the shard holding item.
+func (m *Manager) shardOf(item types.ItemID) *shard {
+	if len(m.shards) == 1 {
+		return &m.shards[0]
+	}
+	h := maphash.String(hashSeed, string(item))
+	return &m.shards[h%uint64(len(m.shards))]
+}
+
 // TryAcquire attempts to take item in the given mode without waiting.
 // Re-entrant acquisition by the same transaction succeeds; upgrading S→X
 // succeeds only if the transaction is the sole holder.
 func (m *Manager) TryAcquire(txn types.TxnID, item types.ItemID, mode Mode) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls := m.locks[item]
+	sh := m.shardOf(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls := sh.locks[item]
 	if ls == nil || len(ls.holders) == 0 {
-		m.grantLocked(txn, item, mode)
+		sh.grantLocked(txn, item, mode)
 		return nil
 	}
 	if _, holds := ls.holders[txn]; holds {
@@ -120,11 +170,12 @@ func (m *Manager) TryAcquire(txn types.TxnID, item types.ItemID, mode Mode) erro
 // waiting would create a waits-for cycle. Intended for the live runtime; the
 // deterministic simulator uses TryAcquire.
 func (m *Manager) Acquire(txn types.TxnID, item types.ItemID, mode Mode) error {
-	m.mu.Lock()
-	ls := m.locks[item]
+	sh := m.shardOf(item)
+	sh.mu.Lock()
+	ls := sh.locks[item]
 	if ls == nil || len(ls.holders) == 0 {
-		m.grantLocked(txn, item, mode)
-		m.mu.Unlock()
+		sh.grantLocked(txn, item, mode)
+		sh.mu.Unlock()
 		return nil
 	}
 	if _, holds := ls.holders[txn]; holds {
@@ -140,126 +191,40 @@ func (m *Manager) Acquire(txn types.TxnID, item types.ItemID, mode Mode) error {
 			ls.holders[txn]++
 			return nil
 		}()
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return err
 	}
 	if compatible(ls.mode, mode) && len(ls.queue) == 0 {
 		ls.holders[txn] = 1
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
-	// Must wait: record edges and check for a cycle.
+	// Must wait: record edges and check for a cycle in one graph critical
+	// section, so two transactions racing into a mutual wait from different
+	// shards cannot both miss the cycle.
+	m.graphMu.Lock()
 	for holder := range ls.holders {
 		m.addEdgeLocked(txn, holder)
 	}
 	if m.cycleFromLocked(txn) {
 		m.clearEdgesLocked(txn)
-		m.mu.Unlock()
+		m.graphMu.Unlock()
+		sh.mu.Unlock()
 		return ErrDeadlock
 	}
+	m.graphMu.Unlock()
 	req := &request{txn: txn, mode: mode, grant: make(chan error, 1)}
 	ls.queue = append(ls.queue, req)
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	return <-req.grant
 }
 
 // Release drops one hold of txn on item, waking waiters when it becomes free.
 func (m *Manager) Release(txn types.TxnID, item types.ItemID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.releaseLocked(txn, item)
-}
-
-// ReleaseAll drops every lock held by txn (commit/abort).
-func (m *Manager) ReleaseAll(txn types.TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for item, ls := range m.locks {
-		if _, ok := ls.holders[txn]; ok {
-			delete(ls.holders, txn)
-			m.wakeLocked(item)
-		}
-		// Also drop a queued request from an aborted transaction.
-		for i, req := range ls.queue {
-			if req.txn == txn {
-				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
-				req.grant <- ErrWouldBlock
-				break
-			}
-		}
-	}
-	m.clearEdgesLocked(txn)
-}
-
-// Locked reports whether item is currently locked (by anyone).
-func (m *Manager) Locked(item types.ItemID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls := m.locks[item]
-	return ls != nil && len(ls.holders) > 0
-}
-
-// LockedBy reports whether txn holds item.
-func (m *Manager) LockedBy(txn types.TxnID, item types.ItemID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls := m.locks[item]
-	if ls == nil {
-		return false
-	}
-	_, ok := ls.holders[txn]
-	return ok
-}
-
-// HeldItems returns the items txn currently holds, in ascending order.
-func (m *Manager) HeldItems(txn types.TxnID) []types.ItemID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var out []types.ItemID
-	for item, ls := range m.locks {
-		if _, ok := ls.holders[txn]; ok {
-			out = append(out, item)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// String renders the lock table for debugging.
-func (m *Manager) String() string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	items := make([]types.ItemID, 0, len(m.locks))
-	for it := range m.locks {
-		items = append(items, it)
-	}
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
-	s := fmt.Sprintf("locks@%s{", m.site)
-	for i, it := range items {
-		ls := m.locks[it]
-		if len(ls.holders) == 0 {
-			continue
-		}
-		if i > 0 {
-			s += " "
-		}
-		s += fmt.Sprintf("%s:%s×%d", it, ls.mode, len(ls.holders))
-	}
-	return s + "}"
-}
-
-func (m *Manager) grantLocked(txn types.TxnID, item types.ItemID, mode Mode) {
-	ls := m.locks[item]
-	if ls == nil {
-		ls = &lockState{holders: make(map[types.TxnID]int)}
-		m.locks[item] = ls
-	}
-	ls.mode = mode
-	ls.holders[txn] = 1
-}
-
-func (m *Manager) releaseLocked(txn types.TxnID, item types.ItemID) {
-	ls := m.locks[item]
+	sh := m.shardOf(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls := sh.locks[item]
 	if ls == nil {
 		return
 	}
@@ -270,12 +235,123 @@ func (m *Manager) releaseLocked(txn types.TxnID, item types.ItemID) {
 		}
 		delete(ls.holders, txn)
 	}
-	m.wakeLocked(item)
+	m.wakeLocked(sh, item)
 }
 
-// wakeLocked grants queued requests that have become compatible.
-func (m *Manager) wakeLocked(item types.ItemID) {
-	ls := m.locks[item]
+// ReleaseAll drops every lock held by txn (commit/abort).
+func (m *Manager) ReleaseAll(txn types.TxnID) {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for item, ls := range sh.locks {
+			if _, ok := ls.holders[txn]; ok {
+				delete(ls.holders, txn)
+				m.wakeLocked(sh, item)
+			}
+			// Also drop a queued request from an aborted transaction.
+			for j, req := range ls.queue {
+				if req.txn == txn {
+					ls.queue = append(ls.queue[:j], ls.queue[j+1:]...)
+					req.grant <- ErrWouldBlock
+					break
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	m.graphMu.Lock()
+	m.clearEdgesLocked(txn)
+	m.graphMu.Unlock()
+}
+
+// Locked reports whether item is currently locked (by anyone).
+func (m *Manager) Locked(item types.ItemID) bool {
+	sh := m.shardOf(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls := sh.locks[item]
+	return ls != nil && len(ls.holders) > 0
+}
+
+// LockedBy reports whether txn holds item.
+func (m *Manager) LockedBy(txn types.TxnID, item types.ItemID) bool {
+	sh := m.shardOf(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls := sh.locks[item]
+	if ls == nil {
+		return false
+	}
+	_, ok := ls.holders[txn]
+	return ok
+}
+
+// HeldItems returns the items txn currently holds, in ascending order.
+func (m *Manager) HeldItems(txn types.TxnID) []types.ItemID {
+	var out []types.ItemID
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for item, ls := range sh.locks {
+			if _, ok := ls.holders[txn]; ok {
+				out = append(out, item)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the lock table for debugging.
+func (m *Manager) String() string {
+	type entry struct {
+		mode    Mode
+		holders int
+	}
+	held := make(map[types.ItemID]entry)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for it, ls := range sh.locks {
+			if len(ls.holders) > 0 {
+				held[it] = entry{mode: ls.mode, holders: len(ls.holders)}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	items := make([]types.ItemID, 0, len(held))
+	for it := range held {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	s := fmt.Sprintf("locks@%s{", m.site)
+	for i, it := range items {
+		if i > 0 {
+			s += " "
+		}
+		e := held[it]
+		s += fmt.Sprintf("%s:%s×%d", it, e.mode, e.holders)
+	}
+	return s + "}"
+}
+
+// grantLocked runs under the shard's mutex.
+func (sh *shard) grantLocked(txn types.TxnID, item types.ItemID, mode Mode) {
+	ls := sh.locks[item]
+	if ls == nil {
+		ls = &lockState{holders: make(map[types.TxnID]int)}
+		sh.locks[item] = ls
+	}
+	ls.mode = mode
+	ls.holders[txn] = 1
+}
+
+// wakeLocked grants queued requests that have become compatible. It runs
+// under sh.mu and takes graphMu to clear the woken waiters' edges
+// (shard→graph is the one permitted lock order).
+func (m *Manager) wakeLocked(sh *shard, item types.ItemID) {
+	ls := sh.locks[item]
 	if ls == nil {
 		return
 	}
@@ -285,14 +361,14 @@ func (m *Manager) wakeLocked(item types.ItemID) {
 			ls.queue = ls.queue[1:]
 			ls.mode = head.mode
 			ls.holders[head.txn] = 1
-			m.clearEdgesLocked(head.txn)
+			m.clearEdges(head.txn)
 			head.grant <- nil
 			continue
 		}
 		if compatible(ls.mode, head.mode) {
 			ls.queue = ls.queue[1:]
 			ls.holders[head.txn] = 1
-			m.clearEdgesLocked(head.txn)
+			m.clearEdges(head.txn)
 			head.grant <- nil
 			continue
 		}
@@ -300,6 +376,13 @@ func (m *Manager) wakeLocked(item types.ItemID) {
 	}
 }
 
+func (m *Manager) clearEdges(txn types.TxnID) {
+	m.graphMu.Lock()
+	m.clearEdgesLocked(txn)
+	m.graphMu.Unlock()
+}
+
+// addEdgeLocked runs under graphMu.
 func (m *Manager) addEdgeLocked(from, to types.TxnID) {
 	if from == to {
 		return
@@ -312,11 +395,13 @@ func (m *Manager) addEdgeLocked(from, to types.TxnID) {
 	set[to] = true
 }
 
+// clearEdgesLocked runs under graphMu.
 func (m *Manager) clearEdgesLocked(txn types.TxnID) {
 	delete(m.waitsFor, txn)
 }
 
-// cycleFromLocked reports whether txn can reach itself in the waits-for graph.
+// cycleFromLocked reports whether txn can reach itself in the waits-for
+// graph; runs under graphMu.
 func (m *Manager) cycleFromLocked(start types.TxnID) bool {
 	seen := make(map[types.TxnID]bool)
 	var stack []types.TxnID

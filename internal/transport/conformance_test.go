@@ -225,3 +225,41 @@ func TestConformanceCloseShedsSends(t *testing.T) {
 		})
 	}
 }
+
+// TestTCPWriteCoalescing pins the writev batching contract: every frame
+// delivered was counted, each batch carried at least one frame (batches <=
+// frames), and nothing was shed under an idle queue.
+func TestTCPWriteCoalescing(t *testing.T) {
+	fab, err := tcp.NewFabric(sites, tcp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	c := newCollector()
+	fab.Bind(c.handle)
+	const burst = 200
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			send(fab, 1, 2, types.TxnID(i+1))
+		}(i)
+	}
+	wg.Wait()
+	if got := c.waitN(burst, 5*time.Second); len(got) != burst {
+		t.Fatalf("delivered %d of %d frames", len(got), burst)
+	}
+	s := fab.WriteStats()
+	if s.Frames != burst {
+		t.Errorf("stats count %d frames, want %d", s.Frames, burst)
+	}
+	if s.Batches == 0 || s.Batches > s.Frames {
+		t.Errorf("batches = %d with %d frames: want 0 < batches <= frames", s.Batches, s.Frames)
+	}
+	if s.Shed != 0 {
+		t.Errorf("shed %d frames under an idle queue", s.Shed)
+	}
+	t.Logf("coalescing: %d frames in %d batches (%.1f frames/batch)",
+		s.Frames, s.Batches, float64(s.Frames)/float64(s.Batches))
+}

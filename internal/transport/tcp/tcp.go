@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qcommit/internal/msg"
@@ -69,7 +70,32 @@ type Endpoint struct {
 	conns   map[net.Conn]bool
 	closed  bool
 
+	frames  atomic.Uint64
+	batches atomic.Uint64
+	shed    atomic.Uint64
+
 	wg sync.WaitGroup
+}
+
+// WriteStats counts outbound write activity on an endpoint. Frames/Batches
+// is the average coalescing factor: how many frames each writev syscall
+// carried.
+type WriteStats struct {
+	// Frames handed to the kernel.
+	Frames uint64
+	// Batches is the number of writev calls — one syscall per batch.
+	Batches uint64
+	// Shed counts frames dropped at a full peer queue.
+	Shed uint64
+}
+
+// WriteStats returns a snapshot of the endpoint's outbound counters.
+func (e *Endpoint) WriteStats() WriteStats {
+	return WriteStats{
+		Frames:  e.frames.Load(),
+		Batches: e.batches.Load(),
+		Shed:    e.shed.Load(),
+	}
 }
 
 // ClientHandler receives one client-link request (Envelope.From ==
@@ -81,10 +107,16 @@ type ClientHandler func(env msg.Envelope, reply func(m msg.Message) error)
 var _ transport.Transport = (*Endpoint)(nil)
 
 // peer is the outbound side of one link: a bounded frame queue drained by a
-// writer goroutine that dials on demand and redials with backoff.
+// writer goroutine that dials on demand and redials with backoff. The queue
+// is a plain slice under a mutex rather than a channel so the writer can
+// claim everything queued in one step and hand the whole batch to writev.
 type peer struct {
 	addr string
-	q    chan []byte
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      [][]byte
+	closed bool
 }
 
 // New builds an endpoint for site self listening on listen (empty means an
@@ -242,11 +274,16 @@ func (e *Endpoint) Send(env msg.Envelope) {
 	if p == nil {
 		return
 	}
-	select {
-	case p.q <- buf:
-	default:
+	p.mu.Lock()
+	if p.closed || len(p.q) >= e.opts.QueueLen {
+		p.mu.Unlock()
 		// Queue full: shed. The protocols' timeout machinery recovers.
+		e.shed.Add(1)
+		return
 	}
+	p.q = append(p.q, buf)
+	p.mu.Unlock()
+	p.cond.Signal()
 }
 
 // peer returns (lazily creating) the outbound link to site id.
@@ -263,20 +300,22 @@ func (e *Endpoint) peer(id types.SiteID) *peer {
 	if !ok {
 		return nil
 	}
-	p := &peer{addr: addr, q: make(chan []byte, e.opts.QueueLen)}
+	p := &peer{addr: addr}
+	p.cond = sync.NewCond(&p.mu)
 	e.peers[id] = p
 	e.wg.Add(1)
 	go e.writeLoop(p)
 	return p
 }
 
-// writeLoop drains one peer's queue: dial on demand, write length-prefixed
-// frames (coalescing whatever is queued into one flush), redial with
-// exponential backoff after failures.
+// writeLoop drains one peer's queue: dial on demand, claim every queued
+// frame in one step and hand the batch to net.Buffers — one writev syscall
+// per batch — then redial with exponential backoff after failures. Frames
+// queued while a batch is in flight form the next batch, so coalescing
+// deepens exactly when the link is the bottleneck.
 func (e *Endpoint) writeLoop(p *peer) {
 	defer e.wg.Done()
 	var conn net.Conn
-	var bw *bufio.Writer
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -284,12 +323,17 @@ func (e *Endpoint) writeLoop(p *peer) {
 	}()
 	backoff := e.opts.BackoffMin
 	for {
-		var buf []byte
-		select {
-		case <-e.done:
-			return
-		case buf = <-p.q:
+		p.mu.Lock()
+		for len(p.q) == 0 && !p.closed {
+			p.cond.Wait()
 		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		batch := p.q
+		p.q = nil
+		p.mu.Unlock()
 		for conn == nil {
 			c, err := net.DialTimeout("tcp", p.addr, e.opts.DialTimeout)
 			if err != nil {
@@ -303,27 +347,17 @@ func (e *Endpoint) writeLoop(p *peer) {
 				}
 				continue
 			}
-			conn, bw = c, bufio.NewWriter(c)
+			conn = c
 			backoff = e.opts.BackoffMin
 		}
-		_, err := bw.Write(buf)
-		// Coalesce: drain whatever else is queued before flushing.
-		for err == nil {
-			select {
-			case more := <-p.q:
-				_, err = bw.Write(more)
-				continue
-			default:
-			}
-			break
-		}
-		if err == nil {
-			err = bw.Flush()
-		}
-		if err != nil {
+		bufs := net.Buffers(batch)
+		if _, err := bufs.WriteTo(conn); err != nil {
 			conn.Close()
-			conn, bw = nil, nil // dropped; redial on the next frame
+			conn = nil // batch dropped; redial on the next frame
+			continue
 		}
+		e.frames.Add(uint64(len(batch)))
+		e.batches.Add(1)
 	}
 }
 
@@ -340,7 +374,17 @@ func (e *Endpoint) Close() error {
 	for c := range e.conns {
 		conns = append(conns, c)
 	}
+	peers := make([]*peer, 0, len(e.peers))
+	for _, p := range e.peers {
+		peers = append(peers, p)
+	}
 	e.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+		p.cond.Broadcast()
+	}
 	err := e.ln.Close()
 	for _, c := range conns {
 		c.Close()
@@ -380,6 +424,18 @@ func NewFabric(sites []types.SiteID, opts Options) (*Fabric, error) {
 		ep.SetPeers(addrs)
 	}
 	return f, nil
+}
+
+// WriteStats sums the outbound counters of every endpoint in the fabric.
+func (f *Fabric) WriteStats() WriteStats {
+	var total WriteStats
+	for _, ep := range f.eps {
+		s := ep.WriteStats()
+		total.Frames += s.Frames
+		total.Batches += s.Batches
+		total.Shed += s.Shed
+	}
+	return total
 }
 
 // Addrs returns each site's listen address.

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 
@@ -40,6 +41,37 @@ func BenchmarkFileLogAppendSync(b *testing.B) {
 		if err := l.Append(rec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFileLogAppendGroup measures the group-commit path under N
+// concurrent appenders — the configuration the sync benchmark above cannot
+// express. The headline metric is fsyncs/op: the sync FileLog pays exactly
+// 1, group commit amortizes one fsync across every append that lands while
+// the previous batch is being forced.
+func BenchmarkFileLogAppendGroup(b *testing.B) {
+	for _, appenders := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("appenders=%d", appenders), func(b *testing.B) {
+			l, err := OpenGroupLog(filepath.Join(b.TempDir(), "bench.wal"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			rec := benchRecord()
+			b.ReportAllocs()
+			b.SetParallelism(appenders)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := l.Append(rec); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(l.Fsyncs())/float64(b.N), "fsyncs/op")
+		})
 	}
 }
 

@@ -9,9 +9,11 @@
 //	VOTED-YES (with writeset, participants, coordinator) before the yes vote,
 //	PC before PC-ACK, PA before PA-ACK, COMMIT/ABORT before acting on them.
 //
-// Two implementations are provided: MemLog (stable across *simulated*
-// crashes) and FileLog (a real append-only file with CRC-protected records
-// and torn-tail recovery).
+// Three implementations are provided: MemLog (stable across *simulated*
+// crashes), FileLog (a real append-only file with CRC-protected records,
+// torn-tail recovery, and one fsync per append) and GroupLog (same file
+// format, but concurrent appends coalesce into one write+fsync — group
+// commit — behind the AsyncLog interface).
 package wal
 
 import (
@@ -282,59 +284,70 @@ type FileLog struct {
 	recs []Record
 }
 
-// OpenFileLog opens (creating if needed) the log at path, replaying existing
-// records and truncating a torn tail.
-func OpenFileLog(path string) (*FileLog, error) {
+// openLogFile opens (creating if needed) the log file at path, scans its
+// valid record prefix and truncates any torn tail, leaving the file
+// positioned for appending.
+func openLogFile(path string) (*os.File, []Record, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	l := &FileLog{f: f, path: path}
-	valid, err := l.scan()
+	recs, valid, err := scanRecords(f)
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	if err := f.Truncate(valid); err != nil {
 		f.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := f.Seek(valid, io.SeekStart); err != nil {
 		f.Close()
-		return nil, err
+		return nil, nil, err
 	}
-	return l, nil
+	return f, recs, nil
 }
 
-// scan reads records from the start, returning the byte offset of the end of
-// the last valid record.
-func (l *FileLog) scan() (int64, error) {
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return 0, err
+// OpenFileLog opens (creating if needed) the log at path, replaying existing
+// records and truncating a torn tail.
+func OpenFileLog(path string) (*FileLog, error) {
+	f, recs, err := openLogFile(path)
+	if err != nil {
+		return nil, err
 	}
+	return &FileLog{f: f, path: path, recs: recs}, nil
+}
+
+// scanRecords reads records from the start of f, returning the valid prefix
+// and the byte offset of the end of the last valid record.
+func scanRecords(f *os.File) ([]Record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var recs []Record
 	var off int64
 	hdr := make([]byte, 4)
 	for {
-		if _, err := io.ReadFull(l.f, hdr); err != nil {
-			return off, nil // clean EOF or torn header: stop here
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return recs, off, nil // clean EOF or torn header: stop here
 		}
 		n := binary.BigEndian.Uint32(hdr)
 		if n > 1<<20 {
-			return off, nil // implausible length: torn
+			return recs, off, nil // implausible length: torn
 		}
 		body := make([]byte, n+4)
-		if _, err := io.ReadFull(l.f, body); err != nil {
-			return off, nil
+		if _, err := io.ReadFull(f, body); err != nil {
+			return recs, off, nil
 		}
 		sum := binary.BigEndian.Uint32(body[n:])
 		if crc32.ChecksumIEEE(body[:n]) != sum {
-			return off, nil
+			return recs, off, nil
 		}
 		rec, err := decodeBody(body[:n])
 		if err != nil {
-			return off, nil
+			return recs, off, nil
 		}
-		l.recs = append(l.recs, rec)
+		recs = append(recs, rec)
 		off += int64(4 + n + 4)
 	}
 }

@@ -20,6 +20,11 @@ type Mix struct {
 	// HotFraction in [0,1) sends that share of writes to the first item
 	// ("hot spot"); the remainder spread uniformly. Zero means uniform.
 	HotFraction float64
+	// ZipfS > 1 draws items from a zipfian distribution over their rank in
+	// the assignment's item order (rank 0 hottest), the standard model for
+	// skewed key popularity; smaller s is closer to uniform. Zero disables
+	// the zipfian draw. Mutually exclusive with HotFraction.
+	ZipfS float64
 	// ValueRange bounds generated values ([0, ValueRange)). Default 1000.
 	ValueRange int64
 }
@@ -49,6 +54,7 @@ type Generator struct {
 	items []types.ItemID
 	mix   Mix
 	rng   *rand.Rand
+	zipf  *rand.Zipf
 }
 
 // NewGenerator validates the mix against the assignment.
@@ -67,7 +73,19 @@ func NewGenerator(asgn *voting.Assignment, mix Mix, seed int64) (*Generator, err
 	if math.IsNaN(mix.HotFraction) || mix.HotFraction < 0 || mix.HotFraction >= 1 {
 		return nil, fmt.Errorf("workload: HotFraction %v out of [0,1)", mix.HotFraction)
 	}
-	return &Generator{asgn: asgn, items: items, mix: mix, rng: rand.New(rand.NewSource(seed))}, nil
+	// rand.Zipf requires s > 1; anything else in a non-zero ZipfS is a
+	// configuration error, as is combining the two skew models.
+	if mix.ZipfS != 0 && (math.IsNaN(mix.ZipfS) || mix.ZipfS <= 1) {
+		return nil, fmt.Errorf("workload: ZipfS %v must be > 1 (or 0 to disable)", mix.ZipfS)
+	}
+	if mix.ZipfS != 0 && mix.HotFraction != 0 {
+		return nil, fmt.Errorf("workload: ZipfS and HotFraction are mutually exclusive")
+	}
+	g := &Generator{asgn: asgn, items: items, mix: mix, rng: rand.New(rand.NewSource(seed))}
+	if mix.ZipfS != 0 {
+		g.zipf = rand.NewZipf(g.rng, mix.ZipfS, 1, uint64(len(items)-1))
+	}
+	return g, nil
 }
 
 // Next draws one transaction. The coordinator is a random participant of the
@@ -78,9 +96,12 @@ func (g *Generator) Next() Txn {
 	var ws types.Writeset
 	for len(chosen) < g.mix.WritesPerTxn {
 		var item types.ItemID
-		if g.mix.HotFraction > 0 && g.rng.Float64() < g.mix.HotFraction {
+		switch {
+		case g.zipf != nil:
+			item = g.items[g.zipf.Uint64()]
+		case g.mix.HotFraction > 0 && g.rng.Float64() < g.mix.HotFraction:
 			item = g.items[0]
-		} else {
+		default:
 			item = g.items[g.rng.Intn(len(g.items))]
 		}
 		if chosen[item] {

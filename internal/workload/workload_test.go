@@ -105,3 +105,46 @@ func TestGeneratorUniformCoversItems(t *testing.T) {
 		t.Errorf("uniform mix covered %d/3 items", len(seen))
 	}
 }
+
+func TestGeneratorZipfValidation(t *testing.T) {
+	if _, err := NewGenerator(asgn(), Mix{WritesPerTxn: 1, ZipfS: 1.0}, 1); err == nil {
+		t.Error("ZipfS = 1 accepted (rand.Zipf requires s > 1)")
+	}
+	if _, err := NewGenerator(asgn(), Mix{WritesPerTxn: 1, ZipfS: 0.5}, 1); err == nil {
+		t.Error("ZipfS in (0,1] accepted")
+	}
+	if _, err := NewGenerator(asgn(), Mix{WritesPerTxn: 1, ZipfS: math.NaN()}, 1); err == nil {
+		t.Error("NaN ZipfS accepted")
+	}
+	if _, err := NewGenerator(asgn(), Mix{WritesPerTxn: 1, ZipfS: 1.2, HotFraction: 0.5}, 1); err == nil {
+		t.Error("ZipfS combined with HotFraction accepted")
+	}
+	if _, err := NewGenerator(asgn(), Mix{WritesPerTxn: 1, ZipfS: 1.2}, 1); err != nil {
+		t.Errorf("valid ZipfS rejected: %v", err)
+	}
+}
+
+func TestGeneratorZipfSkew(t *testing.T) {
+	g, err := NewGenerator(asgn(), Mix{WritesPerTxn: 1, ZipfS: 2.0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[types.ItemID]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Writeset[0].Item]++
+	}
+	// Rank 0 must dominate and the popularity must decay with rank.
+	if counts["a"] <= counts["b"] || counts["b"] <= counts["c"] {
+		t.Errorf("zipf counts not rank-ordered: a=%d b=%d c=%d", counts["a"], counts["b"], counts["c"])
+	}
+	if counts["a"] < n/2 {
+		t.Errorf("rank-0 item drawn %d/%d times, expected a clear majority at s=2", counts["a"], n)
+	}
+	// Determinism: the zipf stream replays under the same seed.
+	g2, _ := NewGenerator(asgn(), Mix{WritesPerTxn: 1, ZipfS: 2.0}, 5)
+	g3, _ := NewGenerator(asgn(), Mix{WritesPerTxn: 1, ZipfS: 2.0}, 5)
+	if !reflect.DeepEqual(g2.Batch(50), g3.Batch(50)) {
+		t.Error("same seed produced different zipf streams")
+	}
+}
