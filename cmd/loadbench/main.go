@@ -41,8 +41,10 @@ import (
 
 	"qcommit/internal/core"
 	"qcommit/internal/live"
+	"qcommit/internal/obs"
 	"qcommit/internal/protocol"
 	"qcommit/internal/skeenq"
+	istats "qcommit/internal/stats"
 	"qcommit/internal/threepc"
 	"qcommit/internal/transport/inproc"
 	"qcommit/internal/transport/tcp"
@@ -90,6 +92,25 @@ type result struct {
 	WALFsyncs     uint64  `json:"wal_fsyncs"`
 	WriteFrames   uint64  `json:"write_frames"`
 	WriteBatches  uint64  `json:"write_batches"`
+
+	// Stage-level breakdowns scraped from the cluster's obs registry (all
+	// sites merged), present when -obs is on. Together they decompose the
+	// end-to-end commit latency above: where a transaction waited for locks
+	// and how long it held them, how long appends waited for the group
+	// fsync (and how big the batches got), and how long frames sat in the
+	// transport's write queues.
+	LockWaitP99Ms     float64 `json:"lock_wait_p99_ms,omitempty"`
+	LockHoldP99Ms     float64 `json:"lock_hold_p99_ms,omitempty"`
+	WALFlushWaitP99Ms float64 `json:"wal_flush_wait_p99_ms,omitempty"`
+	WALSyncP99Ms      float64 `json:"wal_sync_p99_ms,omitempty"`
+	WALBatchMean      float64 `json:"wal_batch_mean,omitempty"`
+	WALBatchP95       float64 `json:"wal_batch_p95,omitempty"`
+	FlushReleaseP99Ms float64 `json:"flush_release_wait_p99_ms,omitempty"`
+	NetQueueP99Ms     float64 `json:"net_enqueue_to_write_p99_ms,omitempty"`
+	NetShed           uint64  `json:"net_shed,omitempty"`
+	LockDeadlocks     uint64  `json:"lock_deadlocks,omitempty"`
+	LockWouldBlock    uint64  `json:"lock_wouldblock,omitempty"`
+	TermRounds        uint64  `json:"term_rounds,omitempty"`
 }
 
 // doc is the top-level JSON document (same convention as BENCH_avail.json
@@ -119,6 +140,7 @@ func main() {
 		seedF      = flag.Int64("seed", 1, "workload seed")
 		presetF    = flag.String("preset", "", "'sweep' runs the baseline-vs-optimized grid, ignoring the single-run flags")
 		jsonF      = flag.String("json", "", "write machine-readable results to this path")
+		obsF       = flag.Bool("obs", true, "attach the obs metrics registry to every run and report stage-level latency breakdowns")
 	)
 	flag.Parse()
 
@@ -151,7 +173,7 @@ func main() {
 
 	out := doc{Command: "loadbench " + strings.Join(os.Args[1:], " ")}
 	for _, p := range runs {
-		r, err := runOne(p, *waldirF, *txnsF)
+		r, err := runOne(p, *waldirF, *txnsF, *obsF)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadbench:", err)
 			os.Exit(1)
@@ -202,7 +224,7 @@ func sweepGrid(d time.Duration, seed int64) []params {
 // fsyncCounter is implemented by WALs that count their fsyncs.
 type fsyncCounter interface{ Fsyncs() uint64 }
 
-func runOne(p params, waldir string, maxTxns int) (result, error) {
+func runOne(p params, waldir string, maxTxns int, withObs bool) (result, error) {
 	sites := make([]types.SiteID, p.Sites)
 	for i := range sites {
 		sites[i] = types.SiteID(i + 1)
@@ -237,6 +259,13 @@ func runOne(p params, waldir string, maxTxns int) (result, error) {
 		Seed:        p.Seed,
 		LockShards:  p.LockShards,
 	}
+	var reg *obs.Registry
+	if withObs {
+		// Metrics only — no span recorder: the benchmark wants the registry's
+		// stage histograms without paying the sampling mutex on the Begin path.
+		reg = obs.NewRegistry()
+		cfg.Obs = &obs.Observer{Registry: reg}
+	}
 	var tcpFab *tcp.Fabric
 	switch p.Transport {
 	case "inproc":
@@ -246,6 +275,7 @@ func runOne(p params, waldir string, maxTxns int) (result, error) {
 		if err != nil {
 			return result{}, err
 		}
+		tcpFab.RegisterMetrics(reg)
 		cfg.Transport = tcpFab
 	default:
 		return result{}, fmt.Errorf("unknown transport %q (want inproc or tcp)", p.Transport)
@@ -356,7 +386,35 @@ func runOne(p params, waldir string, maxTxns int) (result, error) {
 		ws := tcpFab.WriteStats()
 		r.WriteFrames, r.WriteBatches = ws.Frames, ws.Batches
 	}
+	scrapeObs(&r, reg)
 	return r, nil
+}
+
+// scrapeObs folds the registry's per-site stage metrics into the result row:
+// histograms merge across sites before taking quantiles, counters sum. Nil
+// registry (-obs=false) leaves the stage fields zero, and omitempty drops
+// them from the JSON.
+func scrapeObs(r *result, reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	snaps := reg.Snapshot()
+	p99ms := func(base string) float64 {
+		return obs.MergeHistograms(snaps, base).Quantile(0.99) / float64(time.Millisecond)
+	}
+	r.LockWaitP99Ms = p99ms("qcommit_lock_wait_ns")
+	r.LockHoldP99Ms = p99ms("qcommit_lock_hold_ns")
+	r.WALFlushWaitP99Ms = p99ms("qcommit_wal_flush_wait_ns")
+	r.WALSyncP99Ms = p99ms("qcommit_wal_sync_ns")
+	r.FlushReleaseP99Ms = p99ms("qcommit_flush_release_wait_ns")
+	r.NetQueueP99Ms = p99ms("qcommit_net_enqueue_to_write_ns")
+	batch := obs.MergeHistograms(snaps, "qcommit_wal_batch_records")
+	r.WALBatchMean = batch.Mean()
+	r.WALBatchP95 = batch.Quantile(0.95)
+	r.NetShed = obs.SumCounters(snaps, "qcommit_net_shed_total")
+	r.LockDeadlocks = obs.SumCounters(snaps, "qcommit_lock_deadlocks_total")
+	r.LockWouldBlock = obs.SumCounters(snaps, "qcommit_lock_wouldblock_total")
+	r.TermRounds = obs.SumCounters(snaps, "qcommit_term_rounds_total")
 }
 
 // stats accumulates completions.
@@ -409,10 +467,9 @@ func (s *stats) fill(r *result, elapsed time.Duration) {
 	if len(s.latencies) > 0 {
 		sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
 		pct := func(p float64) float64 {
-			idx := int(p * float64(len(s.latencies)-1))
-			return float64(s.latencies[idx]) / float64(time.Millisecond)
+			return float64(istats.PercentileNearestRank(s.latencies, p)) / float64(time.Millisecond)
 		}
-		r.P50Ms, r.P95Ms, r.P99Ms = pct(0.50), pct(0.95), pct(0.99)
+		r.P50Ms, r.P95Ms, r.P99Ms = pct(50), pct(95), pct(99)
 	}
 }
 

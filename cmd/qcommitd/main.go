@@ -21,6 +21,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -38,6 +40,7 @@ import (
 	"qcommit/internal/core"
 	"qcommit/internal/live"
 	"qcommit/internal/msg"
+	"qcommit/internal/obs"
 	"qcommit/internal/protocol"
 	"qcommit/internal/skeenq"
 	"qcommit/internal/threepc"
@@ -60,11 +63,13 @@ func main() {
 		termRounds = flag.Int("max-term-rounds", 3, "termination retry cap")
 		walFlag    = flag.String("wal", "mem", "write-ahead log: mem (lost on process exit), file (fsync per append) or group (group commit: concurrent appends share one fsync)")
 		waldir     = flag.String("waldir", ".", "directory for the on-disk WAL (-wal file|group); the log is qcommitd-site<N>.wal, reused across restarts for recovery")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables. The /metrics and /debug/txns handlers ride the same mux when -metrics is off")
+		metrics    = flag.String("metrics", "", "serve Prometheus-text /metrics and the /debug/txns slow-transaction view on this address (e.g. localhost:9090); empty disables the HTTP endpoint but -pprof still exposes the handlers")
+		traceEvery = flag.Int("trace-sample", 16, "record a commit-path span for every Nth transaction this site coordinates (1 traces everything; used by /debug/txns)")
 		failpoint  = flag.String("failpoint", "", "deterministic fault injection: 'crash-before-decision' SIGKILLs the process when its coordinator first sends a decision-phase message")
 	)
 	flag.Parse()
-	if err := run(*site, *peersFlag, *itemsFlag, *protoFlag, *stratFlag, *timeout, *termRounds, *walFlag, *waldir, *pprofAddr, *failpoint); err != nil {
+	if err := run(*site, *peersFlag, *itemsFlag, *protoFlag, *stratFlag, *timeout, *termRounds, *walFlag, *waldir, *pprofAddr, *metrics, *traceEvery, *failpoint); err != nil {
 		fmt.Fprintln(os.Stderr, "qcommitd:", err)
 		os.Exit(1)
 	}
@@ -94,7 +99,7 @@ func openWAL(mode, dir string, site int) (wal.Log, func() error, error) {
 	}
 }
 
-func run(site int, peersFlag, itemsFlag, protoFlag, stratFlag string, timeoutBase time.Duration, termRounds int, walMode, waldir, pprofAddr, failpoint string) error {
+func run(site int, peersFlag, itemsFlag, protoFlag, stratFlag string, timeoutBase time.Duration, termRounds int, walMode, waldir, pprofAddr, metricsAddr string, traceEvery int, failpoint string) error {
 	if site <= 0 {
 		return fmt.Errorf("-site is required and must be positive")
 	}
@@ -131,11 +136,33 @@ func run(site int, peersFlag, itemsFlag, protoFlag, stratFlag string, timeoutBas
 	if closeWAL != nil {
 		defer closeWAL()
 	}
+
+	// The observer is always built: its registry backs /metrics on both the
+	// -metrics and -pprof muxes, and the span recorder backs /debug/txns.
+	// The hooks are nil-safe throughout, so a deployment that never scrapes
+	// pays one atomic per recording; the seed ties the sampling phase to the
+	// site so multi-site traces do not all sample the same ordinals.
+	ob := &obs.Observer{
+		Registry: obs.NewRegistry(),
+		Spans:    obs.NewSpans(traceEvery, 256, int64(site)),
+	}
+	// DefaultServeMux also carries the net/http/pprof handlers, so -pprof
+	// alone exposes the full observability surface.
+	http.HandleFunc("/metrics", metricsHandler(ob))
+	http.HandleFunc("/debug/txns", txnsHandler(ob))
+	var metricsSrv *http.Server
 	if pprofAddr != "" {
 		go func() {
-			// DefaultServeMux carries the net/http/pprof handlers.
 			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "qcommitd: pprof:", err)
+			}
+		}()
+	}
+	if metricsAddr != "" {
+		metricsSrv = &http.Server{Addr: metricsAddr, Handler: http.DefaultServeMux}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "qcommitd: metrics:", err)
 			}
 		}()
 	}
@@ -144,6 +171,7 @@ func run(site int, peersFlag, itemsFlag, protoFlag, stratFlag string, timeoutBas
 	if err != nil {
 		return err
 	}
+	ep.RegisterMetrics(ob.Registry)
 	var tr transport.Transport = ep
 	if failpoint != "" {
 		if failpoint != "crash-before-decision" {
@@ -167,6 +195,7 @@ func run(site int, peersFlag, itemsFlag, protoFlag, stratFlag string, timeoutBas
 		TimeoutBase:          timeoutBase,
 		MaxTerminationRounds: termRounds,
 		WAL:                  log,
+		Obs:                  ob,
 	}, tr)
 	if err != nil {
 		return err
@@ -175,11 +204,62 @@ func run(site int, peersFlag, itemsFlag, protoFlag, stratFlag string, timeoutBas
 	fmt.Printf("qcommitd: site %d serving %s on %s (%d sites, T=%v)\n",
 		site, protoFlag, ep.Addr(), len(sites), timeoutBase)
 
-	sig := make(chan os.Signal, 1)
+	// Graceful shutdown: stop accepting new work first (the client handler
+	// sheds requests once the server pointer is cleared), then stop the node
+	// — which drains its flusher and closes the transport — then flush and
+	// close the WAL, and finally let the metrics listener finish in-flight
+	// scrapes. Second signal exits immediately.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	s.Stop()
+	fmt.Printf("qcommitd: site %d shutting down\n", site)
+	srv.Store(nil)
+	done := make(chan struct{})
+	go func() {
+		s.Stop()
+		if closeWAL != nil {
+			closeWAL()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-sig:
+		return fmt.Errorf("forced exit on second signal")
+	}
+	if metricsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		metricsSrv.Shutdown(ctx)
+	}
 	return nil
+}
+
+// metricsHandler serves the registry in Prometheus text exposition format.
+func metricsHandler(ob *obs.Observer) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		ob.Reg().WritePrometheus(w)
+	}
+}
+
+// txnsHandler serves the recent sampled commit-path spans as JSON, slowest
+// first — the "why was that transaction slow" view. ?n= bounds the count
+// (default 32).
+func txnsHandler(ob *obs.Observer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := 32
+		if v, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && v > 0 {
+			n = v
+		}
+		started, finished := ob.Spanner().Stats()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Started  uint64     `json:"spans_started"`
+			Finished uint64     `json:"spans_finished"`
+			Slowest  []obs.Span `json:"slowest"`
+		}{started, finished, ob.Spanner().Slowest(n)})
+	}
 }
 
 // handleClient serves one client request. ClientWait blocks for up to the

@@ -183,6 +183,12 @@ func TestLoadbenchJSON(t *testing.T) {
 			TxnsPerSec float64 `json:"txns_per_sec"`
 			P99Ms      float64 `json:"p99_ms"`
 			WALFsyncs  uint64  `json:"wal_fsyncs"`
+			// Stage-level fields scraped from the obs registry.
+			LockHoldP99Ms     float64 `json:"lock_hold_p99_ms"`
+			WALFlushWaitP99Ms float64 `json:"wal_flush_wait_p99_ms"`
+			WALSyncP99Ms      float64 `json:"wal_sync_p99_ms"`
+			WALBatchMean      float64 `json:"wal_batch_mean"`
+			FlushReleaseP99Ms float64 `json:"flush_release_wait_p99_ms"`
 		} `json:"runs"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -200,6 +206,17 @@ func TestLoadbenchJSON(t *testing.T) {
 	// writes multiple records across the 3 sites).
 	if r.WALFsyncs == 0 || r.WALFsyncs >= uint64(r.Completed)*3 {
 		t.Errorf("fsyncs = %d for %d completed txns: group commit not amortizing", r.WALFsyncs, r.Completed)
+	}
+	// The obs registry is scraped into the report by default: every
+	// commit-path stage that runs under this config must have produced
+	// samples (net_* fields are absent here — the transport is in-process).
+	if r.LockHoldP99Ms <= 0 || r.WALFlushWaitP99Ms <= 0 || r.WALSyncP99Ms <= 0 || r.FlushReleaseP99Ms <= 0 {
+		t.Errorf("missing stage-level percentiles: %+v", r)
+	}
+	// Group commit must show in the scrape too, and agree with the WAL's own
+	// fsync counter: batches * mean records per batch ≈ records appended.
+	if r.WALBatchMean < 1 {
+		t.Errorf("wal_batch_mean = %v, want >= 1", r.WALBatchMean)
 	}
 }
 

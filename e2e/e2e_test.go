@@ -12,12 +12,16 @@
 package e2e
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -57,6 +61,7 @@ type daemon struct {
 type cluster struct {
 	t       *testing.T
 	peers   map[types.SiteID]string
+	metrics map[types.SiteID]string
 	daemons map[types.SiteID]*daemon
 	clients map[types.SiteID]*client.Client
 }
@@ -69,6 +74,7 @@ func startCluster(t *testing.T, n int, proto string, failpointSite types.SiteID)
 	c := &cluster{
 		t:       t,
 		peers:   make(map[types.SiteID]string),
+		metrics: make(map[types.SiteID]string),
 		daemons: make(map[types.SiteID]*daemon),
 		clients: make(map[types.SiteID]*client.Client),
 	}
@@ -85,6 +91,12 @@ func startCluster(t *testing.T, n int, proto string, failpointSite types.SiteID)
 			peersArg += ","
 		}
 		peersArg += fmt.Sprintf("%d=%s", i, addr)
+		mln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.metrics[types.SiteID(i)] = mln.Addr().String()
+		mln.Close()
 	}
 	for i := 1; i <= n; i++ {
 		site := types.SiteID(i)
@@ -94,6 +106,7 @@ func startCluster(t *testing.T, n int, proto string, failpointSite types.SiteID)
 			"-items", "x,y",
 			"-protocol", proto,
 			"-timeout-base", "100ms",
+			"-metrics", c.metrics[site],
 		}
 		if site == failpointSite {
 			args = append(args, "-failpoint", "crash-before-decision")
@@ -219,6 +232,21 @@ func TestCoordinatorKill9(t *testing.T) {
 					t.Errorf("site %d copy of x = (%d, found=%v, err=%v), want untouched 0", site, v, found, err)
 				}
 			}
+			if tc.proto == "qc1" {
+				// A survivor's metrics must show the termination protocol:
+				// at least one election round, ending in the abort it
+				// reported above.
+				vals := c.scrape(2)
+				if got := metricSum(vals, "qcommit_txns_aborted_total"); got < 1 {
+					t.Errorf("survivor aborted_total = %v, want >= 1", got)
+				}
+				if got := metricSum(vals, "qcommit_term_rounds_total"); got < 1 {
+					t.Errorf("survivor term_rounds_total = %v, want >= 1 (termination protocol ran)", got)
+				}
+				if got := metricSum(vals, "qcommit_net_frames_total"); got == 0 {
+					t.Error("survivor exchanged no frames according to /metrics")
+				}
+			}
 		})
 	}
 }
@@ -271,6 +299,66 @@ func TestPartition(t *testing.T) {
 	for _, site := range []types.SiteID{1, 3, 5} {
 		c.readEventually(site, "y", 5, 10*time.Second)
 	}
+
+	// The metrics catalogue must reflect the story the clients saw: both
+	// partition-era coordinators counted their abort, the post-heal
+	// coordinator counted its commit, and its commit latency histogram has
+	// exactly the transactions it coordinated.
+	for _, site := range []types.SiteID{1, 3} {
+		if got := metricSum(c.scrape(site), "qcommit_txns_aborted_total"); got < 1 {
+			t.Errorf("site %d aborted_total = %v, want >= 1", site, got)
+		}
+	}
+	vals := c.scrape(2)
+	if got := metricSum(vals, "qcommit_txns_committed_total"); got < 1 {
+		t.Errorf("post-heal coordinator committed_total = %v, want >= 1", got)
+	}
+	if got := metricSum(vals, "qcommit_commit_ns_count"); got < 1 {
+		t.Errorf("post-heal coordinator commit_ns samples = %v, want >= 1", got)
+	}
+}
+
+// scrape fetches a site's /metrics endpoint and parses the Prometheus text
+// into full-series values, keyed by name-with-labels.
+func (c *cluster) scrape(site types.SiteID) map[string]float64 {
+	c.t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", c.metrics[site]))
+	if err != nil {
+		c.t.Fatalf("scraping site %d: %v", site, err)
+	}
+	defer resp.Body.Close()
+	vals := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		vals[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		c.t.Fatalf("reading site %d metrics: %v", site, err)
+	}
+	return vals
+}
+
+// metricSum adds up every series of base across its label sets.
+func metricSum(vals map[string]float64, base string) float64 {
+	var sum float64
+	for name, v := range vals {
+		if name == base || strings.HasPrefix(name, base+"{") {
+			sum += v
+		}
+	}
+	return sum
 }
 
 // readEventually polls site's copy of item until it holds want or the

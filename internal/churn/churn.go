@@ -44,6 +44,7 @@ import (
 
 	"qcommit/internal/avail"
 	"qcommit/internal/sim"
+	"qcommit/internal/stats"
 	"qcommit/internal/voting"
 )
 
@@ -289,18 +290,7 @@ type Result struct {
 // time-to-termination distribution by the nearest-rank method, or 0 with no
 // terminated transactions.
 func (r Result) LatencyPercentile(p float64) sim.Duration {
-	n := len(r.Latencies)
-	if n == 0 {
-		return 0
-	}
-	idx := int(math.Ceil(p/100*float64(n))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= n {
-		idx = n - 1
-	}
-	return r.Latencies[idx]
+	return stats.PercentileNearestRank(r.Latencies, p)
 }
 
 // CommittedCI is the 95% Wilson interval around CommittedFraction, treating

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"qcommit/internal/msg"
+	"qcommit/internal/obs"
 	"qcommit/internal/protocol"
 	"qcommit/internal/transport"
 	"qcommit/internal/transport/inproc"
@@ -61,6 +62,12 @@ type Config struct {
 	// LockShards overrides each node's lock-manager shard count
 	// (0 means lockmgr.DefaultShards).
 	LockShards int
+	// Obs optionally attaches an observability sink: every node registers
+	// its metric set (and its lock manager's and group WAL's) on the
+	// observer's registry, and the observer's span recorder samples
+	// commit-path traces. Nil — the default — keeps every hook a single
+	// pointer check.
+	Obs *obs.Observer
 }
 
 type event struct {
@@ -170,7 +177,7 @@ func New(cfg Config) *Cluster {
 		if cfg.WAL != nil {
 			log = cfg.WAL(id)
 		}
-		n := newNode(id, cl, log, cfg.LockShards)
+		n := newNode(id, cl, log, cfg.LockShards, cfg.Obs)
 		cl.nodes[id] = n
 	}
 	for _, item := range cfg.Assignment.Items() {

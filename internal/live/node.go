@@ -7,6 +7,7 @@ import (
 	"qcommit/internal/election"
 	"qcommit/internal/lockmgr"
 	"qcommit/internal/msg"
+	"qcommit/internal/obs"
 	"qcommit/internal/protocol"
 	"qcommit/internal/sim"
 	"qcommit/internal/storage"
@@ -27,6 +28,14 @@ type txnCtx struct {
 
 	auto map[protocol.Role]protocol.Automaton
 	gen  map[protocol.Role]uint32
+
+	// sampled caches whether this transaction carries a recording span, so
+	// unsampled transactions never touch the span recorder's mutex after the
+	// one Start/Sampled probe. beganNS is the coordinator's begin timestamp
+	// backing the commit-latency histogram (0 when metrics are off or this
+	// site is not the coordinator).
+	sampled bool
+	beganNS int64
 
 	elect     *election.FSM
 	nextEpoch uint32
@@ -74,6 +83,8 @@ type Node struct {
 	defRecs       []wal.Record
 	defSends      []sendOp
 	defNotifies   []types.TxnID
+	defMarks      []types.TxnID // sampled txns whose appends await their durable mark
+	defFinishes   []spanFinish  // sampled decisions whose spans close once durable
 
 	flushMu   sync.Mutex
 	flushCond *sync.Cond
@@ -92,6 +103,11 @@ type Node struct {
 	store *storage.Store
 	locks *lockmgr.Manager
 
+	// met and spans are the optional observability hooks (both nil-safe and
+	// nil when the host was built without an Observer).
+	met   *nodeMetrics
+	spans *obs.Spans
+
 	txns    map[types.TxnID]*txnCtx
 	crashed bool
 }
@@ -109,9 +125,11 @@ type flushJob struct {
 	recs     []wal.Record
 	sends    []sendOp
 	notifies []types.TxnID
+	marks    []types.TxnID
+	finishes []spanFinish
 }
 
-func newNode(id types.SiteID, h host, log wal.Log, lockShards int) *Node {
+func newNode(id types.SiteID, h host, log wal.Log, lockShards int, o *obs.Observer) *Node {
 	if log == nil {
 		log = wal.NewMemLog()
 	}
@@ -123,6 +141,12 @@ func newNode(id types.SiteID, h host, log wal.Log, lockShards int) *Node {
 		locks: lockmgr.NewSharded(id, lockShards),
 		txns:  make(map[types.TxnID]*txnCtx),
 		view:  make(map[types.TxnID]types.Outcome),
+	}
+	n.met = newNodeMetrics(o, id)
+	n.spans = o.Spanner()
+	n.locks.SetMetrics(lockmgr.NewMetrics(o.Reg(), id, n.locks.Shards()))
+	if gl, ok := log.(*wal.GroupLog); ok {
+		gl.RegisterMetrics(o.Reg(), id)
 	}
 	n.alog, _ = log.(wal.AsyncLog)
 	if recs, err := log.Records(); err == nil && len(recs) > 0 {
@@ -166,6 +190,9 @@ func (n *Node) post(ev event) {
 		return
 	}
 	n.mbox = append(n.mbox, ev)
+	if n.met != nil {
+		n.met.mboxDepth.Set(int64(len(n.mbox)))
+	}
 	n.mboxCond.Signal()
 }
 
@@ -179,6 +206,9 @@ func (n *Node) loop(wg *sync.WaitGroup) {
 		batch := n.mbox
 		n.mbox = nil
 		n.mboxMu.Unlock()
+		if n.met != nil {
+			n.met.mboxDepth.Set(0)
+		}
 		for _, ev := range batch {
 			switch {
 			case ev.stop:
@@ -202,16 +232,29 @@ func (n *Node) loop(wg *sync.WaitGroup) {
 // ticket in the event's pending context — on an AsyncLog, synchronously
 // otherwise.
 func (n *Node) append(rec wal.Record) {
+	sampled := false
+	if n.spans != nil {
+		if c := n.txns[rec.Txn]; c != nil && c.sampled {
+			sampled = true
+			n.spans.Mark(uint64(rec.Txn), int(n.id), obs.StageWALAppend)
+		}
+	}
 	if n.alog != nil {
 		n.pendingTicket = n.alog.AppendAsync(rec)
 		n.havePending = true
 		n.defRecs = append(n.defRecs, rec)
+		if sampled {
+			n.defMarks = append(n.defMarks, rec.Txn)
+		}
 		return
 	}
 	n.walMu.Lock()
 	_ = n.log.Append(rec)
 	n.walMu.Unlock()
 	n.applyView([]wal.Record{rec})
+	if sampled {
+		n.spans.Mark(uint64(rec.Txn), int(n.id), obs.StageWALDurable)
+	}
 }
 
 // notifyOutcome defers the notification behind a pending append (outcome
@@ -232,9 +275,13 @@ func (n *Node) finishEvent() {
 	if !n.havePending {
 		return
 	}
-	job := flushJob{ticket: n.pendingTicket, recs: n.defRecs, sends: n.defSends, notifies: n.defNotifies}
+	job := flushJob{
+		ticket: n.pendingTicket, recs: n.defRecs, sends: n.defSends,
+		notifies: n.defNotifies, marks: n.defMarks, finishes: n.defFinishes,
+	}
 	n.havePending = false
 	n.defRecs, n.defSends, n.defNotifies = nil, nil, nil
+	n.defMarks, n.defFinishes = nil, nil
 	if len(job.recs) == 0 && len(job.sends) == 0 && len(job.notifies) == 0 {
 		return
 	}
@@ -264,18 +311,31 @@ func (n *Node) flusher(wg *sync.WaitGroup) {
 		n.flushQ = nil
 		n.flushMu.Unlock()
 		for _, j := range jobs {
+			var t0 int64
+			if n.met != nil {
+				t0 = time.Now().UnixNano()
+			}
 			if err := n.alog.WaitDurable(j.ticket); err != nil {
 				continue // log closed or failed: shed, timeouts recover
+			}
+			if n.met != nil {
+				n.met.flushWait.ObserveNS(time.Now().UnixNano() - t0)
 			}
 			// The records are durable now: publish them to the outcome view
 			// BEFORE the notifications it gates, so a woken waiter observes
 			// the decision.
 			n.applyView(j.recs)
+			for _, txn := range j.marks {
+				n.spans.Mark(uint64(txn), int(n.id), obs.StageWALDurable)
+			}
 			for _, op := range j.sends {
 				n.h.send(op.from, op.to, op.m)
 			}
 			for _, txn := range j.notifies {
 				n.h.notifyOutcome(txn)
+			}
+			for _, fin := range j.finishes {
+				n.spans.Finish(uint64(fin.txn), fin.outcome)
 			}
 		}
 	}
@@ -331,6 +391,13 @@ func (n *Node) dispatch(e msg.Envelope) {
 		c.ws = m.ws
 		c.participants = m.participants
 		c.coordSite = n.id
+		n.met.onBegin()
+		if n.met != nil {
+			c.beganNS = time.Now().UnixNano()
+		}
+		if n.spans.Start(uint64(m.txn)) {
+			c.sampled = true
+		}
 		n.install(c, protocol.RoleCoordinator, n.h.spec().NewCoordinator(m.txn, m.ws, m.participants))
 		return
 	case crashMsg:
@@ -393,6 +460,16 @@ func (n *Node) dispatch(e msg.Envelope) {
 			c.coordSite = m.Coord
 		}
 		if c.auto[protocol.RoleParticipant] == nil {
+			// Adopt the coordinator's span if it sampled this transaction
+			// (one recorder lookup per participant install; under the
+			// distributed Server host the recorder never started it, so
+			// spans stay coordinator-local there).
+			if !c.sampled && n.spans.Sampled(uint64(txn)) {
+				c.sampled = true
+			}
+			if c.sampled {
+				n.spans.Mark(uint64(txn), int(n.id), obs.StageVoteReq)
+			}
 			n.install(c, protocol.RoleParticipant, n.h.spec().NewParticipant(txn, nil))
 		}
 		n.deliver(c, protocol.RoleParticipant, e)
@@ -453,6 +530,11 @@ func (n *Node) dispatch(e msg.Envelope) {
 
 	case msg.VoteResp, msg.Done:
 		if c := n.txns[txn]; c != nil {
+			if c.sampled {
+				if _, isVote := e.Msg.(msg.VoteResp); isVote {
+					n.spans.Mark(uint64(txn), int(e.From), obs.StageVote)
+				}
+			}
 			n.deliver(c, protocol.RoleCoordinator, e)
 		}
 
@@ -489,6 +571,10 @@ func (n *Node) startElection(c *txnCtx, epoch uint32, campaign bool) {
 			return
 		}
 		c.rounds++
+		n.met.onTermRound()
+		if c.sampled {
+			n.spans.Mark(uint64(c.txn), int(n.id), obs.StageTermRound)
+		}
 	}
 	if epoch < c.nextEpoch {
 		epoch = c.nextEpoch
@@ -561,12 +647,17 @@ func (n *Node) doCommit(c *txnCtx) {
 	if c.terminal() {
 		return
 	}
+	if c.sampled {
+		n.spans.Mark(uint64(c.txn), int(n.id), obs.StageDecision)
+	}
 	n.append(wal.Record{Type: wal.RecCommit, Txn: c.txn})
 	n.store.ApplyWriteset(c.ws, uint64(c.txn)+1)
 	n.h.noteCommitApplied(n, c)
 	n.locks.ReleaseAll(c.txn)
 	c.outcome = types.OutcomeCommitted
 	n.quiesce(c)
+	n.met.onCommit()
+	n.noteDecision(c, "committed")
 	n.notifyOutcome(c.txn)
 }
 
@@ -574,11 +665,37 @@ func (n *Node) doAbort(c *txnCtx) {
 	if c.terminal() {
 		return
 	}
+	if c.sampled {
+		n.spans.Mark(uint64(c.txn), int(n.id), obs.StageDecision)
+	}
 	n.append(wal.Record{Type: wal.RecAbort, Txn: c.txn})
 	n.locks.ReleaseAll(c.txn)
 	c.outcome = types.OutcomeAborted
 	n.quiesce(c)
+	n.met.onAbort()
+	n.noteDecision(c, "aborted")
 	n.notifyOutcome(c.txn)
+}
+
+// noteDecision records the coordinator-side terminal observability: the
+// begin→decision latency sample (commits only) and the span completion,
+// which defers behind the decision record's pending append so a finished
+// span always describes a durable outcome.
+func (n *Node) noteDecision(c *txnCtx, outcome string) {
+	if c.coordSite != n.id {
+		return
+	}
+	if n.met != nil && c.beganNS != 0 && outcome == "committed" {
+		n.met.commitNS.ObserveNS(time.Now().UnixNano() - c.beganNS)
+	}
+	if !c.sampled {
+		return
+	}
+	if n.havePending {
+		n.defFinishes = append(n.defFinishes, spanFinish{txn: c.txn, outcome: outcome})
+		return
+	}
+	n.spans.Finish(uint64(c.txn), outcome)
 }
 
 func (n *Node) quiesce(c *txnCtx) {
@@ -666,11 +783,16 @@ func (e *nodeEnv) RequestTermination(txn types.TxnID) {
 func (e *nodeEnv) TerminatorDone(types.TxnID) {}
 
 func (e *nodeEnv) AcquireLocks(txn types.TxnID) bool {
-	c := e.node.txns[txn]
+	n := e.node
+	c := n.txns[txn]
 	if c == nil {
 		return false
 	}
-	return e.node.lockLocalCopies(txn, c.ws)
+	ok := n.lockLocalCopies(txn, c.ws)
+	if ok && c.sampled {
+		n.spans.Mark(uint64(txn), int(n.id), obs.StageLocks)
+	}
+	return ok
 }
 
 func (e *nodeEnv) Tracef(string, ...any) {}

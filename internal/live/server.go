@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"qcommit/internal/msg"
+	"qcommit/internal/obs"
 	"qcommit/internal/protocol"
 	"qcommit/internal/storage"
 	"qcommit/internal/transport"
@@ -40,6 +41,10 @@ type ServerConfig struct {
 	// LockShards overrides the lock-manager shard count (0 means
 	// lockmgr.DefaultShards).
 	LockShards int
+	// Obs optionally attaches an observability sink, as in Config.Obs. On a
+	// Server the span recorder sees only this process's timeline, so traces
+	// cover transactions this site coordinates.
+	Obs *obs.Observer
 }
 
 // Server hosts ONE site of an assignment over a transport — the deployment
@@ -88,7 +93,7 @@ func NewServer(id types.SiteID, cfg ServerConfig, tr transport.Transport) (*Serv
 		tr:    tr,
 		notes: make(map[types.TxnID]*outcomeNote),
 	}
-	s.node = newNode(id, s, cfg.WAL, cfg.LockShards)
+	s.node = newNode(id, s, cfg.WAL, cfg.LockShards, cfg.Obs)
 	for _, item := range cfg.Assignment.Items() {
 		ic, _ := cfg.Assignment.Item(item)
 		for _, cp := range ic.Copies {

@@ -26,7 +26,9 @@ import (
 	"hash/maphash"
 	"sort"
 	"sync"
+	"time"
 
+	"qcommit/internal/obs"
 	"qcommit/internal/types"
 )
 
@@ -72,12 +74,80 @@ type lockState struct {
 	mode    Mode
 	holders map[types.TxnID]int // re-entrancy count
 	queue   []*request
+	since   map[types.TxnID]int64 // grant timestamps (ns); nil unless metrics are on
 }
 
 // shard is one slice of the lock table: its own mutex, its own items.
 type shard struct {
+	idx   int
 	mu    sync.Mutex
 	locks map[types.ItemID]*lockState
+}
+
+// Metrics carries the lock manager's observability handles. Wait and Hold
+// are indexed by shard — contention is a per-shard phenomenon under the
+// hashed table, so that is the granularity profile hunts need. Any nil
+// handle (or a nil *Metrics on the manager) records nothing; the zero value
+// costs one pointer check per operation.
+type Metrics struct {
+	// Wait observes, per shard, how long Acquire calls that actually
+	// blocked waited for their grant.
+	Wait []*obs.Histogram
+	// Hold observes, per shard, the time from a transaction's grant on an
+	// item to its final release of that item.
+	Hold []*obs.Histogram
+	// Deadlocks counts waits refused because they would close a cycle.
+	Deadlocks *obs.Counter
+	// WouldBlock counts non-blocking acquisitions that found the lock taken.
+	WouldBlock *obs.Counter
+}
+
+// NewMetrics builds (and registers under canonical qcommit_lock_* names,
+// labelled by site and shard) the handle set for a manager with the given
+// shard count. A nil registry yields nil, keeping the whole chain free.
+func NewMetrics(reg *obs.Registry, site types.SiteID, shards int) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &Metrics{
+		Deadlocks:  reg.Counter(fmt.Sprintf(`qcommit_lock_deadlocks_total{site="%d"}`, site)),
+		WouldBlock: reg.Counter(fmt.Sprintf(`qcommit_lock_wouldblock_total{site="%d"}`, site)),
+	}
+	for i := 0; i < shards; i++ {
+		m.Wait = append(m.Wait, reg.Histogram(fmt.Sprintf(`qcommit_lock_wait_ns{site="%d",shard="%d"}`, site, i), obs.LatencyBounds()))
+		m.Hold = append(m.Hold, reg.Histogram(fmt.Sprintf(`qcommit_lock_hold_ns{site="%d",shard="%d"}`, site, i), obs.LatencyBounds()))
+	}
+	return m
+}
+
+// wait returns the shard's wait histogram (nil-safe).
+func (mt *Metrics) wait(i int) *obs.Histogram {
+	if mt == nil || i >= len(mt.Wait) {
+		return nil
+	}
+	return mt.Wait[i]
+}
+
+// hold returns the shard's hold histogram (nil-safe).
+func (mt *Metrics) hold(i int) *obs.Histogram {
+	if mt == nil || i >= len(mt.Hold) {
+		return nil
+	}
+	return mt.Hold[i]
+}
+
+// wouldBlock bumps the would-block counter (nil-safe).
+func (mt *Metrics) wouldBlock() {
+	if mt != nil {
+		mt.WouldBlock.Inc()
+	}
+}
+
+// deadlock bumps the deadlock counter (nil-safe).
+func (mt *Metrics) deadlock() {
+	if mt != nil {
+		mt.Deadlocks.Inc()
+	}
 }
 
 // DefaultShards is the shard count New uses.
@@ -98,7 +168,16 @@ type Manager struct {
 	graphMu sync.Mutex
 	// waitsFor[t] = set of transactions t waits for.
 	waitsFor map[types.TxnID]map[types.TxnID]bool
+
+	// met is the optional observability handle set; nil means every
+	// recording below is a single pointer check.
+	met *Metrics
 }
+
+// SetMetrics installs the manager's observability handles. Call it before
+// the manager sees traffic; operations in flight during the swap may record
+// into either handle set.
+func (m *Manager) SetMetrics(mt *Metrics) { m.met = mt }
 
 // New creates a lock manager for a site with DefaultShards shards.
 func New(site types.SiteID) *Manager { return NewSharded(site, DefaultShards) }
@@ -115,9 +194,34 @@ func NewSharded(site types.SiteID, shards int) *Manager {
 		waitsFor: make(map[types.TxnID]map[types.TxnID]bool),
 	}
 	for i := range m.shards {
+		m.shards[i].idx = i
 		m.shards[i].locks = make(map[types.ItemID]*lockState)
 	}
 	return m
+}
+
+// noteGrantLocked stamps txn's grant time on ls for hold-time measurement;
+// runs under the shard mutex, no-op without metrics.
+func (m *Manager) noteGrantLocked(ls *lockState, txn types.TxnID) {
+	if m.met == nil {
+		return
+	}
+	if ls.since == nil {
+		ls.since = make(map[types.TxnID]int64)
+	}
+	ls.since[txn] = time.Now().UnixNano()
+}
+
+// noteReleaseLocked observes txn's hold time on ls; runs under the shard
+// mutex, no-op without metrics or when the grant predates SetMetrics.
+func (m *Manager) noteReleaseLocked(sh *shard, ls *lockState, txn types.TxnID) {
+	if m.met == nil || ls.since == nil {
+		return
+	}
+	if t0, ok := ls.since[txn]; ok {
+		delete(ls.since, txn)
+		m.met.hold(sh.idx).ObserveNS(time.Now().UnixNano() - t0)
+	}
 }
 
 // Site returns the owning site.
@@ -145,6 +249,7 @@ func (m *Manager) TryAcquire(txn types.TxnID, item types.ItemID, mode Mode) erro
 	ls := sh.locks[item]
 	if ls == nil || len(ls.holders) == 0 {
 		sh.grantLocked(txn, item, mode)
+		m.noteGrantLocked(sh.locks[item], txn)
 		return nil
 	}
 	if _, holds := ls.holders[txn]; holds {
@@ -154,6 +259,7 @@ func (m *Manager) TryAcquire(txn types.TxnID, item types.ItemID, mode Mode) erro
 				ls.holders[txn]++
 				return nil
 			}
+			m.met.wouldBlock()
 			return ErrWouldBlock
 		}
 		ls.holders[txn]++
@@ -161,8 +267,10 @@ func (m *Manager) TryAcquire(txn types.TxnID, item types.ItemID, mode Mode) erro
 	}
 	if compatible(ls.mode, mode) && len(ls.queue) == 0 {
 		ls.holders[txn] = 1
+		m.noteGrantLocked(ls, txn)
 		return nil
 	}
+	m.met.wouldBlock()
 	return ErrWouldBlock
 }
 
@@ -175,6 +283,7 @@ func (m *Manager) Acquire(txn types.TxnID, item types.ItemID, mode Mode) error {
 	ls := sh.locks[item]
 	if ls == nil || len(ls.holders) == 0 {
 		sh.grantLocked(txn, item, mode)
+		m.noteGrantLocked(sh.locks[item], txn)
 		sh.mu.Unlock()
 		return nil
 	}
@@ -196,6 +305,7 @@ func (m *Manager) Acquire(txn types.TxnID, item types.ItemID, mode Mode) error {
 	}
 	if compatible(ls.mode, mode) && len(ls.queue) == 0 {
 		ls.holders[txn] = 1
+		m.noteGrantLocked(ls, txn)
 		sh.mu.Unlock()
 		return nil
 	}
@@ -210,13 +320,22 @@ func (m *Manager) Acquire(txn types.TxnID, item types.ItemID, mode Mode) error {
 		m.clearEdgesLocked(txn)
 		m.graphMu.Unlock()
 		sh.mu.Unlock()
+		m.met.deadlock()
 		return ErrDeadlock
 	}
 	m.graphMu.Unlock()
+	var t0 int64
+	if m.met != nil {
+		t0 = time.Now().UnixNano()
+	}
 	req := &request{txn: txn, mode: mode, grant: make(chan error, 1)}
 	ls.queue = append(ls.queue, req)
 	sh.mu.Unlock()
-	return <-req.grant
+	err := <-req.grant
+	if m.met != nil && err == nil {
+		m.met.wait(sh.idx).ObserveNS(time.Now().UnixNano() - t0)
+	}
+	return err
 }
 
 // Release drops one hold of txn on item, waking waiters when it becomes free.
@@ -234,6 +353,7 @@ func (m *Manager) Release(txn types.TxnID, item types.ItemID) {
 			return
 		}
 		delete(ls.holders, txn)
+		m.noteReleaseLocked(sh, ls, txn)
 	}
 	m.wakeLocked(sh, item)
 }
@@ -246,6 +366,7 @@ func (m *Manager) ReleaseAll(txn types.TxnID) {
 		for item, ls := range sh.locks {
 			if _, ok := ls.holders[txn]; ok {
 				delete(ls.holders, txn)
+				m.noteReleaseLocked(sh, ls, txn)
 				m.wakeLocked(sh, item)
 			}
 			// Also drop a queued request from an aborted transaction.
@@ -361,6 +482,7 @@ func (m *Manager) wakeLocked(sh *shard, item types.ItemID) {
 			ls.queue = ls.queue[1:]
 			ls.mode = head.mode
 			ls.holders[head.txn] = 1
+			m.noteGrantLocked(ls, head.txn)
 			m.clearEdges(head.txn)
 			head.grant <- nil
 			continue
@@ -368,6 +490,7 @@ func (m *Manager) wakeLocked(sh *shard, item types.ItemID) {
 		if compatible(ls.mode, head.mode) {
 			ls.queue = ls.queue[1:]
 			ls.holders[head.txn] = 1
+			m.noteGrantLocked(ls, head.txn)
 			m.clearEdges(head.txn)
 			head.grant <- nil
 			continue

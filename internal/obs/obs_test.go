@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Error("get-or-create returned a different counter for the same name")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilHandlesAreFree(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var s *Spans
+	var r *Registry
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(1)
+	h.ObserveNS(5)
+	if h.Snapshot().Count != 0 {
+		t.Error("nil histogram snapshot not empty")
+	}
+	if s.Start(1) {
+		t.Error("nil spans sampled")
+	}
+	s.Mark(1, 0, StageVote)
+	s.Finish(1, "committed")
+	if s.Recent() != nil || s.Slowest(3) != nil {
+		t.Error("nil spans returned data")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Error("nil registry returned non-nil handles")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot not nil")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // bucket <=10
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50) // bucket <=100
+	}
+	h.Observe(5000) // overflow
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if got := s.Quantile(0.50); got != 10 {
+		t.Errorf("p50 = %v, want 10 (bucket bound)", got)
+	}
+	if got := s.Quantile(0.95); got != 100 {
+		t.Errorf("p95 = %v, want 100", got)
+	}
+	if got := s.Quantile(1.0); got != 5000 {
+		t.Errorf("p100 = %v, want recorded max 5000", got)
+	}
+	if mean := s.Mean(); mean < 59 || mean > 60 {
+		t.Errorf("mean = %v, want 59.5", mean)
+	}
+	if s.Max != 5000 {
+		t.Errorf("max = %v, want 5000", s.Max)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines while a
+// reader snapshots it; run under -race this pins the lock-free Observe path.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	const goroutines, per = 8, 5000
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	readers.Add(1)
+	go func() { // concurrent reader
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = h.Snapshot().Quantile(0.99)
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveNS(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Errorf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("qc_txns_total").Add(3)
+	r.Gauge(`qc_depth{site="1"}`).Set(5)
+	h := r.Histogram(`qc_lat_ns{site="1",shard="0"}`, []float64{10, 100})
+	h.Observe(7)
+	h.Observe(700)
+	r.RegisterCounterFunc("qc_ext_total", func() uint64 { return 9 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"qc_txns_total 3",
+		`qc_depth{site="1"} 5`,
+		`qc_lat_ns_bucket{site="1",shard="0",le="10"} 1`,
+		`qc_lat_ns_bucket{site="1",shard="0",le="100"} 1`,
+		`qc_lat_ns_bucket{site="1",shard="0",le="+Inf"} 2`,
+		`qc_lat_ns_sum{site="1",shard="0"} 707`,
+		`qc_lat_ns_count{site="1",shard="0"} 2`,
+		"qc_ext_total 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	r := NewRegistry()
+	for _, site := range []string{"1", "2"} {
+		h := r.Histogram(`m_ns{site="`+site+`"}`, []float64{10, 100})
+		h.Observe(5)
+		h.Observe(50)
+	}
+	merged := MergeHistograms(r.Snapshot(), "m_ns")
+	if merged.Count != 4 || merged.Sum != 110 {
+		t.Errorf("merged count/sum = %d/%v, want 4/110", merged.Count, merged.Sum)
+	}
+	if got := SumCounters(r.Snapshot(), "m_ns"); got != 0 {
+		t.Errorf("SumCounters over histograms = %d, want 0", got)
+	}
+	r.Counter(`c_total{site="1"}`).Add(2)
+	r.Counter(`c_total{site="2"}`).Add(3)
+	if got := SumCounters(r.Snapshot(), "c_total"); got != 5 {
+		t.Errorf("SumCounters = %d, want 5", got)
+	}
+}
+
+// TestSpanSamplingDeterminism pins the seeded sampler: two recorders with
+// the same seed and period sample exactly the same Start ordinals, a third
+// with a different seed is phase-shifted but samples the same count, and
+// period 1 samples everything.
+func TestSpanSamplingDeterminism(t *testing.T) {
+	const n = 256
+	pick := func(seed int64, every int) []int {
+		s := NewSpans(every, 64, seed)
+		var got []int
+		for i := 0; i < n; i++ {
+			if s.Start(uint64(i)) {
+				got = append(got, i)
+				s.Finish(uint64(i), "committed")
+			}
+		}
+		return got
+	}
+	a, b := pick(7, 16), pick(7, 16)
+	if len(a) != n/16 {
+		t.Fatalf("sampled %d of %d with period 16, want %d", len(a), n, n/16)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	c := pick(8, 16)
+	if len(c) != n/16 {
+		t.Errorf("different seed sampled %d, want %d (phase shift only)", len(c), n/16)
+	}
+	if all := pick(1, 1); len(all) != n {
+		t.Errorf("period 1 sampled %d of %d", len(all), n)
+	}
+}
+
+func TestSpanLifecycleAndSlowest(t *testing.T) {
+	s := NewSpans(1, 4, 1)
+	for i := 1; i <= 6; i++ { // overflows the 4-slot ring
+		if !s.Start(uint64(i)) {
+			t.Fatalf("txn %d not sampled at period 1", i)
+		}
+		s.Mark(uint64(i), 2, StageVote)
+		s.Mark(uint64(i), 1, StageDecision)
+		s.Finish(uint64(i), "committed")
+	}
+	recent := s.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("recent = %d spans, want ring capacity 4", len(recent))
+	}
+	if recent[0].Txn != 6 || recent[3].Txn != 3 {
+		t.Errorf("recent order = %d..%d, want 6..3", recent[0].Txn, recent[3].Txn)
+	}
+	sp := recent[0]
+	if sp.Outcome != "committed" || len(sp.Stages) != 3 {
+		t.Errorf("span = %+v, want committed with recv+vote+decision stages", sp)
+	}
+	if sp.Stages[0].Stage != StageRecv || sp.Stages[1].Stage != StageVote || sp.Stages[1].Site != 2 {
+		t.Errorf("stage order/site wrong: %+v", sp.Stages)
+	}
+	if slow := s.Slowest(2); len(slow) != 2 {
+		t.Errorf("Slowest(2) = %d spans", len(slow))
+	}
+	started, finished := s.Stats()
+	if started != 6 || finished != 6 {
+		t.Errorf("stats = %d/%d, want 6/6", started, finished)
+	}
+	// Marks and finishes for unsampled or unknown txns are safe no-ops.
+	s.Mark(99, 0, StageVote)
+	s.Finish(99, "aborted")
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Commit-path stage names. The live runtime marks these on every sampled
+// transaction's span; each is timestamped relative to the span's start, and
+// a stage can repeat (one vote mark per participant, one termination mark
+// per election round). The span stream is the client-visible history
+// substrate for offline auditing: ordered, timestamped, per-transaction.
+const (
+	// StageRecv is the client/submitter receive — span start.
+	StageRecv = "recv"
+	// StageLocks is local lock acquisition at a site.
+	StageLocks = "locks"
+	// StageVoteReq is the coordinator dispatching the vote round.
+	StageVoteReq = "vote_req"
+	// StageVote is one participant vote arriving at the coordinator.
+	StageVote = "vote"
+	// StageWALAppend is a WAL append entering the (possibly async) log.
+	StageWALAppend = "wal_append"
+	// StageWALDurable is the append's group-commit batch landing on disk.
+	StageWALDurable = "wal_durable"
+	// StageDecision is the local commit/abort decision being applied.
+	StageDecision = "decision"
+	// StageTermRound is one termination-protocol election round starting.
+	StageTermRound = "term_round"
+	// StageNotify is the outcome notification waking client waiters.
+	StageNotify = "notify"
+)
+
+// StageEvent is one timestamped stage mark.
+type StageEvent struct {
+	Site  int    `json:"site"`
+	Stage string `json:"stage"`
+	AtNS  int64  `json:"at_ns"` // relative to the span's start
+}
+
+// Span is one sampled transaction's commit-path timeline.
+type Span struct {
+	Txn     uint64       `json:"txn"`
+	StartNS int64        `json:"start_unix_ns"`
+	EndNS   int64        `json:"end_unix_ns"` // 0 while in flight
+	Outcome string       `json:"outcome"`     // "" while in flight
+	Stages  []StageEvent `json:"stages"`
+}
+
+// DurationNS is the span's total duration (up to now for in-flight spans).
+func (s Span) DurationNS() int64 {
+	if s.EndNS == 0 {
+		return time.Now().UnixNano() - s.StartNS
+	}
+	return s.EndNS - s.StartNS
+}
+
+// maxActive bounds the in-flight span table, so transactions that never
+// terminate (blocked under a partition, say) cannot grow it without bound;
+// at the cap, new transactions simply go unsampled.
+const maxActive = 1024
+
+// Spans records sampled per-transaction commit-path timelines. Sampling is
+// deterministic given the seed and the Start call sequence: Start's n-th
+// call samples iff (n + phase) is a multiple of the sampling period, with
+// the phase derived from the seed — so two recorders with the same seed and
+// period sample the same ordinals, which is what makes span-based
+// assertions reproducible. A nil *Spans no-ops every method.
+type Spans struct {
+	every uint64
+	phase uint64
+	seq   atomic.Uint64
+
+	started  Counter // sampled spans begun
+	finished Counter // sampled spans completed
+
+	mu     sync.Mutex
+	active map[uint64]*Span
+	ring   []Span // completed spans, oldest overwritten first
+	next   int
+	filled bool
+}
+
+// NewSpans builds a recorder sampling one transaction in every (minimum 1),
+// keeping the most recent capacity completed spans (default 256), seeded
+// for a deterministic sampling phase.
+func NewSpans(every, capacity int, seed int64) *Spans {
+	if every < 1 {
+		every = 1
+	}
+	if capacity <= 0 {
+		capacity = 256
+	}
+	// splitmix64 step scrambles the seed into a phase inside the period.
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &Spans{
+		every:  uint64(every),
+		phase:  z % uint64(every),
+		active: make(map[uint64]*Span),
+		ring:   make([]Span, 0, capacity),
+	}
+}
+
+// Start begins txn's span if the sampler picks it, reporting the decision.
+func (s *Spans) Start(txn uint64) bool {
+	if s == nil {
+		return false
+	}
+	n := s.seq.Add(1)
+	if (n+s.phase)%s.every != 0 {
+		return false
+	}
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.active) >= maxActive {
+		return false
+	}
+	s.active[txn] = &Span{
+		Txn:     txn,
+		StartNS: now,
+		Stages:  []StageEvent{{Stage: StageRecv}},
+	}
+	s.started.Inc()
+	return true
+}
+
+// Sampled reports whether txn has an in-flight span.
+func (s *Spans) Sampled(txn uint64) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.active[txn]
+	return ok
+}
+
+// Mark timestamps stage on txn's span, if sampled (cheap no-op otherwise).
+func (s *Spans) Mark(txn uint64, site int, stage string) {
+	if s == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp := s.active[txn]
+	if sp == nil {
+		return
+	}
+	sp.Stages = append(sp.Stages, StageEvent{Site: site, Stage: stage, AtNS: now - sp.StartNS})
+}
+
+// Finish completes txn's span with the given outcome and moves it to the
+// recent ring.
+func (s *Spans) Finish(txn uint64, outcome string) {
+	if s == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp := s.active[txn]
+	if sp == nil {
+		return
+	}
+	delete(s.active, txn)
+	sp.EndNS = now
+	sp.Outcome = outcome
+	s.finished.Inc()
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, *sp)
+		return
+	}
+	s.ring[s.next] = *sp
+	s.next = (s.next + 1) % cap(s.ring)
+	s.filled = true
+}
+
+// Recent returns the completed spans in the retention window, newest first.
+func (s *Spans) Recent() []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Span, 0, len(s.ring))
+	if !s.filled {
+		// Still in the append phase: newest is the last element.
+		for i := len(s.ring) - 1; i >= 0; i-- {
+			out = append(out, s.ring[i])
+		}
+		return out
+	}
+	// Wrapped: s.next is the next overwrite slot, so newest is just before it.
+	for i := 0; i < len(s.ring); i++ {
+		idx := ((s.next-1-i)%len(s.ring) + len(s.ring)) % len(s.ring)
+		out = append(out, s.ring[idx])
+	}
+	return out
+}
+
+// Slowest returns up to n completed spans ordered by descending duration.
+func (s *Spans) Slowest(n int) []Span {
+	all := s.Recent()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].DurationNS() > all[j].DurationNS() })
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Stats reports the sampler's counters: spans begun and completed.
+func (s *Spans) Stats() (started, finished uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.started.Load(), s.finished.Load()
+}

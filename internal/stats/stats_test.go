@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentileEmpty(t *testing.T) {
+	if got := PercentileNearestRank([]float64(nil), 50); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	if got := PercentileNearestRank([]time.Duration{}, 99); got != 0 {
+		t.Errorf("empty duration percentile = %v, want 0", got)
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	s := []int{42}
+	for _, p := range []float64{0.0001, 1, 50, 99, 100} {
+		if got := PercentileNearestRank(s, p); got != 42 {
+			t.Errorf("p%v of single sample = %d, want 42", p, got)
+		}
+	}
+}
+
+// TestPercentileExactRankBoundaries pins the nearest-rank rule at the rank
+// transition points: with n samples, p just above 100*k/n must move to the
+// (k+1)-th order statistic, and p exactly 100*k/n must still report the
+// k-th.
+func TestPercentileExactRankBoundaries(t *testing.T) {
+	s := []int{10, 20, 30, 40} // n=4: ranks flip at 25, 50, 75
+	cases := []struct {
+		p    float64
+		want int
+	}{
+		{1, 10}, {25, 10}, // ceil(25/100*4)=1
+		{25.01, 20}, {50, 20}, // ceil jumps to 2 just past 25
+		{50.01, 30}, {75, 30},
+		{75.01, 40}, {99, 40}, {100, 40},
+	}
+	for _, tc := range cases {
+		if got := PercentileNearestRank(s, tc.p); got != tc.want {
+			t.Errorf("p%v = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileClampsOutOfRangeP(t *testing.T) {
+	s := []int{1, 2, 3}
+	if got := PercentileNearestRank(s, -5); got != 1 {
+		t.Errorf("p<=0 = %d, want first sample", got)
+	}
+	if got := PercentileNearestRank(s, 250); got != 3 {
+		t.Errorf("p>100 = %d, want last sample", got)
+	}
+}

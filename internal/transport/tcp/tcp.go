@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"qcommit/internal/msg"
+	"qcommit/internal/obs"
 	"qcommit/internal/transport"
 	"qcommit/internal/types"
 )
@@ -74,7 +75,38 @@ type Endpoint struct {
 	batches atomic.Uint64
 	shed    atomic.Uint64
 
+	// met holds the optional observability handles; loaded atomically so the
+	// Send fast path never takes e.mu. Nil means recording is off and costs
+	// one atomic load.
+	met atomic.Pointer[epMetrics]
+
 	wg sync.WaitGroup
+}
+
+// epMetrics is the endpoint's handle set: the enqueue→writev latency per
+// frame and the number of frames sitting in peer queues right now.
+type epMetrics struct {
+	enqToWrite *obs.Histogram
+	queueDepth *obs.Gauge
+}
+
+// RegisterMetrics publishes the endpoint's outbound counters on reg under
+// canonical qcommit_net_* names labelled by site, and turns on per-frame
+// enqueue→writev latency and queue-depth tracking. A nil registry is a
+// no-op; without it the endpoint records nothing beyond the atomic counters
+// it always kept.
+func (e *Endpoint) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	site := e.self
+	reg.RegisterCounterFunc(fmt.Sprintf(`qcommit_net_frames_total{site="%d"}`, site), e.frames.Load)
+	reg.RegisterCounterFunc(fmt.Sprintf(`qcommit_net_batches_total{site="%d"}`, site), e.batches.Load)
+	reg.RegisterCounterFunc(fmt.Sprintf(`qcommit_net_shed_total{site="%d"}`, site), e.shed.Load)
+	e.met.Store(&epMetrics{
+		enqToWrite: reg.Histogram(fmt.Sprintf(`qcommit_net_enqueue_to_write_ns{site="%d"}`, site), obs.LatencyBounds()),
+		queueDepth: reg.Gauge(fmt.Sprintf(`qcommit_net_queue_depth{site="%d"}`, site)),
+	})
 }
 
 // WriteStats counts outbound write activity on an endpoint. Frames/Batches
@@ -116,6 +148,7 @@ type peer struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	q      [][]byte
+	stamps []int64 // enqueue times (ns) backing enqToWrite; only fed while metrics are on
 	closed bool
 }
 
@@ -274,6 +307,7 @@ func (e *Endpoint) Send(env msg.Envelope) {
 	if p == nil {
 		return
 	}
+	met := e.met.Load()
 	p.mu.Lock()
 	if p.closed || len(p.q) >= e.opts.QueueLen {
 		p.mu.Unlock()
@@ -282,6 +316,10 @@ func (e *Endpoint) Send(env msg.Envelope) {
 		return
 	}
 	p.q = append(p.q, buf)
+	if met != nil {
+		p.stamps = append(p.stamps, time.Now().UnixNano())
+		met.queueDepth.Add(1)
+	}
 	p.mu.Unlock()
 	p.cond.Signal()
 }
@@ -331,9 +369,12 @@ func (e *Endpoint) writeLoop(p *peer) {
 			p.mu.Unlock()
 			return
 		}
-		batch := p.q
-		p.q = nil
+		batch, stamps := p.q, p.stamps
+		p.q, p.stamps = nil, nil
 		p.mu.Unlock()
+		if met := e.met.Load(); met != nil {
+			met.queueDepth.Add(-int64(len(stamps)))
+		}
 		for conn == nil {
 			c, err := net.DialTimeout("tcp", p.addr, e.opts.DialTimeout)
 			if err != nil {
@@ -358,6 +399,12 @@ func (e *Endpoint) writeLoop(p *peer) {
 		}
 		e.frames.Add(uint64(len(batch)))
 		e.batches.Add(1)
+		if met := e.met.Load(); met != nil && len(stamps) > 0 {
+			now := time.Now().UnixNano()
+			for _, t0 := range stamps {
+				met.enqToWrite.ObserveNS(now - t0)
+			}
+		}
 	}
 }
 
@@ -436,6 +483,14 @@ func (f *Fabric) WriteStats() WriteStats {
 		total.Shed += s.Shed
 	}
 	return total
+}
+
+// RegisterMetrics publishes every endpoint's outbound counters and latency
+// histograms on reg (each labelled by its own site).
+func (f *Fabric) RegisterMetrics(reg *obs.Registry) {
+	for _, ep := range f.eps {
+		ep.RegisterMetrics(reg)
+	}
 }
 
 // Addrs returns each site's listen address.

@@ -2,9 +2,12 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"sync"
+	"time"
 
+	"qcommit/internal/obs"
 	"qcommit/internal/types"
 )
 
@@ -63,6 +66,20 @@ type GroupLog struct {
 	err     error // first write/sync failure; sticky
 	closed  bool
 
+	// batchSizes is always on: one sample per fsync, value = records in the
+	// batch. The distribution is the group-commit story in one histogram —
+	// a mass at 1 means no amortization, a fat tail means the syncer is
+	// keeping up with bursts.
+	batchSizes *obs.Histogram
+	// flushWait and syncDur are optional (nil until RegisterMetrics):
+	// per-record AppendAsync→durable latency and per-batch Write+Sync
+	// duration. stamps holds the append times backing flushWait; it is only
+	// appended to while flushWait is installed, so records appended before
+	// RegisterMetrics simply contribute no sample.
+	flushWait *obs.Histogram
+	syncDur   *obs.Histogram
+	stamps    []int64
+
 	work     *sync.Cond // signals the syncer: pending work or close
 	forced   *sync.Cond // broadcasts durability advances to waiters
 	syncDone chan struct{}
@@ -80,12 +97,13 @@ func OpenGroupLog(path string) (*GroupLog, error) {
 		return nil, err
 	}
 	l := &GroupLog{
-		path:     path,
-		f:        f,
-		recs:     recs,
-		next:     Ticket(len(recs)),
-		durable:  Ticket(len(recs)),
-		syncDone: make(chan struct{}),
+		path:       path,
+		f:          f,
+		recs:       recs,
+		next:       Ticket(len(recs)),
+		durable:    Ticket(len(recs)),
+		batchSizes: obs.NewHistogram(obs.SizeBounds()),
+		syncDone:   make(chan struct{}),
 	}
 	l.work = sync.NewCond(&l.mu)
 	l.forced = sync.NewCond(&l.mu)
@@ -107,6 +125,9 @@ func (l *GroupLog) AppendAsync(r Record) Ticket {
 	}
 	l.pending = append(l.pending, frame...)
 	l.batch = append(l.batch, r)
+	if l.flushWait != nil {
+		l.stamps = append(l.stamps, time.Now().UnixNano())
+	}
 	l.next++
 	t := l.next
 	l.work.Signal()
@@ -161,6 +182,32 @@ func (l *GroupLog) Fsyncs() uint64 {
 	return l.fsyncs
 }
 
+// BatchSizes returns the distribution of records-per-fsync observed so far.
+// It is always collected (one histogram sample per fsync), so callers like
+// loadbench can report the group-commit amortization shape without turning
+// on the rest of the observability stack.
+func (l *GroupLog) BatchSizes() obs.HistSnapshot {
+	return l.batchSizes.Snapshot()
+}
+
+// RegisterMetrics publishes the log's histograms and fsync counter on reg
+// under canonical qcommit_wal_* names labelled by site, and turns on the
+// optional per-record flush-wait and per-batch sync-duration collection.
+// A nil registry is a no-op.
+func (l *GroupLog) RegisterMetrics(reg *obs.Registry, site types.SiteID) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterHistogram(fmt.Sprintf(`qcommit_wal_batch_records{site="%d"}`, site), l.batchSizes)
+	reg.RegisterCounterFunc(fmt.Sprintf(`qcommit_wal_fsyncs_total{site="%d"}`, site), l.Fsyncs)
+	fw := reg.Histogram(fmt.Sprintf(`qcommit_wal_flush_wait_ns{site="%d"}`, site), obs.LatencyBounds())
+	sd := reg.Histogram(fmt.Sprintf(`qcommit_wal_sync_ns{site="%d"}`, site), obs.LatencyBounds())
+	l.mu.Lock()
+	l.flushWait = fw
+	l.syncDur = sd
+	l.mu.Unlock()
+}
+
 // Path returns the file path.
 func (l *GroupLog) Path() string { return l.path }
 
@@ -180,15 +227,24 @@ func (l *GroupLog) syncLoop() {
 			l.mu.Unlock()
 			return
 		}
-		buf, recs := l.pending, l.batch
-		l.pending, l.batch = nil, nil
+		buf, recs, stamps := l.pending, l.batch, l.stamps
+		l.pending, l.batch, l.stamps = nil, nil, nil
 		target := l.next
+		syncDur := l.syncDur
 		l.mu.Unlock()
 
+		var s0 int64
+		if syncDur != nil {
+			s0 = time.Now().UnixNano()
+		}
 		_, werr := l.f.Write(buf)
 		if werr == nil {
 			werr = l.f.Sync()
 		}
+		if syncDur != nil {
+			syncDur.ObserveNS(time.Now().UnixNano() - s0)
+		}
+		l.batchSizes.Observe(float64(len(recs)))
 
 		l.mu.Lock()
 		l.fsyncs++
@@ -199,6 +255,12 @@ func (l *GroupLog) syncLoop() {
 		} else {
 			l.durable = target
 			l.recs = append(l.recs, recs...)
+			if fw := l.flushWait; fw != nil && len(stamps) > 0 {
+				now := time.Now().UnixNano()
+				for _, t0 := range stamps {
+					fw.ObserveNS(now - t0)
+				}
+			}
 		}
 		l.forced.Broadcast()
 		if l.err != nil {
