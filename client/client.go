@@ -81,7 +81,8 @@ func (c *Client) readLoop() {
 		}
 		c.mu.Lock()
 		if ch, ok := c.waiters[reqOf(env.Msg)]; ok {
-			ch <- env.Msg // buffered; reader never blocks
+			//qlint:allow lockheld waiter channels are buffered (cap 1, one reply per request), so the send never blocks
+			ch <- env.Msg
 			delete(c.waiters, reqOf(env.Msg))
 		}
 		c.mu.Unlock()

@@ -171,7 +171,7 @@ func run(site int, peersFlag, itemsFlag, protoFlag, stratFlag string, timeoutBas
 	if err != nil {
 		return err
 	}
-	ep.RegisterMetrics(ob.Registry)
+	ep.RegisterMetrics(ob.Reg())
 	var tr transport.Transport = ep
 	if failpoint != "" {
 		if failpoint != "crash-before-decision" {

@@ -1,0 +1,25 @@
+// Command qlint runs qcommit's project-specific static-analysis suite: the
+// determinism, lockheld, obsnil, and droppederr analyzers that enforce the
+// repo's correct-by-convention invariants at compile time (see internal/lint
+// for what each checks and why).
+//
+// Two ways to run it:
+//
+//	go run ./cmd/qlint ./...                  # standalone, via go list
+//	go build -o qlint ./cmd/qlint
+//	go vet -vettool=./qlint ./...             # as a vet tool (what CI does)
+//
+// Individual analyzers can be selected with -determinism, -lockheld,
+// -obsnil, -droppederr (both modes and through go vet). Findings are
+// suppressed per line with "//qlint:allow <analyzer> <reason>"; the reason
+// is mandatory.
+package main
+
+import (
+	"qcommit/internal/lint"
+	"qcommit/internal/lint/driver"
+)
+
+func main() {
+	driver.Main(lint.All())
+}

@@ -181,7 +181,14 @@ func (cl *Cluster) resumeFromLogs() {
 		if err != nil {
 			continue
 		}
-		for txn, img := range wal.Replay(recs) {
+		images := wal.Replay(recs)
+		txns := make([]types.TxnID, 0, len(images))
+		for txn := range images {
+			txns = append(txns, txn)
+		}
+		sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+		for _, txn := range txns {
+			img := images[txn]
 			if txn > maxTxn {
 				maxTxn = txn
 			}

@@ -1,0 +1,6 @@
+package lint
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, LockHeld, ObsNil, DroppedErr}
+}

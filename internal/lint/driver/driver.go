@@ -1,0 +1,141 @@
+// Package driver loads type-checked packages for qcommit's lint suite and
+// speaks the (unpublished but stable) cmd/go vet-tool protocol, so cmd/qlint
+// runs both standalone (qlint ./...) and as `go vet -vettool=qlint`.
+//
+// Everything here is standard library only: when cmd/go drives us it hands
+// the tool a JSON config naming every dependency's export-data file, and in
+// standalone mode `go list -export -deps` produces the same information, so
+// type-checking needs no module resolution of its own — go/importer's gc
+// importer reads the export data through a lookup function.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+)
+
+// Config mirrors cmd/go's vetConfig: the JSON description of one package
+// unit that `go vet -vettool` passes to the tool as a *.cfg file.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadConfig parses a vet.cfg file.
+func ReadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Unit is one parsed and type-checked package, ready for analysis.
+type Unit struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// goVersionRE matches language versions types.Config accepts ("go1.24");
+// anything else (toolchain suffixes, "") is dropped rather than passed on.
+var goVersionRE = regexp.MustCompile(`^go\d+\.\d+$`)
+
+// Load parses cfg.GoFiles and type-checks them against the export data named
+// in cfg.PackageFile. Type errors are returned after best-effort checking so
+// the caller can honor SucceedOnTypecheckFailure.
+func Load(cfg *Config) (*Unit, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := &types.Config{
+		Importer: &unsafeAwareImporter{base: importer.ForCompiler(fset, compiler, lookup), dir: cfg.Dir},
+		Sizes:    types.SizesFor(compiler, runtime.GOARCH),
+		Error:    func(error) {}, // collect everything; Check returns the first
+	}
+	if goVersionRE.MatchString(cfg.GoVersion) {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	unit := &Unit{ImportPath: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}
+	return unit, err
+}
+
+// unsafeAwareImporter routes "unsafe" to types.Unsafe and everything else
+// through the gc export-data importer.
+type unsafeAwareImporter struct {
+	base types.Importer
+	dir  string
+}
+
+func (i *unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if from, ok := i.base.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, i.dir, 0)
+	}
+	return i.base.Import(path)
+}

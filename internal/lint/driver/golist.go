@@ -1,0 +1,92 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// LoadedUnit pairs a Unit with the load/typecheck error for its package, so
+// pattern runs can report per-package failures without aborting the sweep.
+type LoadedUnit struct {
+	*Unit
+	Err error
+}
+
+// LoadPackages resolves patterns through `go list -export -deps`, then
+// parses and type-checks every directly matched package against its
+// dependencies' export data. Standard-library and dependency-only packages
+// provide export data but are not themselves analyzed.
+func LoadPackages(patterns []string) ([]LoadedUnit, error) {
+	args := append([]string{"list", "-json", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, stderr.String())
+	}
+
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	packageFile := make(map[string]string)
+	importMap := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+		importMap[p.ImportPath] = p.ImportPath
+	}
+
+	var units []LoadedUnit
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			units = append(units, LoadedUnit{
+				Unit: &Unit{ImportPath: p.ImportPath},
+				Err:  fmt.Errorf("%s", p.Error.Err),
+			})
+			continue
+		}
+		cfg := &Config{
+			Compiler:    "gc",
+			Dir:         p.Dir,
+			ImportPath:  p.ImportPath,
+			ImportMap:   importMap,
+			PackageFile: packageFile,
+		}
+		for _, f := range p.GoFiles {
+			cfg.GoFiles = append(cfg.GoFiles, filepath.Join(p.Dir, f))
+		}
+		unit, err := Load(cfg)
+		units = append(units, LoadedUnit{Unit: unit, Err: err})
+	}
+	return units, nil
+}

@@ -1,0 +1,205 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qcommit/internal/lint"
+)
+
+// Main is cmd/qlint's entry point. It implements the cmd/go vet-tool
+// protocol — `qlint -V=full` (tool identity for the build cache),
+// `qlint -flags` (supported flags as JSON), and `qlint [flags] foo.cfg`
+// (analyze one package unit) — and a standalone mode where the arguments are
+// package patterns resolved through `go list` (default "./...").
+//
+// Exit status: 0 clean, 1 operational error, 2 findings reported.
+func Main(analyzers []*lint.Analyzer) {
+	progname := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			printVersion(progname)
+			return
+		case "-flags", "--flags":
+			printFlagDefs(analyzers)
+			return
+		}
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-<analyzer>...] [package pattern... | vet.cfg]\n\nanalyzers:\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  -%s\n        %s\n", a.Name, a.Doc)
+		}
+	}
+	for _, a := range analyzers {
+		fs.Bool(a.Name, false, a.Doc)
+	}
+	_ = fs.Parse(os.Args[1:]) // ExitOnError
+	enabled := selectAnalyzers(fs, analyzers)
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0], enabled))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runPatterns(args, enabled))
+}
+
+// selectAnalyzers applies unitchecker-style flag semantics: with no analyzer
+// flags, run everything; if any -name is set true, run exactly those; if
+// only -name=false flags appear, run everything except those.
+func selectAnalyzers(fs *flag.FlagSet, analyzers []*lint.Analyzer) []*lint.Analyzer {
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	setTrue := map[string]bool{}
+	setFalse := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) {
+		if byName[f.Name] == nil {
+			return
+		}
+		if f.Value.String() == "true" {
+			setTrue[f.Name] = true
+		} else {
+			setFalse[f.Name] = true
+		}
+	})
+	if len(setTrue) > 0 {
+		var out []*lint.Analyzer
+		for _, a := range analyzers {
+			if setTrue[a.Name] {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	var out []*lint.Analyzer
+	for _, a := range analyzers {
+		if !setFalse[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// printVersion emits the `-V=full` line cmd/go's toolID check requires:
+// "<name> version devel ... buildID=<content-hash>", where the hash is this
+// executable's content so go vet's action cache invalidates when qlint is
+// rebuilt with different analyzers.
+func printVersion(progname string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil))
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", progname, id)
+}
+
+// printFlagDefs emits the JSON flag description `go vet` queries via -flags.
+func printFlagDefs(analyzers []*lint.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}
+
+// runVetUnit analyzes the single package unit described by a vet.cfg file.
+func runVetUnit(cfgPath string, analyzers []*lint.Analyzer) int {
+	cfg, err := ReadConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		// Dependency-only run: the suite uses no cross-package facts, so
+		// just produce the (empty) facts file cmd/go caches.
+		writeVetx(cfg)
+		return 0
+	}
+	unit, err := Load(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := lint.Run(unit.Fset, unit.Files, unit.Pkg, unit.Info, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	printDiagnostics(unit, diags)
+	writeVetx(cfg)
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func writeVetx(cfg *Config) {
+	if cfg.VetxOutput != "" {
+		_ = os.WriteFile(cfg.VetxOutput, []byte("qlint: no facts\n"), 0o666)
+	}
+}
+
+func printDiagnostics(unit *Unit, diags []lint.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", unit.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
+// runPatterns analyzes every in-module package matched by the patterns.
+func runPatterns(patterns []string, analyzers []*lint.Analyzer) int {
+	units, err := LoadPackages(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	status := 0
+	for _, u := range units {
+		if u.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", u.ImportPath, u.Err)
+			status = 1
+			continue
+		}
+		diags, err := lint.Run(u.Fset, u.Files, u.Pkg, u.Info, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		printDiagnostics(u.Unit, diags)
+		if len(diags) > 0 && status == 0 {
+			status = 2
+		}
+	}
+	return status
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr flags assignments that discard the error from Parse*/Validate*
+// functions. PR 5's ParseStrategy bug is the template: the error result was
+// dropped at a call site, so an invalid -strategy value silently fell back
+// to the quorum default instead of failing — a config typo changed which
+// experiment ran. Parse/validate errors are exactly the class where the
+// zero-value fallback is a plausible-looking wrong answer.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc: "forbid discarding the error result of Parse*/Validate* functions (the PR 5 ParseStrategy silent-fallback class): " +
+		"a dropped parse error turns bad input into a plausible default",
+	Run: runDroppedErr,
+}
+
+func runDroppedErr(p *Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+	isParseLike := func(fn *types.Func) bool {
+		return fn != nil && (strings.HasPrefix(fn.Name(), "Parse") || strings.HasPrefix(fn.Name(), "Validate"))
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				if !isParseLike(fn) {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Results().Len() < 2 || len(n.Lhs) != sig.Results().Len() {
+					return true
+				}
+				if !types.Identical(sig.Results().At(sig.Results().Len()-1).Type(), errType) {
+					return true
+				}
+				if id, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+					p.Reportf(id.Pos(), "error from %s discarded: a dropped parse/validate error silently falls back to the zero value (the PR 5 ParseStrategy class); handle it or annotate with %s droppederr <reason>", fn.Name(), AllowDirective)
+				}
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				if !isParseLike(fn) {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Results().Len() != 1 || !types.Identical(sig.Results().At(0).Type(), errType) {
+					return true
+				}
+				p.Reportf(call.Pos(), "error from %s dropped on the floor: the call exists only to report failure; check its result or annotate with %s droppederr <reason>", fn.Name(), AllowDirective)
+			}
+			return true
+		})
+	}
+	return nil
+}

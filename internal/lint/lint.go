@@ -1,0 +1,191 @@
+// Package lint is qcommit's project-specific static-analysis suite: a small,
+// dependency-free mirror of the golang.org/x/tools/go/analysis model (the
+// container this repo builds in has no module network access, so the x/tools
+// framework itself is off the table; the API shape below is kept deliberately
+// close so a future migration is mechanical).
+//
+// The analyzers encode the repo's "correct by convention" invariants — the
+// rules that PR 3's termination-poll soundness bug and PR 5's mailbox
+// deadlock proved tests alone don't pin:
+//
+//   - determinism: no wall-clock time, no global math/rand, no
+//     order-dependent map iteration inside the deterministic packages
+//     (engine, churn, quorumcalc, avail, workload, sim, ...). Serial and
+//     parallel studies must stay bit-identical; virtual time and seeded RNG
+//     only.
+//   - lockheld: no blocking operation (transport Send, channel send/recv,
+//     WaitDurable, WaitOutcome, fsync, WAL append) while a sync.Mutex or
+//     sync.RWMutex is held — the exact shape of the PR 5 mailbox deadlock.
+//   - obsnil: obs.Observer and obs handle fields are reached only through
+//     the nil-safe method set; no direct field access, no handle copying
+//     that defeats the one-pointer-check contract.
+//   - droppederr: the error result of Parse*/Validate* functions is never
+//     discarded (the PR 5 ParseStrategy silent-fallback class).
+//
+// Findings are suppressed line-by-line with a directive comment carrying a
+// mandatory reason:
+//
+//	//qlint:allow <analyzer> <reason>
+//
+// placed at the end of the offending line or on the line directly above it.
+// An allow without a reason is itself a diagnostic. The suite runs as
+// cmd/qlint, either standalone (qlint ./...) or as go vet -vettool.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in flags and //qlint:allow
+	Doc  string // what the analyzer enforces and why
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PkgPath is the package's import path with any test-variant suffix
+// ("pkg [pkg.test]") stripped, so path-scoped analyzers treat a package's
+// test build like the package itself.
+func (p *Pass) PkgPath() string {
+	path := p.Pkg.Path()
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// IsTestFile reports whether file is a _test.go file.
+func (p *Pass) IsTestFile(file *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// AllowDirective is the suppression directive prefix. The full form is
+// "//qlint:allow <analyzer> <reason>"; the reason is mandatory.
+const AllowDirective = "//qlint:allow"
+
+// allow is one parsed suppression directive.
+type allow struct {
+	analyzer string
+	reason   string
+}
+
+// allowIndex maps filename -> line -> directives on that line.
+type allowIndex map[string]map[int][]allow
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowDirective)
+				fields := strings.Fields(rest)
+				a := allow{}
+				if len(fields) > 0 {
+					a.analyzer = fields[0]
+					a.reason = strings.Join(fields[1:], " ")
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]allow)
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], a)
+			}
+		}
+	}
+	return idx
+}
+
+// lookup finds a directive for analyzer at the diagnostic's line or the line
+// directly above it.
+func (idx allowIndex) lookup(pos token.Position, analyzer string) (allow, bool) {
+	byLine := idx[pos.Filename]
+	if byLine == nil {
+		return allow{}, false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, a := range byLine[line] {
+			if a.analyzer == analyzer {
+				return a, true
+			}
+		}
+	}
+	return allow{}, false
+}
+
+// Run executes the analyzers over one type-checked package and returns the
+// surviving diagnostics in position order. Findings covered by a
+// "//qlint:allow <analyzer> <reason>" directive on the same or preceding
+// line are dropped; an allow whose reason is empty converts the finding into
+// a missing-reason diagnostic instead of suppressing it.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+
+	idx := buildAllowIndex(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		a, ok := idx.lookup(pos, d.Analyzer)
+		switch {
+		case !ok:
+			kept = append(kept, d)
+		case a.reason == "":
+			d.Message = fmt.Sprintf("%s suppression needs a written reason: %s %s <why this is safe>", AllowDirective, AllowDirective, d.Analyzer)
+			kept = append(kept, d)
+		default:
+			// Suppressed with a reason: drop.
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}

@@ -1,0 +1,72 @@
+package lint_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qcommit/internal/lint"
+	"qcommit/internal/lint/linttest"
+)
+
+// The fixture packages under testdata/src each carry // want comments for
+// every expected finding — positive hits, clean negatives, a reasoned
+// suppression that is honored, and a reason-less suppression that is itself
+// flagged. testdata keeps them out of ./... sweeps while explicit paths
+// still reach them.
+
+func TestDeterminismFixture(t *testing.T) {
+	linttest.Run(t, "./testdata/src/determinism", lint.Determinism)
+}
+
+func TestLockHeldFixture(t *testing.T) {
+	linttest.Run(t, "./testdata/src/lockheld", lint.LockHeld)
+}
+
+func TestObsNilFixture(t *testing.T) {
+	linttest.Run(t, "./testdata/src/obsnil", lint.ObsNil)
+}
+
+func TestDroppedErrFixture(t *testing.T) {
+	linttest.Run(t, "./testdata/src/droppederr", lint.DroppedErr)
+}
+
+// TestGoVetVettool exercises the real cmd/go protocol end to end: build
+// qlint, point go vet at it, and check it fails the droppederr fixture with
+// the expected finding. This is exactly the CI invocation.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "qlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/qlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building qlint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/lint/testdata/src/droppederr")
+	vet.Dir = root
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on a fixture with known findings:\n%s", out)
+	}
+	for _, wantSub := range []string{"[droppederr]", "error from ParseMode discarded", "error from ValidateMode dropped on the floor"} {
+		if !strings.Contains(string(out), wantSub) {
+			t.Errorf("go vet -vettool output missing %q:\n%s", wantSub, out)
+		}
+	}
+
+	// The clean tree must stay clean through the same path — a suppression
+	// regression or a new finding fails here before it fails CI.
+	clean := exec.Command("go", "vet", "-vettool="+bin, "./internal/engine/...")
+	clean.Dir = root
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool on internal/engine: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,110 @@
+// Package linttest is the golden-fixture harness for qcommit's lint suite,
+// modeled on golang.org/x/tools/go/analysis/analysistest: a fixture package
+// under testdata/src marks every line it expects a finding on with a trailing
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comment, and Run fails the test on any diagnostic without a matching want
+// or any want without a matching diagnostic. Fixture packages are real,
+// compiling packages (go list builds their export data), kept out of
+// ./... sweeps by living under testdata.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"qcommit/internal/lint"
+	"qcommit/internal/lint/driver"
+)
+
+// wantRE extracts the quoted patterns of a want comment; patterns are
+// backquoted (the natural form for regexps) or double-quoted.
+var wantRE = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+
+var quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one want pattern anchored to a fixture line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package matched by pattern (e.g.
+// "./testdata/src/determinism"), runs the given analyzers, and compares the
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, pattern string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	units, err := driver.LoadPackages([]string{pattern})
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("no packages matched %s", pattern)
+	}
+	for _, u := range units {
+		if u.Err != nil {
+			t.Fatalf("%s: %v", u.ImportPath, u.Err)
+		}
+		diags, err := lint.Run(u.Fset, u.Files, u.Pkg, u.Info, analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", u.ImportPath, err)
+		}
+		wants := collectWants(t, u)
+		for _, d := range diags {
+			pos := u.Fset.Position(d.Pos)
+			if !match(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// collectWants parses every want comment in the unit's files.
+func collectWants(t *testing.T, u driver.LoadedUnit) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// match consumes the first unmatched expectation on (file, line) whose
+// pattern matches message.
+func match(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,321 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held — the exact shape of the PR 5 mailbox deadlock, where
+// a live.Node posting into a peer's full mailbox channel while its own
+// mutex-guarded loop was wedged deadlocked the whole cluster.
+//
+// Tracking is intraprocedural and linear: a mutex counts as held from a
+// visible x.Lock()/x.RLock() call until the matching x.Unlock()/x.RUnlock()
+// at the same statement level (a deferred unlock holds to the end of the
+// function). Branch bodies are analyzed under a copy of the held set, and a
+// lock taken inside a branch is not propagated out — the analyzer prefers
+// false negatives over noise; anything it does flag is a real
+// lock-spans-blocking-call shape and needs either a restructure or a
+// reasoned //qlint:allow.
+//
+// Blocking operations: channel send/receive, select without a default,
+// transport Send (anything under qcommit/internal/transport),
+// wal.AsyncLog.WaitDurable, WaitOutcome, WAL Append (may fsync),
+// (*os.File).Sync, sync.WaitGroup.Wait, and time.Sleep.
+// sync.Cond.Wait is exempt: it releases the mutex it rides on.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: "forbid blocking operations (transport Send, channel ops, WaitDurable, WaitOutcome, fsync, WAL append) while a mutex is held; " +
+		"the PR 5 mailbox deadlock was exactly a send performed under a held lock",
+	Run: runLockHeld,
+}
+
+func runLockHeld(p *Pass) error {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		w := &lockWalker{pass: p}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				w.walkStmts(fd.Body.List, map[string]token.Pos{})
+				return false // FuncLits inside are walked by the walker itself
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	cp := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+// mutexOp classifies call as a Lock/Unlock on a sync.Mutex or sync.RWMutex
+// and returns the receiver expression's printed form as the held-set key.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (key string, locks, unlocks bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn, _ := w.pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", false, false
+	}
+	named := recvType(fn)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", false, false
+	}
+	key = types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return key, true, false
+	case "Unlock", "RUnlock":
+		return key, false, true
+	}
+	return "", false, false
+}
+
+// blockingCall names the blocking operation call performs, or "".
+func (w *lockWalker) blockingCall(call *ast.CallExpr) string {
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil {
+		return ""
+	}
+	if isPkgFunc(fn, "time", "Sleep") {
+		return "time.Sleep"
+	}
+	if isMethodOf(fn, "sync", "WaitGroup", "Wait") {
+		return "sync.WaitGroup.Wait"
+	}
+	if isMethodOf(fn, "os", "File", "Sync") {
+		return "fsync ((*os.File).Sync)"
+	}
+	named := recvType(fn)
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	recvPkg := named.Obj().Pkg().Path()
+	switch fn.Name() {
+	case "Send":
+		if isQcommitPkg(recvPkg, "internal/transport") {
+			return "transport Send"
+		}
+	case "WaitDurable":
+		if isQcommitPkg(recvPkg, "") {
+			return "wal WaitDurable"
+		}
+	case "WaitOutcome":
+		if isQcommitPkg(recvPkg, "") {
+			return "WaitOutcome"
+		}
+	case "Append", "AppendWriteset":
+		if recvPkg == modulePath+"/internal/wal" {
+			return "WAL append (may fsync)"
+		}
+	}
+	return ""
+}
+
+const modulePath = "qcommit"
+
+// isQcommitPkg reports whether pkg is under modulePath/sub (any qcommit
+// package when sub is empty).
+func isQcommitPkg(pkg, sub string) bool {
+	base := modulePath
+	if sub != "" {
+		base = modulePath + "/" + sub
+	}
+	return pkg == base || len(pkg) > len(base) && pkg[:len(base)+1] == base+"/"
+}
+
+func (w *lockWalker) report(pos token.Pos, op string, held map[string]token.Pos) {
+	// Name one held mutex deterministically (the first in key order).
+	var key string
+	for k := range held {
+		if key == "" || k < key {
+			key = k
+		}
+	}
+	lockPos := w.pass.Fset.Position(held[key])
+	w.pass.Reportf(pos, "%s while %s is held (Lock at line %d): blocking under a mutex is the PR 5 mailbox-deadlock shape; release %s first or annotate with %s lockheld <reason>", op, key, lockPos.Line, key, AllowDirective)
+}
+
+func (w *lockWalker) walkStmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range list {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]token.Pos) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, locks, unlocks := w.mutexOp(call); locks || unlocks {
+				if locks {
+					held[key] = call.Pos()
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		w.scanExpr(s.X, held)
+	case *ast.DeferStmt:
+		if key, _, unlocks := w.mutexOp(s.Call); unlocks && key != "" {
+			return // deferred unlock: stays held to function end, by design
+		}
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, held)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, map[string]token.Pos{})
+		}
+	case *ast.GoStmt:
+		// The spawn itself never blocks; the goroutine starts lock-free.
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, held)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, map[string]token.Pos{})
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(s.Pos(), "channel send", held)
+		}
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, held)
+		w.scanExpr(s.Cond, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		w.walkStmt(s.Init, held)
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, held)
+		}
+		body := copyHeld(held)
+		w.walkStmts(s.Body.List, body)
+		w.walkStmt(s.Post, body)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, held)
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.scanExpr(e, held)
+				}
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, held)
+		w.walkStmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			w.report(s.Pos(), "select without default", held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				// The comm clauses themselves were judged by the select as a
+				// whole; only walk the bodies.
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	}
+}
+
+// scanExpr flags blocking operations inside an expression evaluated while
+// held is non-empty. FuncLits are walked as fresh lock-free functions unless
+// they are invoked on the spot.
+func (w *lockWalker) scanExpr(e ast.Expr, held map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkStmts(n.Body.List, map[string]token.Pos{})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				w.report(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			// An immediately-invoked FuncLit runs under the current held set.
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				for _, a := range n.Args {
+					w.scanExpr(a, held)
+				}
+				w.walkStmts(lit.Body.List, copyHeld(held))
+				return false
+			}
+			if len(held) > 0 {
+				if op := w.blockingCall(n); op != "" {
+					w.report(n.Pos(), op, held)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const obsPkgPath = modulePath + "/internal/obs"
+
+// obsHandleTypes are the nil-safe handle types: every method on a nil
+// pointer is a no-op, so instrumented code carries plain pointers and
+// records unconditionally. Copying a handle by value or reaching through
+// Observer's fields directly defeats that contract (a nil Observer would
+// panic, a copied handle splits the atomics).
+var obsHandleTypes = map[string]bool{
+	"Observer": true, "Registry": true, "Spans": true,
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+// ObsNil enforces the obs nil-safety contract outside the obs package:
+//
+//   - obs.Observer's Registry/Spans fields are reached only through the
+//     nil-safe accessors Reg()/Spanner() (field access on a nil *Observer
+//     panics; composite-literal construction is fine and not flagged),
+//   - obs handles are never dereferenced (copying splits the atomics and
+//     breaks the one-pointer-check contract),
+//   - obs handles are declared as pointers, never as values.
+var ObsNil = &Analyzer{
+	Name: "obsnil",
+	Doc: "obs.Observer and obs handles must go through the nil-safe method set: no direct Observer field access, " +
+		"no handle dereference or value-typed handle declarations outside internal/obs",
+	Run: runObsNil,
+}
+
+func runObsNil(p *Pass) error {
+	if isQcommitPkg(p.PkgPath(), "internal/obs") {
+		return nil // the defining package owns its internals
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if n.Sel.Name != "Registry" && n.Sel.Name != "Spans" {
+					return true
+				}
+				// Only field selections count; Registry is also a Registry
+				// method name on *Registry getters etc., so resolve the
+				// selection kind through the type info.
+				sel, ok := p.Info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if namedObsType(p.Info.TypeOf(n.X)) == "Observer" {
+					p.Reportf(n.Pos(), "direct access to obs.Observer.%s: a nil *Observer panics here; use the nil-safe accessor %s instead", n.Sel.Name, observerAccessor(n.Sel.Name))
+				}
+			case *ast.StarExpr:
+				tv, ok := p.Info.Types[n.X]
+				if !ok || !tv.IsValue() {
+					return true // type position (*obs.Counter as a type)
+				}
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr {
+					return true
+				}
+				if name := namedObsType(tv.Type); name != "" && obsHandleTypes[name] {
+					p.Reportf(n.Pos(), "dereferencing *obs.%s copies the handle: copies split the atomics and defeat the nil-off contract; pass the pointer", name)
+				}
+			}
+			return true
+		})
+	}
+	// Value-typed handle declarations (fields, vars, params, results).
+	for id, obj := range p.Info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.Type() == nil {
+			continue
+		}
+		if _, isPtr := v.Type().(*types.Pointer); isPtr {
+			continue
+		}
+		if name := namedObsType(v.Type()); name != "" && obsHandleTypes[name] {
+			p.Reportf(id.Pos(), "obs.%s declared by value: handles must be pointers (*obs.%s) so nil means observability-off; a value handle is always on and copies split its atomics", name, name)
+		}
+	}
+	return nil
+}
+
+func observerAccessor(field string) string {
+	if field == "Registry" {
+		return "Reg()"
+	}
+	return "Spanner()"
+}

@@ -1,0 +1,95 @@
+// Package determinism is the golden fixture for the determinism analyzer:
+// wall-clock calls, global math/rand draws, and map iterations whose effects
+// depend on visit order must all be flagged; seeded RNG, collect-then-sort,
+// and commutative accumulation must not. The package is opted into the gate
+// by the directive below (its import path is not on the built-in list).
+//
+//qlint:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in deterministic package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in deterministic package`
+}
+
+func globalDraw() int {
+	return rand.Intn(6) // want `global math/rand\.Intn`
+}
+
+// seededDraw is fine: constructors don't touch the process-global source and
+// methods on a seeded *rand.Rand are deterministic per seed.
+func seededDraw() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+// orderDependent leaks iteration order into the slice it returns.
+func orderDependent(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration over m has order-dependent effects`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// sortedKeys is the canonical fix: collect, then sort before anyone reads.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// total is commutative integer accumulation: order cannot change the sum.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// mean accumulates floats: FP addition is not associative, so the bits of
+// the sum depend on iteration order.
+func mean(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `order-dependent effects`
+		sum += v
+	}
+	return sum / float64(len(m))
+}
+
+// anyMatch is order-independent in fact but beyond the analyzer's proof;
+// the reasoned allow keeps it quiet.
+func anyMatch(m map[string]bool) bool {
+	found := false
+	//qlint:allow determinism pure any-match: found flips at most once and the result is identical in every visit order
+	for _, v := range m {
+		if v {
+			found = true
+		}
+	}
+	return found
+}
+
+// missingReason shows that an allow without a reason does not suppress — it
+// converts the finding into a missing-reason diagnostic instead.
+func missingReason(m map[string]string) string {
+	s := ""
+	//qlint:allow determinism
+	for k := range m { // want `suppression needs a written reason`
+		s += k
+	}
+	return s
+}

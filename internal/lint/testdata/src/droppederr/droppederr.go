@@ -1,0 +1,60 @@
+// Package droppederr is the golden fixture for the droppederr analyzer. The
+// template is PR 5's ParseStrategy bug: the error result was discarded at a
+// call site, so an invalid flag value silently became the zero value and a
+// different experiment ran.
+package droppederr
+
+import "fmt"
+
+type Mode int
+
+const (
+	ModeInvalid Mode = iota
+	ModeQuorum
+	ModeMissingWrites
+)
+
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "quorum":
+		return ModeQuorum, nil
+	case "missing-writes":
+		return ModeMissingWrites, nil
+	}
+	return ModeInvalid, fmt.Errorf("unknown mode %q", s)
+}
+
+func ValidateMode(m Mode) error {
+	if m == ModeInvalid {
+		return fmt.Errorf("invalid mode")
+	}
+	return nil
+}
+
+// drop is the PR 5 shape: bad input silently becomes the zero Mode.
+func drop(s string) Mode {
+	m, _ := ParseMode(s) // want `error from ParseMode discarded`
+	return m
+}
+
+// floorDrop calls a validator for its error and ignores it.
+func floorDrop(m Mode) {
+	ValidateMode(m) // want `error from ValidateMode dropped on the floor`
+}
+
+// propagate handles the error: nothing to flag.
+func propagate(s string) (Mode, error) {
+	return ParseMode(s)
+}
+
+// checked branches on the validator's result: nothing to flag.
+func checked(m Mode) bool {
+	return ValidateMode(m) == nil
+}
+
+// deliberate wants the zero value on bad input and says why.
+func deliberate(s string) Mode {
+	//qlint:allow droppederr the zero mode is the documented fallback for unknown names here
+	m, _ := ParseMode(s)
+	return m
+}

@@ -1,0 +1,93 @@
+// Package lockheld is the golden fixture for the lockheld analyzer. The
+// first function reproduces the PR 5 mailbox deadlock exactly: a transport
+// Send issued while the node's mutex is held, so a peer wedged on the same
+// mutex can never drain the channel the Send is blocked on.
+package lockheld
+
+import (
+	"sync"
+
+	"qcommit/internal/msg"
+	"qcommit/internal/transport"
+)
+
+type node struct {
+	mu      sync.Mutex
+	tr      transport.Transport
+	mbox    chan msg.Envelope
+	pending []msg.Envelope
+}
+
+// broadcastLocked is the PR 5 deadlock shape: Send under a held mutex.
+func (n *node) broadcastLocked(env msg.Envelope) {
+	n.mu.Lock()
+	n.tr.Send(env) // want `transport Send while n\.mu is held`
+	n.mu.Unlock()
+}
+
+// postLocked blocks on a channel send while a deferred unlock holds the lock.
+func (n *node) postLocked(env msg.Envelope) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mbox <- env // want `channel send while n\.mu is held`
+}
+
+// drainLocked blocks on a channel receive under the lock.
+func (n *node) drainLocked() msg.Envelope {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return <-n.mbox // want `channel receive while n\.mu is held`
+}
+
+// waitLocked hits a select with no default arm under the lock.
+func (n *node) waitLocked(done chan struct{}) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // want `select without default while n\.mu is held`
+	case <-done:
+	case env := <-n.mbox:
+		n.pending = append(n.pending, env)
+	}
+}
+
+// snapshotThenSend is the fix: copy under the lock, block outside it.
+func (n *node) snapshotThenSend() {
+	n.mu.Lock()
+	out := append([]msg.Envelope(nil), n.pending...)
+	n.pending = n.pending[:0]
+	n.mu.Unlock()
+	for _, env := range out {
+		n.tr.Send(env)
+	}
+}
+
+// tryPost is non-blocking: a select with a default arm never parks.
+func (n *node) tryPost(env msg.Envelope) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.mbox <- env:
+		return true
+	default:
+		return false
+	}
+}
+
+// spawnSender starts the blocking work lock-free: a go statement never
+// blocks the spawner and the goroutine body begins with no locks held.
+func (n *node) spawnSender(env msg.Envelope) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.tr.Send(env)
+	}()
+}
+
+// reply sends under the lock but the channel contract makes it safe; the
+// reasoned allow records why.
+func (n *node) reply(ch chan error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//qlint:allow lockheld ch is buffered with capacity 1 and has exactly one sender, so the send never blocks
+	ch <- nil
+}

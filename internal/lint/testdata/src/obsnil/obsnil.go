@@ -1,0 +1,37 @@
+// Package obsnil is the golden fixture for the obsnil analyzer: obs handles
+// are nil-safe only when reached through the pointer method set, so direct
+// Observer field access, handle dereference, and value-typed handle
+// declarations are all flagged.
+package obsnil
+
+import "qcommit/internal/obs"
+
+// fields reaches through Observer's fields: panics when ob is nil.
+func fields(ob *obs.Observer) (*obs.Registry, *obs.Spans) {
+	return ob.Registry, ob.Spans // want `direct access to obs\.Observer\.Registry` `direct access to obs\.Observer\.Spans`
+}
+
+// accessors is the nil-safe way in.
+func accessors(ob *obs.Observer) (*obs.Registry, *obs.Spans) {
+	return ob.Reg(), ob.Spanner()
+}
+
+// construction of an Observer is fine — the analyzer only polices access.
+func build() *obs.Observer {
+	return &obs.Observer{Registry: obs.NewRegistry(), Spans: obs.NewSpans(1, 16, 0)}
+}
+
+// deref copies a handle out of its pointer: the copy's atomics diverge from
+// the original's, and the value is "on" even when the pointer was nil.
+func deref(c *obs.Counter) {
+	v := *c // want `dereferencing \*obs\.Counter copies the handle` `obs\.Counter declared by value`
+	_ = v
+}
+
+type holder struct {
+	count obs.Counter // want `obs\.Counter declared by value`
+}
+
+type goodHolder struct {
+	count *obs.Counter
+}

@@ -47,7 +47,7 @@ func TestLiveObserverRecordsCommitPath(t *testing.T) {
 		}
 	}
 
-	snaps := ob.Registry.Snapshot()
+	snaps := ob.Reg().Snapshot()
 	if got := obs.SumCounters(snaps, "qcommit_txns_begun_total"); got != txns {
 		t.Errorf("begun = %d, want %d", got, txns)
 	}
@@ -74,7 +74,7 @@ func TestLiveObserverRecordsCommitPath(t *testing.T) {
 	// last transaction's close can trail WaitOutcome by a beat.
 	var started, finished uint64
 	for deadline := time.Now().Add(2 * time.Second); ; {
-		started, finished = ob.Spans.Stats()
+		started, finished = ob.Spanner().Stats()
 		if finished == txns || !time.Now().Before(deadline) {
 			break
 		}
@@ -84,7 +84,7 @@ func TestLiveObserverRecordsCommitPath(t *testing.T) {
 		t.Fatalf("span stats = %d/%d, want %d/%d", started, finished, txns, txns)
 	}
 	stages := make(map[string]bool)
-	span := ob.Spans.Recent()[0]
+	span := ob.Spanner().Recent()[0]
 	for _, ev := range span.Stages {
 		stages[ev.Stage] = true
 	}

@@ -373,6 +373,7 @@ func (m *Manager) ReleaseAll(txn types.TxnID) {
 			for j, req := range ls.queue {
 				if req.txn == txn {
 					ls.queue = append(ls.queue[:j], ls.queue[j+1:]...)
+					//qlint:allow lockheld grant is buffered (cap 1, one send per request lifetime), so this send never blocks
 					req.grant <- ErrWouldBlock
 					break
 				}

@@ -56,6 +56,7 @@ type StateTally struct {
 // NewStateTally builds a tally from collected responses.
 func NewStateTally(resp map[types.SiteID]types.State) StateTally {
 	t := StateTally{ByState: make(map[types.State][]types.SiteID)}
+	//qlint:allow determinism both collected slices (per-state buckets and Responders) are sorted below before anyone reads them
 	for s, st := range resp {
 		t.ByState[st] = append(t.ByState[st], s)
 		t.Responders = append(t.Responders, s)

@@ -294,6 +294,7 @@ func (d *Dynamic) Reassign(item types.ItemID, survivors []types.SiteID) bool {
 	}
 	if len(nt.votes) == len(t.votes) {
 		same := true
+		//qlint:allow determinism pure equality scan: same flips at most once and the result is identical in any visit order
 		for s, v := range nt.votes {
 			if t.votes[s] != v {
 				same = false

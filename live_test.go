@@ -68,6 +68,7 @@ func TestLiveClusterValidation(t *testing.T) {
 	}
 	// A dropped ParseStrategy error yields StrategyInvalid; constructors
 	// must reject it rather than fall back to quorum silently.
+	//qlint:allow droppederr the test deliberately drops the error to obtain the invalid zero value it checks constructors against
 	bad, _ := ParseStrategy("bogus")
 	if _, err := NewLiveCluster(liveItems(), LiveOptions{Strategy: bad}); err == nil {
 		t.Error("invalid strategy accepted by NewLiveCluster")
