@@ -18,6 +18,26 @@ type (
 	ChurnResult = churn.Result
 	// ChurnCounts aggregates what the transaction stream experienced.
 	ChurnCounts = churn.Counts
+	// ChurnEngine selects how a study evaluates its runs: full replay or
+	// the hybrid analytic engine (identical transaction fates, far faster
+	// on large clusters).
+	ChurnEngine = churn.Engine
+	// ChurnPlacementError reports Params whose replica-placement geometry
+	// is impossible (more copies than sites, more writes than items, ...).
+	ChurnPlacementError = churn.PlacementError
+)
+
+// The churn engines, settable via ChurnParams.Engine.
+const (
+	// ChurnEngineReplay simulates every transaction through the full
+	// protocol stack — the determinism oracle.
+	ChurnEngineReplay = churn.EngineReplay
+	// ChurnEngineHybrid decides provably-quiet transactions analytically
+	// and replays only those that interact with faults, repairs, or each
+	// other. Fates and violation counts are bit-identical to replay;
+	// availability probes and latencies are documented approximations (see
+	// internal/churn/hybrid.go).
+	ChurnEngineHybrid = churn.EngineHybrid
 )
 
 // DefaultChurnParams returns the paper-scale configuration with moderate

@@ -1,6 +1,7 @@
 package qcommit
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -40,6 +41,29 @@ func TestChurnStudySmoke(t *testing.T) {
 	ci := FormatChurnTableCI(res)
 	if table == "" || ci == "" {
 		t.Error("empty churn tables")
+	}
+
+	// The hybrid engine through the root API: identical transaction fates
+	// on the same seeded worlds.
+	params.Engine = ChurnEngineHybrid
+	hybrid, err := ChurnStudy(params, 3, 1, ChurnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		r, h := res[i].Counts, hybrid[i].Counts
+		if r.Committed != h.Committed || r.Aborted != h.Aborted || r.Blocked != h.Blocked ||
+			r.Unresolved != h.Unresolved || r.Rejected != h.Rejected || res[i].Violations != hybrid[i].Violations {
+			t.Errorf("%s: hybrid fates diverged from replay", res[i].Label)
+		}
+	}
+
+	// Impossible placements surface as the typed error.
+	bad := DefaultChurnParams()
+	bad.CopiesPerItem = bad.NumSites + 1
+	var pe *ChurnPlacementError
+	if _, err := ChurnStudy(bad, 1, 1, ChurnOptions{}); !errors.As(err, &pe) {
+		t.Errorf("ChurnStudy returned %v, want *ChurnPlacementError", err)
 	}
 }
 

@@ -15,10 +15,16 @@
 //	churnbench -sweep mttr                          MTTR sensitivity: repair
 //	                                                speed from mttr/4 to 4×mttr
 //	churnbench -sweep mttf                          failure-rate sensitivity
+//	churnbench -sweep sites                         cluster-size scaling:
+//	                                                8→128 sites, 128→2048 items
+//	churnbench -engine hybrid                       analytic fast path
+//	churnbench -engine both                         replay vs hybrid per point
 //	churnbench -workers 8                           parallel run evaluation
 //	churnbench -ci                                  95% Wilson intervals
 //	churnbench -json PATH                           write results + runs/sec
 //	                                                (e.g. BENCH_churn.json)
+//	churnbench -cpuprofile cpu.pprof                write pprof profiles
+//	churnbench -memprofile mem.pprof
 package main
 
 import (
@@ -26,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -68,16 +76,20 @@ type jsonProtocol struct {
 
 // jsonRun is one parameter point of a (possibly swept) invocation.
 type jsonRun struct {
-	Params     churn.Params   `json:"params"`
-	Strategy   string         `json:"strategy"`
-	MTTFMs     float64        `json:"mttf_ms"`
-	MTTRMs     float64        `json:"mttr_ms"`
-	Runs       int            `json:"runs"`
-	Seed       int64          `json:"seed"`
-	Workers    int            `json:"workers"`
-	ElapsedSec float64        `json:"elapsed_sec"`
-	RunsPerSec float64        `json:"runs_per_sec"`
-	Protocols  []jsonProtocol `json:"protocols"`
+	Params     churn.Params `json:"params"`
+	Strategy   string       `json:"strategy"`
+	Engine     string       `json:"engine"`
+	MTTFMs     float64      `json:"mttf_ms"`
+	MTTRMs     float64      `json:"mttr_ms"`
+	Runs       int          `json:"runs"`
+	Seed       int64        `json:"seed"`
+	Workers    int          `json:"workers"`
+	ElapsedSec float64      `json:"elapsed_sec"`
+	RunsPerSec float64      `json:"runs_per_sec"`
+	// TrialsPerSec counts (run, protocol) evaluations per second — the
+	// study's unit of work, comparable across engines and sweeps.
+	TrialsPerSec float64        `json:"trials_per_sec"`
+	Protocols    []jsonProtocol `json:"protocols"`
 }
 
 // jsonDoc is the top-level -json document.
@@ -103,12 +115,17 @@ func main() {
 	groups := flag.Int("groups", 3, "max partition groups")
 	horizon := flag.Duration("horizon", 5*time.Second, "virtual-time length of each run")
 	strategy := flag.String("strategy", "quorum", "data-access strategy: 'quorum', 'missing-writes' (alias 'mw'), 'dynamic' (alias 'dv'), 'both' (quorum + missing-writes), or 'all' (all three)")
-	sweep := flag.String("sweep", "", "sweep a parameter: 'mttr' (repair speed) or 'mttf' (failure rate)")
+	sweep := flag.String("sweep", "", "sweep a parameter: 'mttr' (repair speed), 'mttf' (failure rate) or 'sites' (cluster size ×1..×16 at constant aggregate fault and load rates)")
+	engineArg := flag.String("engine", "replay", "study engine: 'replay', 'hybrid' (identical fates, analytic fast path) or 'both'")
 	workers := flag.Int("workers", 0, "run-evaluation worker goroutines (0 = GOMAXPROCS)")
 	ci := flag.Bool("ci", false, "print 95% Wilson confidence intervals")
 	jsonPath := flag.String("json", "", "write machine-readable results (with runs/sec) to this path")
-	progress := flag.Bool("progress", false, "report run completion on stderr")
+	progress := flag.Bool("progress", false, "report run completion with ETA on stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path at exit")
 	flag.Parse()
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	builders, err := selectBuilders(*protocols)
 	if err != nil {
@@ -119,6 +136,44 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	engines, err := selectEngines(*engineArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("wrote %s\n", *memProfile)
+		}()
 	}
 
 	base := churn.Params{
@@ -146,6 +201,18 @@ func main() {
 		num, den sim.Duration
 	}{{1, 4}, {1, 2}, {1, 1}, {2, 1}, {4, 1}}
 
+	// evaluate runs one parameter point under every selected engine.
+	evaluate := func(p churn.Params) {
+		for _, eng := range engines {
+			p := p
+			p.Engine = eng
+			if len(engines) > 1 {
+				fmt.Printf("[engine: %v]\n", eng)
+			}
+			record(run(p, cfg))
+		}
+	}
+
 	for _, st := range strategies {
 		base := base
 		base.Strategy = st
@@ -154,23 +221,53 @@ func main() {
 		}
 		switch *sweep {
 		case "":
-			record(run(base, cfg))
+			evaluate(base)
 		case "mttr":
 			for _, m := range multipliers {
 				p := base
 				p.MTTR = base.MTTR * m.num / m.den
 				fmt.Printf("--- MTTR = %v (MTTF %v) ---\n", time.Duration(p.MTTR), time.Duration(p.MTTF))
-				record(run(p, cfg))
+				evaluate(p)
 			}
 		case "mttf":
 			for _, m := range multipliers {
 				p := base
 				p.MTTF = base.MTTF * m.num / m.den
 				fmt.Printf("--- MTTF = %v (MTTR %v) ---\n", time.Duration(p.MTTF), time.Duration(p.MTTR))
-				record(run(p, cfg))
+				evaluate(p)
+			}
+		case "sites":
+			// Cluster-size scaling: ×1 to ×16 sites (8 → 128 with default
+			// -sites), the item space growing with the cluster (16 items
+			// per site, which keeps conflict clustering — and with it the
+			// hybrid engine's fallback rate — low at every scale), the
+			// aggregate load rate growing with the cluster
+			// (per-cluster inter-arrival shrinks ×m) and the aggregate
+			// fault rate held constant (per-site MTTF grows ×m). Unless
+			// set explicitly, the steady-state scaling study uses mild
+			// churn — MTTF 20s, MTTR 1s at the 8-site baseline — so the
+			// fault spacing stays well clear of the commit window at every
+			// scale.
+			if !setFlags["mttf"] && base.MTTF > 0 {
+				base.MTTF = 20 * sim.Second
+			}
+			if !setFlags["mttr"] && base.MTTR > 0 {
+				base.MTTR = sim.Second
+			}
+			for _, m := range []int{1, 2, 4, 8, 16} {
+				p := base
+				p.NumSites = base.NumSites * m
+				p.NumItems = p.NumSites * 16
+				p.MTTF = base.MTTF * sim.Duration(m)
+				p.MeanInterarrival = base.MeanInterarrival / sim.Duration(m)
+				if p.MeanInterarrival <= 0 {
+					p.MeanInterarrival = 1
+				}
+				fmt.Printf("--- %d sites × %d items ---\n", p.NumSites, p.NumItems)
+				evaluate(p)
 			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown sweep %q (want 'mttr' or 'mttf')\n", *sweep)
+			fmt.Fprintf(os.Stderr, "unknown sweep %q (want 'mttr', 'mttf' or 'sites')\n", *sweep)
 			os.Exit(2)
 		}
 	}
@@ -210,6 +307,17 @@ func selectBuilders(arg string) ([]churn.Builder, error) {
 	return out, nil
 }
 
+func selectEngines(arg string) ([]churn.Engine, error) {
+	if strings.ToLower(strings.TrimSpace(arg)) == "both" {
+		return []churn.Engine{churn.EngineReplay, churn.EngineHybrid}, nil
+	}
+	e, err := churn.ParseEngine(arg)
+	if err != nil {
+		return nil, fmt.Errorf("%v (or 'both')", err)
+	}
+	return []churn.Engine{e}, nil
+}
+
 func selectStrategies(arg string) ([]voting.Strategy, error) {
 	switch strings.ToLower(strings.TrimSpace(arg)) {
 	case "both":
@@ -226,29 +334,35 @@ func selectStrategies(arg string) ([]voting.Strategy, error) {
 
 func run(params churn.Params, cfg runConfig) jsonRun {
 	opts := churn.Options{Workers: cfg.workers}
+	start := time.Now()
 	if cfg.progress {
 		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			elapsed := time.Since(start)
+			eta := "?"
+			if done > 0 {
+				eta = (elapsed / time.Duration(done) * time.Duration(total-done)).Round(time.Second).String()
+			}
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs (%3.0f%%, ETA %s)   ", done, total, 100*float64(done)/float64(total), eta)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
 	}
-	start := time.Now()
 	results, err := churn.StudyParallel(params, cfg.runs, cfg.seed, cfg.builders, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("churn: %d sites, %d items ×%d copies, %d written, strategy %v, arrival %v, MTTF %v, MTTR %v",
+	trials := cfg.runs * len(cfg.builders)
+	fmt.Printf("churn: %d sites, %d items ×%d copies, %d written, strategy %v, engine %v, arrival %v, MTTF %v, MTTR %v",
 		params.NumSites, params.NumItems, params.CopiesPerItem, params.WritesPerTxn,
-		params.Strategy, time.Duration(params.MeanInterarrival), time.Duration(params.MTTF), time.Duration(params.MTTR))
+		params.Strategy, params.Engine, time.Duration(params.MeanInterarrival), time.Duration(params.MTTF), time.Duration(params.MTTR))
 	if params.PartitionMTBF > 0 {
 		fmt.Printf(", partitions every %v for %v", time.Duration(params.PartitionMTBF), time.Duration(params.PartitionMTTR))
 	}
-	fmt.Printf("\nhorizon %v ×%d runs (%.1f runs/s)\n",
-		time.Duration(params.Horizon), cfg.runs, float64(cfg.runs)/elapsed.Seconds())
+	fmt.Printf("\nhorizon %v ×%d runs (%.1f runs/s, %.1f trials/s)\n",
+		time.Duration(params.Horizon), cfg.runs, float64(cfg.runs)/elapsed.Seconds(), float64(trials)/elapsed.Seconds())
 	if cfg.ci {
 		fmt.Print(churn.FormatTableCI(results))
 	} else {
@@ -257,15 +371,17 @@ func run(params churn.Params, cfg runConfig) jsonRun {
 	fmt.Println()
 
 	rec := jsonRun{
-		Params:     params,
-		Strategy:   params.Strategy.String(),
-		MTTFMs:     float64(params.MTTF) / 1e6,
-		MTTRMs:     float64(params.MTTR) / 1e6,
-		Runs:       cfg.runs,
-		Seed:       cfg.seed,
-		Workers:    cfg.workers,
-		ElapsedSec: elapsed.Seconds(),
-		RunsPerSec: float64(cfg.runs) / elapsed.Seconds(),
+		Params:       params,
+		Strategy:     params.Strategy.String(),
+		Engine:       params.Engine.String(),
+		MTTFMs:       float64(params.MTTF) / 1e6,
+		MTTRMs:       float64(params.MTTR) / 1e6,
+		Runs:         cfg.runs,
+		Seed:         cfg.seed,
+		Workers:      cfg.workers,
+		ElapsedSec:   elapsed.Seconds(),
+		RunsPerSec:   float64(cfg.runs) / elapsed.Seconds(),
+		TrialsPerSec: float64(trials) / elapsed.Seconds(),
 	}
 	for _, r := range results {
 		clo, chi := r.CommittedCI()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"qcommit/internal/protocol"
 	"qcommit/internal/sim"
 )
 
@@ -36,6 +37,54 @@ func BenchmarkStudyParallel(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := StudyParallel(params, 4, 1, builders, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChurnStudy measures the full study kernel under both engines on
+// a realistic sparse-conflict configuration (wide item space, so the hybrid
+// engine's analytic path carries most of the stream).
+func BenchmarkChurnStudy(b *testing.B) {
+	params := benchParams()
+	params.NumItems = 64
+	builders := StandardBuilders()
+	for _, engine := range []Engine{EngineReplay, EngineHybrid} {
+		params.Engine = engine
+		b.Run(engine.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Study(params, 1, 1, builders); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChurnTrial isolates one (script, protocol) evaluation — the unit
+// of work the study fans out — from script generation and aggregation.
+func BenchmarkChurnTrial(b *testing.B) {
+	params := benchParams()
+	params.NumItems = 64
+	sc, err := generateScript(params, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := StandardBuilders()[3].Build(sc.sites) // QC1, the paper's lead protocol
+	for _, tc := range []struct {
+		name string
+		exec func(*script, Params, int64, protocol.Spec) (runStats, error)
+	}{
+		{"replay", executeRun},
+		{"hybrid", executeRunHybrid},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tc.exec(sc, params, 1, spec); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -91,6 +91,84 @@ type Params struct {
 	// how items churn between modes or vote tables; the commit protocols
 	// themselves are unchanged.
 	Strategy voting.Strategy
+	// Engine selects the evaluation engine: EngineReplay (default) replays
+	// every transaction through the discrete-event engine, EngineHybrid
+	// decides transactions analytically when their commit window fits
+	// inside a single fault epoch and replays only the rest. Transaction
+	// fates are bit-identical between the two; see hybrid.go for the
+	// documented approximations in the auxiliary availability counters.
+	Engine Engine
+}
+
+// Engine selects how a churn study evaluates transaction fates.
+type Engine int
+
+const (
+	// EngineReplay replays every transaction through the full
+	// discrete-event engine. It is the differential oracle the hybrid
+	// engine is pinned against.
+	EngineReplay Engine = iota
+	// EngineHybrid classifies each transaction at arrival time: if its
+	// whole commit window falls inside one epoch of the fault timeline it
+	// is decided by quorum arithmetic, otherwise it is replayed in a
+	// shared fallback world that simulates only such transactions.
+	EngineHybrid
+)
+
+// Valid reports whether e is a known engine.
+func (e Engine) Valid() bool { return e == EngineReplay || e == EngineHybrid }
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineReplay:
+		return "replay"
+	case EngineHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine converts a CLI engine name into an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "replay":
+		return EngineReplay, nil
+	case "hybrid":
+		return EngineHybrid, nil
+	default:
+		return 0, fmt.Errorf("churn: unknown engine %q (want replay or hybrid)", s)
+	}
+}
+
+// PlacementError reports a Params whose replica-placement geometry is
+// impossible: the script generator could not place CopiesPerItem distinct
+// replicas per item, or draw WritesPerTxn distinct items per transaction.
+// It is returned (wrapped) from Study/StudyParallel before any run starts,
+// so large grids fail fast with a typed error instead of a mid-run panic.
+type PlacementError struct {
+	Sites  int
+	Items  int
+	Copies int
+	Writes int
+	Reason string
+}
+
+// Error implements error.
+func (e *PlacementError) Error() string {
+	return fmt.Sprintf("churn: impossible replica placement (%d sites, %d items, %d copies/item, %d writes/txn): %s",
+		e.Sites, e.Items, e.Copies, e.Writes, e.Reason)
+}
+
+func (p Params) placementError(reason string) *PlacementError {
+	return &PlacementError{
+		Sites:  p.NumSites,
+		Items:  p.NumItems,
+		Copies: p.CopiesPerItem,
+		Writes: p.WritesPerTxn,
+		Reason: reason,
+	}
 }
 
 // DefaultParams mirrors the avail sweep's scale (8 sites, 4 items ×4
@@ -114,14 +192,23 @@ func DefaultParams() Params {
 }
 
 func (p Params) validate() error {
-	if p.NumSites < 2 || p.NumItems < 1 || p.CopiesPerItem < 1 || p.WritesPerTxn < 1 {
-		return fmt.Errorf("churn: invalid params %+v", p)
+	if p.NumSites < 2 {
+		return p.placementError("need at least 2 sites")
+	}
+	if p.NumItems < 1 {
+		return p.placementError("need at least 1 item")
+	}
+	if p.CopiesPerItem < 1 {
+		return p.placementError("need at least 1 copy per item")
+	}
+	if p.WritesPerTxn < 1 {
+		return p.placementError("need at least 1 write per transaction")
 	}
 	if p.CopiesPerItem > p.NumSites {
-		return fmt.Errorf("churn: CopiesPerItem %d exceeds NumSites %d", p.CopiesPerItem, p.NumSites)
+		return p.placementError(fmt.Sprintf("cannot place %d distinct copies on %d sites", p.CopiesPerItem, p.NumSites))
 	}
 	if p.WritesPerTxn > p.NumItems {
-		return fmt.Errorf("churn: WritesPerTxn %d exceeds NumItems %d", p.WritesPerTxn, p.NumItems)
+		return p.placementError(fmt.Sprintf("cannot draw %d distinct written items from %d items", p.WritesPerTxn, p.NumItems))
 	}
 	if math.IsNaN(p.HotFraction) || p.HotFraction < 0 || p.HotFraction >= 1 {
 		return fmt.Errorf("churn: HotFraction %v outside [0,1)", p.HotFraction)
@@ -148,6 +235,9 @@ func (p Params) validate() error {
 		if p.MaxGroups < 2 {
 			return fmt.Errorf("churn: MaxGroups %d < 2 with partition churn enabled", p.MaxGroups)
 		}
+	}
+	if !p.Engine.Valid() {
+		return fmt.Errorf("churn: invalid Engine %v", p.Engine)
 	}
 	return nil
 }

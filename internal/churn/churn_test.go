@@ -1,6 +1,7 @@
 package churn
 
 import (
+	"errors"
 	"reflect"
 	"runtime"
 	"strings"
@@ -479,6 +480,76 @@ func TestParamsValidate(t *testing.T) {
 	}
 	if err := DefaultParams().validate(); err != nil {
 		t.Errorf("default params rejected: %v", err)
+	}
+	bad := DefaultParams()
+	bad.Engine = Engine(99)
+	if err := bad.validate(); err == nil {
+		t.Error("invalid engine accepted")
+	}
+}
+
+// TestPlacementErrors: impossible replica placements surface as the typed
+// *PlacementError, carrying the shape that made them impossible, and the
+// study entry points propagate it unwrapped through errors.As.
+func TestPlacementErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		reason string
+	}{
+		{"no sites", func(p *Params) { p.NumSites = 0 }, "at least 2 sites"},
+		{"one site", func(p *Params) { p.NumSites = 1 }, "at least 2 sites"},
+		{"no items", func(p *Params) { p.NumItems = 0 }, "at least 1 item"},
+		{"no copies", func(p *Params) { p.CopiesPerItem = 0 }, "at least 1 copy"},
+		{"no writes", func(p *Params) { p.WritesPerTxn = 0 }, "at least 1 write"},
+		{"copies exceed sites", func(p *Params) { p.CopiesPerItem = p.NumSites + 3 }, "distinct copies"},
+		{"writes exceed items", func(p *Params) { p.WritesPerTxn = p.NumItems + 2 }, "distinct written items"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			tc.mutate(&p)
+			err := p.validate()
+			var pe *PlacementError
+			if !errors.As(err, &pe) {
+				t.Fatalf("validate() = %v, want *PlacementError", err)
+			}
+			if pe.Sites != p.NumSites || pe.Items != p.NumItems || pe.Copies != p.CopiesPerItem || pe.Writes != p.WritesPerTxn {
+				t.Errorf("error shape %+v does not match params", pe)
+			}
+			if !strings.Contains(pe.Error(), tc.reason) {
+				t.Errorf("error %q missing reason %q", pe.Error(), tc.reason)
+			}
+			if _, err := Study(p, 1, 1, StandardBuilders()); !errors.As(err, &pe) {
+				t.Errorf("Study returned %v, want *PlacementError", err)
+			}
+			if _, err := StudyParallel(p, 1, 1, StandardBuilders(), Options{}); !errors.As(err, &pe) {
+				t.Errorf("StudyParallel returned %v, want *PlacementError", err)
+			}
+		})
+	}
+	// A tight-but-possible placement is accepted.
+	p := DefaultParams()
+	p.CopiesPerItem = p.NumSites
+	p.WritesPerTxn = p.NumItems
+	if err := p.validate(); err != nil {
+		t.Errorf("tight placement rejected: %v", err)
+	}
+}
+
+// TestEngineParse pins the engine selector's string round trip.
+func TestEngineParse(t *testing.T) {
+	for _, e := range []Engine{EngineReplay, EngineHybrid} {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Error("ParseEngine accepted garbage")
+	}
+	if Engine(42).String() == "" {
+		t.Error("unknown engine should still render")
 	}
 }
 

@@ -1,0 +1,708 @@
+// Hybrid analytic churn engine.
+//
+// The replay engine (study.go) simulates every transaction through the full
+// discrete-event protocol stack. Between fault events, though, the world is
+// static, and a transaction whose entire commit window falls inside one such
+// epoch has a fate that is pure arithmetic: every reachable participant
+// acquires its locks and votes yes, the vote and ack round trips are fixed by
+// the deterministic per-message delay model, and the decision follows the
+// protocol's quorum rule. The hybrid engine classifies each arrival at
+// submission time — analytic when the window is provably quiet, replayed in a
+// shared fallback world otherwise — and produces transaction fates
+// bit-identical to full replay.
+//
+// # Why the fates are exact
+//
+// Three properties carry the equivalence, each pinned by the differential
+// suite in hybrid_test.go:
+//
+//  1. Delays are per-message, not per-run. simnet.Config.DelayFn derives each
+//     propagation delay from (seed, from, to, sendTime), so a world that
+//     simulates only a subset of the traffic sees identical delays for every
+//     message it shares with full replay. With loss and duplication disabled
+//     the scheduler RNG is never consulted, so the fallback world cannot
+//     drift off the replay schedule.
+//  2. Classification is conservative. A transaction is analytic only if (a)
+//     its commit window [arrival, arrival+5T] fits inside one epoch — no
+//     crash, restart, partition, or heal anywhere in the window; (b) it is
+//     alone in its conflict cluster — no other transaction writes a common
+//     item within 6T, which bounds every analytic lock lifetime; (c) no copy
+//     of its writeset is locked in the fallback world at arrival time —
+//     long-blocked replayed transactions hold locks past any fixed horizon,
+//     and this live probe catches them; and (d) the protocol's
+//     quorumcalc.Decider confirms the all-participants-prepared tally
+//     commits. Anything else — including the measure-zero ack-timeout tie on
+//     a terminate-on-timeout protocol — falls back to replay.
+//  3. Analytic and replayed transactions cannot interact. Clustering keeps
+//     their lock footprints disjoint, message traffic carries no congestion,
+//     and strategy state (adaptive demotion, dynamic vote reassignment)
+//     never feeds a protocol decision — an analytic commit reaches all
+//     copies, which makes its strategy transition a no-op in replay too.
+//
+// # Documented approximations
+//
+// Fates (committed/aborted/blocked/unresolved/rejected) and violations are
+// exact. Two auxiliary families are not: availability probes are computed
+// from the static vote tables over the epoch's up/connected state, so they
+// do not see transient lock holds or adaptive/dynamic strategy state; and
+// the latency of an analytic transaction reproduces the replay value except
+// in measure-zero equal-nanosecond tie cases. The differential suite
+// therefore pins counts and violations, not probe counters or latencies.
+package churn
+
+import (
+	"fmt"
+	"sort"
+
+	"qcommit/internal/core"
+	"qcommit/internal/engine"
+	"qcommit/internal/protocol"
+	"qcommit/internal/quorumcalc"
+	"qcommit/internal/sim"
+	"qcommit/internal/simnet"
+	"qcommit/internal/storage"
+	"qcommit/internal/threepc"
+	"qcommit/internal/twopc"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+const (
+	// analyticWindowT is the analytic commit window in units of the timeout
+	// base T: a 2T vote phase, a 2T ack phase, and one delivery hop for the
+	// decision. A transaction whose arrival+5T fits strictly inside one
+	// epoch runs start to finish against a static world.
+	analyticWindowT = 5
+	// analyticClusterT is the conflict-clustering radius in units of T. An
+	// analytic transaction's locks live at most analyticWindowT·T, so two
+	// transactions writing a common item more than 6T apart can never
+	// contend; anything closer shares a cluster and is replayed together.
+	analyticClusterT = 6
+)
+
+// mix64 is the splitmix64 finalizer, the usual way to turn structured
+// integers into well-distributed hash bits.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// messageDelay is the deterministic per-message delay model shared by the
+// replay engine, the hybrid engine's fallback world, and the analytic
+// arithmetic: a hash of (seed, from, to, sendTime) mapped onto [0, 10ms],
+// the same range the RNG model drew from. Keying by message rather than by
+// draw order is what lets a partial simulation agree with a full one.
+func messageDelay(seed int64, from, to types.SiteID, at sim.Time) sim.Duration {
+	h := mix64(uint64(seed))
+	h = mix64(h ^ uint64(uint32(from)))
+	h = mix64(h ^ uint64(uint32(to)))
+	h = mix64(h ^ uint64(at))
+	return sim.Duration(h % uint64(simnet.Config{}.MaxDelayOrDefault()+1))
+}
+
+// delayModel returns the run's simnet.Config.DelayFn.
+func delayModel(seed int64) func(from, to types.SiteID, at sim.Time) sim.Duration {
+	return func(from, to types.SiteID, at sim.Time) sim.Duration {
+		return messageDelay(seed, from, to, at)
+	}
+}
+
+// protoModel is the analytic mirror of one protocol's coordinator: how a
+// decision is reached when every participant is reachable, lock-free, and
+// therefore votes yes. Specs without a model (nil) replay every transaction.
+type protoModel struct {
+	// twoPhase marks 2PC: commit on the last yes vote, no ack phase.
+	twoPhase bool
+	// ackTimeoutCommit marks protocols that commit when the ack window
+	// expires (3PC); quorum protocols terminate instead, which the
+	// analytic path refuses to model and hands to replay.
+	ackTimeoutCommit bool
+	// satisfied mirrors the protocol's threephase.AckRule over the set of
+	// participants whose PC-acks have arrived.
+	satisfied func(items []types.ItemID, participants, acked []types.SiteID) bool
+	// decider builds the protocol's quorumcalc termination decider, used as
+	// a commit sanity gate over the all-participants-prepared tally.
+	decider func(items []types.ItemID, participants []types.SiteID) quorumcalc.Decider
+}
+
+// protoModelFor derives the analytic model from a built spec. The switch
+// covers exactly the StandardBuilders specs; an unknown spec gets no model
+// and the hybrid engine degrades to pure replay in the shared world.
+func protoModelFor(spec protocol.Spec, asgn *voting.Assignment) *protoModel {
+	switch s := spec.(type) {
+	case twopc.Spec:
+		return &protoModel{twoPhase: true}
+	case threepc.Spec:
+		return &protoModel{
+			ackTimeoutCommit: true,
+			satisfied: func(_ []types.ItemID, participants, acked []types.SiteID) bool {
+				return len(acked) >= len(participants)
+			},
+			decider: func(_ []types.ItemID, _ []types.SiteID) quorumcalc.Decider {
+				return quorumcalc.ThreePC()
+			},
+		}
+	case core.Spec:
+		switch s.Variant {
+		case core.Protocol1:
+			return &protoModel{
+				satisfied: func(items []types.ItemID, _, acked []types.SiteID) bool {
+					return asgn.WriteQuorumForEvery(items, acked)
+				},
+				decider: func(items []types.ItemID, _ []types.SiteID) quorumcalc.Decider {
+					return quorumcalc.TP1(items)
+				},
+			}
+		case core.Protocol2:
+			return &protoModel{
+				satisfied: func(items []types.ItemID, _, acked []types.SiteID) bool {
+					return asgn.ReadQuorumForSome(items, acked)
+				},
+				decider: func(items []types.ItemID, _ []types.SiteID) quorumcalc.Decider {
+					return quorumcalc.TP2(items)
+				},
+			}
+		default:
+			return nil
+		}
+	case skeenPerTxn:
+		return &protoModel{
+			satisfied: func(_ []types.ItemID, participants, acked []types.SiteID) bool {
+				return len(acked) >= len(participants)/2+1
+			},
+			decider: func(_ []types.ItemID, participants []types.SiteID) quorumcalc.Decider {
+				v := len(participants)
+				vc := v/2 + 1
+				return quorumcalc.SkeenUniform(vc, v+1-vc)
+			},
+		}
+	default:
+		return nil
+	}
+}
+
+// conflictClusters flags arrivals whose write locks could interact: two
+// arrivals writing a common item within window of each other are linked, the
+// links close transitively (a chain of adjacent writers is one cluster), and
+// every member of a cluster of two or more is barred from the analytic path
+// so that lock contention is always replayed, never modeled.
+func conflictClusters(arrivals []arrival, window sim.Duration) []bool {
+	parent := make([]int, len(arrivals))
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	type lastWrite struct {
+		idx int
+		at  sim.Time
+	}
+	last := make(map[types.ItemID]lastWrite, 64)
+	for i := range arrivals {
+		a := &arrivals[i]
+		for _, u := range a.Writeset {
+			if lw, ok := last[u.Item]; ok && a.At <= lw.at.Add(window) {
+				union(i, lw.idx)
+			}
+			last[u.Item] = lastWrite{i, a.At}
+		}
+	}
+	size := make([]int, len(arrivals))
+	for i := range arrivals {
+		size[find(i)]++
+	}
+	multi := make([]bool, len(arrivals))
+	for i := range arrivals {
+		multi[i] = size[find(i)] > 1
+	}
+	return multi
+}
+
+// hybridRun is the per-(run, protocol) state of one hybrid evaluation,
+// including the scratch reused across arrivals.
+type hybridRun struct {
+	sc      *script
+	params  Params
+	seed    int64
+	spec    protocol.Spec
+	model   *protoModel
+	multi   []bool
+	plans   []arrivalPlan
+	T       sim.Duration
+	window  sim.Duration
+	horizon sim.Time
+
+	// world is the shared fallback replay world, created lazily at the
+	// first replayed transaction. worldTxn[i] is arrival i's transaction ID
+	// there (0 = analytic or rejected).
+	world    *engine.Cluster
+	worldTxn []types.TxnID
+
+	// scratch
+	acked []types.SiteID
+	tally quorumcalc.Tally
+}
+
+type ackArrival struct {
+	at   sim.Time
+	site types.SiteID
+}
+
+// arrivalPlan is the protocol-independent half of classifying one arrival,
+// computed once per script and shared by every protocol column: the
+// availability probes, the coordinator reroute, the quiet-window test, and
+// the vote/ack round-trip arithmetic (all of which depend only on the
+// epochs and the per-message delay hash). What remains per protocol is the
+// live lock probe against that column's fallback world, the quorum decider
+// gate, and the ack-rule walk.
+type arrivalPlan struct {
+	// coord is the effective coordinator after rerouting; 0 means every
+	// participant was down and the submission is rejected.
+	coord   types.SiteID
+	coordIn bool
+	// windowOK reports that the commit window sees a static world (fits
+	// the arrival's epoch, or every event in it is irrelevant to the
+	// transaction per windowQuiet).
+	windowOK bool
+	// allReach reports every participant connected to the coordinator;
+	// voteAbort that the last vote round trip loses to the 2T timer.
+	allReach  bool
+	voteAbort bool
+	reach     []types.SiteID
+	items     []types.ItemID
+	// probeRead/probeWrite are the per-arrival availability probe tallies
+	// (checks = len(Writeset)).
+	probeRead, probeWrite int
+	// abortAt/commitAt are the replay-visible first-decision times of the
+	// vote-phase abort and the 2PC commit; tAllVotes and ackDeadline feed
+	// the three-phase ack walk over acks.
+	abortAt     sim.Time
+	commitAt    sim.Time
+	tAllVotes   sim.Time
+	ackDeadline sim.Time
+	acks        []ackArrival
+}
+
+// buildHybridPlans computes the arrival plans for one script. The epoch
+// cursor mirrors executeRunHybrid's arrival loop.
+func buildHybridPlans(sc *script, seed int64, epochs []Epoch, T sim.Duration, window sim.Duration, horizon sim.Time) []arrivalPlan {
+	plans := make([]arrivalPlan, len(sc.arrivals))
+	var eligible []types.SiteID
+	ei := 0
+	for i := range sc.arrivals {
+		a := &sc.arrivals[i]
+		for epochs[ei].End <= a.At {
+			ei++
+		}
+		ep := &epochs[ei]
+		p := &plans[i]
+
+		// Availability probes from the preferred coordinator, mirroring
+		// executeRun's sampling points. These are the static-table
+		// approximation documented in the package comment.
+		for _, u := range a.Writeset {
+			if ic, ok := sc.asgn.Item(u.Item); ok {
+				eligible = eligible[:0]
+				for _, cp := range ic.Copies {
+					if ep.Connected(a.Coord, cp.Site) {
+						eligible = append(eligible, cp.Site)
+					}
+				}
+				if sc.asgn.HasReadQuorum(u.Item, eligible) {
+					p.probeRead++
+				}
+				if sc.asgn.HasWriteQuorum(u.Item, eligible) {
+					p.probeWrite++
+				}
+			}
+		}
+
+		// Re-route a down coordinator to the lowest-numbered live
+		// participant; reject when every participant is down.
+		coord := a.Coord
+		if ep.Down[coord] {
+			coord = 0
+			for _, pt := range a.Participants {
+				if !ep.Down[pt] {
+					coord = pt
+					break
+				}
+			}
+		}
+		if coord == 0 {
+			continue
+		}
+		p.coord = coord
+
+		p.windowOK = ep.Contains(a.At, a.At.Add(window)+1) ||
+			windowQuiet(sc, a, coord, window, horizon)
+		if !p.windowOK {
+			continue
+		}
+
+		// Reachable participants: up and connected to the coordinator for
+		// the whole window. Everyone reachable acquires locks and votes
+		// yes; everyone else never hears the VOTE-REQ.
+		for _, s := range a.Participants {
+			if s == coord {
+				p.coordIn = true
+			}
+			if ep.Connected(coord, s) {
+				p.reach = append(p.reach, s)
+			}
+		}
+		p.items = a.Writeset.Items()
+
+		// The vote timer was armed at submission, so the last vote must
+		// arrive strictly before arrival+2T (the timer wins an exact tie).
+		voteDeadline := a.At.Add(2 * T)
+		p.abortAt = firstDecisionTime(seed, coord, p.coordIn, p.reach, voteDeadline)
+		p.allReach = len(p.reach) == len(a.Participants)
+		if !p.allReach {
+			continue
+		}
+		tAllVotes := a.At
+		for _, s := range p.reach {
+			d1 := messageDelay(seed, coord, s, a.At)
+			t1 := a.At.Add(d1)
+			t2 := t1.Add(messageDelay(seed, s, coord, t1))
+			if t2 > tAllVotes {
+				tAllVotes = t2
+			}
+		}
+		p.tAllVotes = tAllVotes
+		if tAllVotes >= voteDeadline {
+			p.voteAbort = true
+			continue
+		}
+		p.commitAt = firstDecisionTime(seed, coord, p.coordIn, p.reach, tAllVotes)
+
+		// PC/ack round trips for the three-phase protocols, sorted by
+		// (arrival time, site) the way the coordinator observes them.
+		p.ackDeadline = tAllVotes.Add(2 * T)
+		p.acks = make([]ackArrival, 0, len(p.reach))
+		for _, s := range p.reach {
+			d3 := messageDelay(seed, coord, s, tAllVotes)
+			t3 := tAllVotes.Add(d3)
+			t4 := t3.Add(messageDelay(seed, s, coord, t3))
+			p.acks = append(p.acks, ackArrival{at: t4, site: s})
+		}
+		sort.Slice(p.acks, func(x, y int) bool {
+			if p.acks[x].at != p.acks[y].at {
+				return p.acks[x].at < p.acks[y].at
+			}
+			return p.acks[x].site < p.acks[y].site
+		})
+	}
+	return plans
+}
+
+// executeRunHybrid evaluates one script under one protocol with the hybrid
+// engine. It mirrors executeRun's accounting exactly; only the evaluation of
+// individual transactions differs.
+func executeRunHybrid(sc *script, params Params, seed int64, spec protocol.Spec) (runStats, error) {
+	horizon := sim.Time(params.Horizon)
+	T := simnet.Config{}.MaxDelayOrDefault() // the engine's timeout base
+	if sc.hybridMulti == nil {
+		sc.hybridMulti = conflictClusters(sc.arrivals, sim.Duration(analyticClusterT)*T)
+	}
+	if sc.hybridPlans == nil || sc.hybridSeed != seed {
+		if sc.hybridEpochs == nil {
+			sc.hybridEpochs = sc.epochs(horizon)
+		}
+		sc.hybridPlans = buildHybridPlans(sc, seed, sc.hybridEpochs, T, sim.Duration(analyticWindowT)*T, horizon)
+		sc.hybridSeed = seed
+	}
+	h := &hybridRun{
+		sc:       sc,
+		params:   params,
+		seed:     seed,
+		spec:     spec,
+		model:    protoModelFor(spec, sc.asgn),
+		multi:    sc.hybridMulti,
+		plans:    sc.hybridPlans,
+		worldTxn: make([]types.TxnID, len(sc.arrivals)),
+	}
+
+	var st runStats
+	st.counts.Arrivals = len(sc.arrivals)
+	st.counts.SiteDownNS = sc.siteDownNS
+	st.counts.PartitionedNS = sc.partitionedNS
+
+	for i := range sc.arrivals {
+		a := &sc.arrivals[i]
+		p := &h.plans[i]
+
+		st.counts.AccessChecks += len(a.Writeset)
+		st.counts.ReadAvailable += p.probeRead
+		st.counts.WriteAvailable += p.probeWrite
+
+		if p.coord == 0 {
+			st.counts.Rejected++
+			continue
+		}
+		st.counts.Submitted++
+		st.counts.PostSubmitNS += int64(horizon - a.At)
+
+		// Keep the fallback world's clock at the arrival front so lock
+		// probes and submissions happen at replay-identical times.
+		if h.world != nil {
+			h.world.Scheduler().RunUntil(a.At)
+		}
+
+		if committed, decidedAt, ok := h.classify(i, a, p); ok {
+			st.analytic++
+			lat := sim.Duration(decidedAt - a.At)
+			st.counts.PendingNS += int64(lat)
+			st.latencies = append(st.latencies, lat)
+			if committed {
+				st.counts.Committed++
+			} else {
+				st.counts.Aborted++
+			}
+			continue
+		}
+
+		// Fallback: replay this transaction in the shared world.
+		if h.world == nil {
+			h.ensureWorld()
+			h.world.Scheduler().RunUntil(a.At)
+		}
+		h.worldTxn[i] = h.world.Begin(p.coord, a.Writeset)
+	}
+
+	if h.world != nil {
+		sched := h.world.Scheduler()
+		sched.RunUntil(horizon)
+		if sched.MaxSteps != 0 && sched.Steps() >= sched.MaxSteps {
+			return runStats{}, fmt.Errorf("churn: %s hybrid run (seed %d) exhausted %d scheduler steps before the horizon", spec.Name(), seed, sched.MaxSteps)
+		}
+		st.counts.ModeDemotions, st.counts.ModeRestorations = h.world.ModeTransitions()
+		st.counts.VoteReassignments, st.counts.VoteRestorations = h.world.VoteTransitions()
+		all := h.world.Sites()
+		for i := range sc.arrivals {
+			txn := h.worldTxn[i]
+			if txn == 0 {
+				continue
+			}
+			a := &sc.arrivals[i]
+			if decidedAt, ok := h.world.FirstDecisionAt(txn); ok {
+				lat := sim.Duration(decidedAt - a.At)
+				st.counts.PendingNS += int64(lat)
+				st.latencies = append(st.latencies, lat)
+				switch h.world.GroupOutcome(txn, all) {
+				case types.OutcomeCommitted:
+					st.counts.Committed++
+				default:
+					st.counts.Aborted++
+				}
+				continue
+			}
+			st.counts.PendingNS += int64(horizon - a.At)
+			if h.world.GroupOutcome(txn, all) == types.OutcomeBlocked {
+				st.counts.Blocked++
+			} else {
+				st.counts.Unresolved++
+			}
+		}
+		st.violations = len(h.world.Violations()) + len(h.world.CheckStores())
+	}
+	return st, nil
+}
+
+// ensureWorld builds the shared fallback world: the same cluster replay
+// would build, with the full fault timeline and kick schedule, but with only
+// the replayed transactions submitted into it.
+func (h *hybridRun) ensureWorld() {
+	if h.sc.hybridStores == nil {
+		tbl := make(map[types.SiteID]map[types.ItemID]storage.Versioned, len(h.sc.sites))
+		for _, item := range h.sc.asgn.Items() {
+			ic, _ := h.sc.asgn.Item(item)
+			for _, cp := range ic.Copies {
+				m := tbl[cp.Site]
+				if m == nil {
+					m = make(map[types.ItemID]storage.Versioned)
+					tbl[cp.Site] = m
+				}
+				m[item] = storage.Versioned{Version: 1}
+			}
+		}
+		h.sc.hybridStores = tbl
+	}
+	cl := engine.New(engine.Config{
+		Seed:       h.seed,
+		Net:        simnet.Config{DelayFn: delayModel(h.seed)},
+		Assignment: h.sc.asgn,
+		Strategy:   h.params.Strategy,
+		Spec:       h.spec,
+		ExtraSites: h.sc.sites,
+		SeedStores: h.sc.hybridStores,
+	})
+	cl.Recorder().Disable()
+	sched := cl.Scheduler()
+	sched.MaxSteps = 4_000_000 + uint64(len(h.sc.arrivals))*stepsPerArrival
+	for _, ev := range h.sc.events {
+		switch ev.Kind {
+		case EventCrash:
+			cl.CrashAt(ev.At, ev.Site)
+		case EventRestart:
+			cl.RestartAt(ev.At, ev.Site)
+		case EventPartition:
+			cl.PartitionAt(ev.At, ev.Groups...)
+		case EventHeal:
+			cl.HealAt(ev.At)
+		}
+	}
+	grace := sim.Duration(kickGraceT) * cl.T()
+	for _, ri := range h.sc.repairs {
+		at := h.sc.events[ri].At
+		sched.At(at, func() {
+			now := sched.Now()
+			for i, txn := range h.worldTxn {
+				if txn != 0 && h.sc.arrivals[i].At.Add(grace) <= now {
+					cl.Kick(txn)
+				}
+			}
+		})
+	}
+	h.world = cl
+}
+
+// classify decides arrival i analytically if it qualifies. It returns
+// ok=false to send the transaction to the fallback world. The plan supplies
+// the protocol-independent half (window quietness, reachability, vote and
+// ack arithmetic); what remains here is everything the protocol column owns:
+// the live lock probe against its fallback world, the quorum decider gate,
+// and the ack-rule walk.
+func (h *hybridRun) classify(i int, a *arrival, p *arrivalPlan) (committed bool, decidedAt sim.Time, ok bool) {
+	if h.model == nil || h.multi[i] || !p.windowOK {
+		return false, 0, false
+	}
+
+	// Live lock probe: a held lock on any copy a reachable participant
+	// would try to X-lock means the yes-vote assumption is wrong. Only
+	// long-blocked replayed transactions can hold locks here (anything
+	// closer shares a conflict cluster), and only the world knows them.
+	if h.world != nil && h.world.AnyLocks() {
+		for _, s := range p.reach {
+			for _, u := range a.Writeset {
+				if h.world.ItemLockedAt(s, u.Item) {
+					return false, 0, false
+				}
+			}
+		}
+	}
+
+	if !p.allReach || p.voteAbort {
+		// Missing or too-slow votes: the coordinator aborts on the vote
+		// timeout.
+		return false, p.abortAt, true
+	}
+	if h.model.twoPhase {
+		return true, p.commitAt, true
+	}
+
+	// Three-phase protocols: sanity-gate the commit through the protocol's
+	// quorumcalc decider over the all-participants-prepared tally, then
+	// walk the PC-ack arrivals until the ack rule is satisfied.
+	h.tally.Reset()
+	for _, s := range a.Participants {
+		h.tally.Add(s, types.StatePC)
+	}
+	if h.model.decider(p.items, a.Participants)(h.sc.asgn, &h.tally) != types.OutcomeCommitted {
+		return false, 0, false
+	}
+
+	h.acked = h.acked[:0]
+	for _, ack := range p.acks {
+		h.acked = append(h.acked, ack.site)
+		if !h.model.satisfied(p.items, a.Participants, h.acked) {
+			continue
+		}
+		if ack.at < p.ackDeadline {
+			return true, firstDecisionTime(h.seed, p.coord, p.coordIn, p.reach, ack.at), true
+		}
+		break
+	}
+	if h.model.ackTimeoutCommit {
+		// 3PC commits when the ack window expires.
+		return true, firstDecisionTime(h.seed, p.coord, p.coordIn, p.reach, p.ackDeadline), true
+	}
+	// A terminate-on-ack-timeout protocol would enter its termination
+	// machinery here; replay it instead of modeling that.
+	return false, 0, false
+}
+
+// windowQuiet reports whether every fault event inside the commit window
+// (arrival, arrival+5T] is invisible to the transaction: a crash or restart
+// of a site that is neither its (effective) coordinator nor one of its
+// participants. All protocol traffic flows between the coordinator and the
+// participants, the per-message delay hash is independent of unrelated
+// traffic, and an unrelated site by definition holds no copy of a written
+// item — so such an event cannot change the transaction's fate or timing.
+// Partition changes regroup every site and always count as visible. Events
+// at the arrival instant are already folded into the arrival's epoch; an
+// event at exactly the window end still counts, since replay applies it
+// before same-instant message deliveries.
+//
+// A window overhanging the horizon is never quiet: replay freezes the world
+// mid-protocol there, leaving a transaction non-terminal (Blocked) even
+// when the arithmetic says its decision lands before the cut — the decision
+// only becomes terminal when its delivery does. The epoch fast path gets
+// this for free because the last epoch ends at the horizon.
+func windowQuiet(sc *script, a *arrival, coord types.SiteID, window sim.Duration, horizon sim.Time) bool {
+	end := a.At.Add(window)
+	if end+1 > horizon {
+		return false
+	}
+	evs := sc.events
+	i := sort.Search(len(evs), func(i int) bool { return evs[i].At > a.At })
+	for ; i < len(evs) && evs[i].At <= end; i++ {
+		switch evs[i].Kind {
+		case EventPartition, EventHeal:
+			return false
+		default:
+			if evs[i].Site == coord {
+				return false
+			}
+			for _, s := range a.Participants {
+				if s == evs[i].Site {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// firstDecisionTime mirrors engine.Cluster.FirstDecisionAt for an analytic
+// transaction: a coordinator outside the participant set records the
+// decision locally the instant it is made, otherwise the earliest decision
+// record is the fastest delivery of the decision message to a reachable
+// participant (the coordinator's own site included).
+func firstDecisionTime(seed int64, coord types.SiteID, coordIn bool, reach []types.SiteID, tDecide sim.Time) sim.Time {
+	if !coordIn {
+		return tDecide
+	}
+	first := sim.Time(0)
+	for i, s := range reach {
+		at := tDecide.Add(messageDelay(seed, coord, s, tDecide))
+		if i == 0 || at < first {
+			first = at
+		}
+	}
+	return first
+}

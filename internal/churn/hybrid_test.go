@@ -1,0 +1,272 @@
+package churn
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"qcommit/internal/sim"
+	"qcommit/internal/simnet"
+	"qcommit/internal/types"
+	"qcommit/internal/voting"
+)
+
+// fateSig is the signature the hybrid engine guarantees to reproduce
+// bit-identically: every transaction fate plus the safety verdict. Probe
+// counters and latencies are documented approximations and stay out.
+type fateSig struct {
+	Arrivals, Submitted, Committed, Aborted, Blocked, Unresolved, Rejected, Violations int
+}
+
+func fatesOf(r Result) fateSig {
+	c := r.Counts
+	return fateSig{
+		Arrivals: c.Arrivals, Submitted: c.Submitted,
+		Committed: c.Committed, Aborted: c.Aborted,
+		Blocked: c.Blocked, Unresolved: c.Unresolved, Rejected: c.Rejected,
+		Violations: r.Violations,
+	}
+}
+
+func requireSameFates(t *testing.T, replay, hybrid []Result) {
+	t.Helper()
+	if len(replay) != len(hybrid) {
+		t.Fatalf("column counts diverged: %d vs %d", len(replay), len(hybrid))
+	}
+	for i := range replay {
+		if r, h := fatesOf(replay[i]), fatesOf(hybrid[i]); r != h {
+			t.Errorf("%s: fates diverged\nreplay %+v\nhybrid %+v", replay[i].Label, r, h)
+		}
+	}
+}
+
+// TestHybridMatchesReplay is the differential contract: across every
+// protocol, every access strategy, and a range of repair speeds, the hybrid
+// engine's transaction fates and violation counts are bit-identical to full
+// replay of the same seeded worlds.
+func TestHybridMatchesReplay(t *testing.T) {
+	strategies := []voting.Strategy{voting.StrategyQuorum, voting.StrategyMissingWrites, voting.StrategyDynamic}
+	mttrs := []sim.Duration{150 * sim.Millisecond, 300 * sim.Millisecond, 600 * sim.Millisecond}
+	for _, strategy := range strategies {
+		for _, mttr := range mttrs {
+			strategy, mttr := strategy, mttr
+			t.Run(fmt.Sprintf("%s/mttr=%v", strategy, sim.Time(mttr)), func(t *testing.T) {
+				params := testParams()
+				params.Strategy = strategy
+				params.MTTR = mttr
+				replay, err := Study(params, 3, 1301, StandardBuilders())
+				if err != nil {
+					t.Fatal(err)
+				}
+				params.Engine = EngineHybrid
+				hybrid, err := Study(params, 3, 1301, StandardBuilders())
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameFates(t, replay, hybrid)
+			})
+		}
+	}
+}
+
+// TestHybridMatchesReplayQuietWorlds covers the regimes where the analytic
+// path dominates: no churn at all, and site churn without partitions.
+func TestHybridMatchesReplayQuietWorlds(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"no churn", func(p *Params) { p.MTTF, p.MTTR = 0, 0 }},
+		{"site churn only", func(p *Params) { p.PartitionMTBF, p.PartitionMTTR = 0, 0 }},
+		{"sparse arrivals", func(p *Params) { p.MeanInterarrival = 400 * sim.Millisecond }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			params := testParams()
+			tc.mutate(&params)
+			replay, err := Study(params, 3, 77, StandardBuilders())
+			if err != nil {
+				t.Fatal(err)
+			}
+			params.Engine = EngineHybrid
+			hybrid, err := Study(params, 3, 77, StandardBuilders())
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameFates(t, replay, hybrid)
+		})
+	}
+}
+
+// TestHybridAnalyticCoverage pins that the analytic path carries real load —
+// a hybrid engine that silently replays everything would pass the
+// differential suite while defeating its purpose. Even under the test
+// configuration's heavy churn (epochs barely longer than the commit window),
+// every protocol column must decide at least a third of its submissions
+// analytically, and a quiet world must decide everything analytically.
+func TestHybridAnalyticCoverage(t *testing.T) {
+	params := testParams()
+	// The test configuration's 4-item universe chains almost every arrival
+	// into one conflict cluster; a wider item space makes write conflicts
+	// rare, the realistic large-study regime the engine is built for.
+	params.NumItems = 64
+	sc, err := generateScript(params, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range StandardBuilders() {
+		st, err := executeRunHybrid(sc, params, 5, b.Build(sc.sites))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.counts.Submitted == 0 {
+			t.Fatalf("%s: no submissions", b.Label)
+		}
+		if st.analytic*3 < st.counts.Submitted {
+			t.Errorf("%s: only %d/%d submissions decided analytically", b.Label, st.analytic, st.counts.Submitted)
+		}
+	}
+
+	quiet := params
+	quiet.MTTF, quiet.MTTR = 0, 0
+	quiet.PartitionMTBF, quiet.PartitionMTTR = 0, 0
+	quiet.MeanInterarrival = 400 * sim.Millisecond
+	sc, err = generateScript(quiet, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range StandardBuilders() {
+		st, err := executeRunHybrid(sc, quiet, 5, b.Build(sc.sites))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.analytic != st.counts.Submitted {
+			t.Errorf("%s: %d/%d analytic in a quiet sparse world", b.Label, st.analytic, st.counts.Submitted)
+		}
+	}
+}
+
+// TestHybridParallelMatchesSerial extends the repo's determinism contract to
+// the hybrid engine: StudyParallel must return Results bit-for-bit identical
+// to the serial oracle for every tested worker count.
+func TestHybridParallelMatchesSerial(t *testing.T) {
+	params := testParams()
+	params.Engine = EngineHybrid
+	builders := StandardBuilders()
+	const runs = 8
+	want, err := Study(params, runs, 1, builders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+		got, err := StudyParallel(params, runs, 1, builders, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: hybrid parallel diverged from serial", workers)
+		}
+	}
+}
+
+// TestMessageDelayModel pins the hash delay model's contract: in range,
+// deterministic, sensitive to every key component, and what simnet actually
+// delivers when DelayFn is installed.
+func TestMessageDelayModel(t *testing.T) {
+	maxDelay := simnet.Config{}.MaxDelayOrDefault()
+	seen := map[sim.Duration]int{}
+	for i := 0; i < 2000; i++ {
+		d := messageDelay(42, types.SiteID(i%7+1), types.SiteID(i%5+1), sim.Time(i*1000))
+		if d < 0 || d > maxDelay {
+			t.Fatalf("delay %v outside [0, %v]", d, maxDelay)
+		}
+		seen[d]++
+	}
+	if len(seen) < 100 {
+		t.Errorf("only %d distinct delays in 2000 draws — model looks degenerate", len(seen))
+	}
+	base := messageDelay(1, 2, 3, 4)
+	if messageDelay(1, 2, 3, 4) != base {
+		t.Error("delay model not deterministic")
+	}
+	diffs := 0
+	for _, other := range []sim.Duration{
+		messageDelay(2, 2, 3, 4), messageDelay(1, 3, 3, 4),
+		messageDelay(1, 2, 2, 4), messageDelay(1, 2, 3, 5),
+	} {
+		if other != base {
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		t.Error("delay model insensitive to seed, endpoints, and time")
+	}
+}
+
+// conflictClusters is pure arithmetic over the arrival stream; pin the
+// chaining and windowing behavior directly.
+func TestConflictClusters(t *testing.T) {
+	ws := func(items ...string) types.Writeset {
+		var w types.Writeset
+		for _, it := range items {
+			w = append(w, types.Update{Item: types.ItemID(it), Value: 1})
+		}
+		return w
+	}
+	arrivals := []arrival{
+		{At: 0, Writeset: ws("a")},
+		{At: 50, Writeset: ws("b")},      // disjoint item: alone
+		{At: 80, Writeset: ws("a", "c")}, // links to 0 via "a"
+		{At: 150, Writeset: ws("c")},     // links to 2 via "c" → cluster {0,2,3}
+		{At: 1000, Writeset: ws("a")},    // "a" again, far outside the window
+		{At: 1040, Writeset: ws("d")},    // alone
+		{At: 1100, Writeset: ws("a")},    // links to 4
+	}
+	got := conflictClusters(arrivals, 100)
+	want := []bool{true, false, true, true, true, false, true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("clusters = %v, want %v", got, want)
+	}
+	if out := conflictClusters(nil, 100); len(out) != 0 {
+		t.Errorf("empty stream produced %v", out)
+	}
+}
+
+// FuzzHybridMatchesReplay drives the differential contract over fuzzed
+// study shapes: seed, strategy, churn rates, arrival rate, and partition
+// churn on or off.
+func FuzzHybridMatchesReplay(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint16(1500), uint16(300), uint16(100), true)
+	f.Add(int64(99), uint8(1), uint16(800), uint16(150), uint16(40), false)
+	f.Add(int64(7), uint8(2), uint16(0), uint16(0), uint16(60), true)
+	f.Add(int64(-3), uint8(0), uint16(3000), uint16(900), uint16(25), false)
+	f.Fuzz(func(t *testing.T, seed int64, strat uint8, mttfMs, mttrMs, arrivalMs uint16, partitions bool) {
+		params := DefaultParams()
+		params.Horizon = 1500 * sim.Millisecond
+		params.Strategy = []voting.Strategy{
+			voting.StrategyQuorum, voting.StrategyMissingWrites, voting.StrategyDynamic,
+		}[int(strat)%3]
+		params.MTTF = sim.Duration(mttfMs%4000) * sim.Millisecond
+		params.MTTR = sim.Duration(mttrMs%1200) * sim.Millisecond
+		if params.MTTF == 0 || params.MTTR == 0 {
+			params.MTTF, params.MTTR = 0, 0
+		}
+		if partitions {
+			params.PartitionMTBF = 1200 * sim.Millisecond
+			params.PartitionMTTR = 400 * sim.Millisecond
+		}
+		params.MeanInterarrival = sim.Duration(arrivalMs%500+10) * sim.Millisecond
+		replay, err := Study(params, 1, seed, StandardBuilders())
+		if err != nil {
+			t.Skip(err)
+		}
+		params.Engine = EngineHybrid
+		hybrid, err := Study(params, 1, seed, StandardBuilders())
+		if err != nil {
+			t.Fatalf("hybrid errored where replay succeeded: %v", err)
+		}
+		requireSameFates(t, replay, hybrid)
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"qcommit/internal/engine"
 	"qcommit/internal/protocol"
 	"qcommit/internal/sim"
+	"qcommit/internal/simnet"
 	"qcommit/internal/skeenq"
 	"qcommit/internal/threepc"
 	"qcommit/internal/twopc"
@@ -78,6 +79,10 @@ type runStats struct {
 	counts     Counts
 	violations int
 	latencies  []sim.Duration
+	// analytic is how many submissions the hybrid engine decided without
+	// simulation (always zero for replay); it exists so tests can pin that
+	// the analytic path carries real coverage.
+	analytic int
 }
 
 // stepsPerArrival budgets scheduler events per transaction (ordinary
@@ -99,8 +104,10 @@ const kickGraceT = 6
 func executeRun(sc *script, params Params, seed int64, spec protocol.Spec) (runStats, error) {
 	// ExtraSites keeps copy-less sites in the cluster: random placement may
 	// leave a site with no replicas, but the timeline still crashes and
-	// restarts it.
-	cl := engine.New(engine.Config{Seed: seed, Assignment: sc.asgn, Strategy: params.Strategy, Spec: spec, ExtraSites: sc.sites})
+	// restarts it. Delays come from the per-message hash model so the hybrid
+	// engine's fallback world — which simulates only a subset of the traffic
+	// — sees the same delay on every message it shares with this full replay.
+	cl := engine.New(engine.Config{Seed: seed, Net: simnet.Config{DelayFn: delayModel(seed)}, Assignment: sc.asgn, Strategy: params.Strategy, Spec: spec, ExtraSites: sc.sites})
 	cl.Recorder().Disable()
 	sched := cl.Scheduler()
 	sched.MaxSteps = 4_000_000 + uint64(len(sc.arrivals))*stepsPerArrival
@@ -240,8 +247,12 @@ func accumulateRun(params Params, seed int64, r int, builders []Builder, results
 	if err != nil {
 		return err
 	}
+	exec := executeRun
+	if params.Engine == EngineHybrid {
+		exec = executeRunHybrid
+	}
 	for i, b := range builders {
-		st, err := executeRun(sc, params, seed+int64(r), b.Build(sc.sites))
+		st, err := exec(sc, params, seed+int64(r), b.Build(sc.sites))
 		if err != nil {
 			return err
 		}

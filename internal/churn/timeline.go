@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"qcommit/internal/sim"
+	"qcommit/internal/storage"
 	"qcommit/internal/types"
 	"qcommit/internal/voting"
 	"qcommit/internal/workload"
@@ -78,6 +79,18 @@ type script struct {
 	// partitionedNS is the time the network spent split.
 	siteDownNS    int64
 	partitionedNS int64
+	// Hybrid-engine views of the script, computed on first use and shared
+	// by every protocol column of the run (scripts are evaluated by one
+	// goroutine at a time). The plans carry everything about an arrival
+	// that is protocol-independent: probes, rerouting, reachability and
+	// the vote/ack round-trip arithmetic.
+	hybridEpochs []Epoch
+	hybridMulti  []bool
+	hybridPlans  []arrivalPlan
+	hybridSeed   int64
+	// hybridStores is the initial store table per site, cloned into each
+	// fallback world via engine.Config.SeedStores.
+	hybridStores map[types.SiteID]map[types.ItemID]storage.Versioned
 }
 
 // expDur draws an exponentially distributed duration with the given mean,
@@ -214,6 +227,104 @@ func generateScript(params Params, seed int64) (*script, error) {
 // workloadSeedMix decorrelates the workload generator's seed from the fault
 // rng's seed (an arbitrary odd constant).
 const workloadSeedMix = 0x5bf0_3635
+
+// Epoch is a maximal interval [Start, End) of a fault timeline over which
+// the world is static: no site crashes or restarts and the partition layout
+// does not change. The epoch view is the raw event stream re-expressed as
+// state: where events say what changed, an epoch says what held — which is
+// exactly what the hybrid engine needs to decide whether a transaction's
+// whole commit window saw one fixed world.
+type Epoch struct {
+	Start sim.Time
+	End   sim.Time
+	// Down[s] reports whether site s is down throughout the epoch; sites
+	// are the contiguous IDs 1..numSites, index 0 is unused.
+	Down []bool
+	// GroupOf[s] is the partition group of site s, mirroring
+	// simnet.Network's convention: all zeros when fully connected, and
+	// after a partition the listed groups get 1-based numbers with
+	// unlisted sites sharing the implicit residual group 0.
+	GroupOf []int
+}
+
+// Up reports whether site s is up throughout the epoch.
+func (e *Epoch) Up(s types.SiteID) bool { return !e.Down[s] }
+
+// Connected mirrors simnet.Network.Connected over the epoch's static
+// state: both sites up and in the same partition group.
+func (e *Epoch) Connected(a, b types.SiteID) bool {
+	if e.Down[a] || e.Down[b] {
+		return false
+	}
+	return e.GroupOf[a] == e.GroupOf[b]
+}
+
+// Contains reports whether the interval [from, to] falls inside the epoch.
+func (e *Epoch) Contains(from, to sim.Time) bool {
+	return e.Start <= from && to <= e.End
+}
+
+// EpochsOf segments a time-sorted fault-event stream over sites 1..numSites
+// into epochs covering [0, horizon). Events at identical timestamps are
+// applied together in stream order and share one boundary, so no
+// zero-length epochs are emitted; events at or past the horizon are
+// ignored. The returned epochs tile [0, horizon) exactly: the first starts
+// at 0, each next starts where the previous ended, and the last ends at
+// the horizon.
+func EpochsOf(events []Event, numSites int, horizon sim.Time) []Epoch {
+	down := make([]bool, numSites+1)
+	groupOf := make([]int, numSites+1)
+	var out []Epoch
+	start := sim.Time(0)
+	snapshot := func(end sim.Time) {
+		e := Epoch{
+			Start:   start,
+			End:     end,
+			Down:    make([]bool, numSites+1),
+			GroupOf: make([]int, numSites+1),
+		}
+		copy(e.Down, down)
+		copy(e.GroupOf, groupOf)
+		out = append(out, e)
+	}
+	for _, ev := range events {
+		if ev.At >= horizon {
+			break
+		}
+		if ev.At > start {
+			snapshot(ev.At)
+			start = ev.At
+		}
+		switch ev.Kind {
+		case EventCrash:
+			down[ev.Site] = true
+		case EventRestart:
+			down[ev.Site] = false
+		case EventPartition:
+			for i := range groupOf {
+				groupOf[i] = 0
+			}
+			for gi, g := range ev.Groups {
+				for _, s := range g {
+					groupOf[s] = gi + 1
+				}
+			}
+		case EventHeal:
+			for i := range groupOf {
+				groupOf[i] = 0
+			}
+		}
+	}
+	if start < horizon {
+		snapshot(horizon)
+	}
+	return out
+}
+
+// epochs is the script's epoch view of its own fault timeline.
+func (sc *script) epochs(horizon sim.Time) []Epoch {
+	return EpochsOf(sc.events, len(sc.sites), horizon)
+}
 
 // randomGroups splits sites into 2..maxGroups non-empty groups by
 // round-robin over a random permutation (the avail scenario generator's

@@ -9,6 +9,7 @@ import (
 	"qcommit/internal/protocol"
 	"qcommit/internal/sim"
 	"qcommit/internal/simnet"
+	"qcommit/internal/storage"
 	"qcommit/internal/trace"
 	"qcommit/internal/types"
 	"qcommit/internal/voting"
@@ -50,6 +51,11 @@ type Config struct {
 	InitialValue int64
 	// InitialValues overrides InitialValue per item.
 	InitialValues map[types.ItemID]int64
+	// SeedStores, when set, seeds each site's store by cloning the given
+	// table instead of streaming per-item Inits, and InitialValue(s) are
+	// ignored. Callers that build many identical worlds over one placement
+	// (the hybrid churn engine) compute the tables once and reuse them.
+	SeedStores map[types.SiteID]map[types.ItemID]storage.Versioned
 	// Recorder receives trace events; nil allocates a fresh one.
 	Recorder *trace.Recorder
 	// WALDir, when set, persists each site's write-ahead log to
@@ -91,6 +97,11 @@ type Cluster struct {
 	adaptive       *voting.Adaptive
 	dynamic        *voting.Dynamic
 	recordedWrites map[types.TxnID]bool
+	// writtenItems marks items written by some committed transaction. A
+	// restarting site's anti-entropy only syncs those: every copy of a
+	// never-written item still sits at its initial version, so its sync
+	// round would be pure no-op traffic.
+	writtenItems map[types.ItemID]bool
 }
 
 // New builds a cluster: one site per site mentioned in the assignment (plus
@@ -110,11 +121,12 @@ func New(cfg Config) *Cluster {
 	sched.MaxSteps = 2_000_000 // livelock guard
 	net := simnet.New(sched, cfg.Net)
 	cl := &Cluster{
-		cfg:   cfg,
-		sched: sched,
-		net:   net,
-		sites: make(map[types.SiteID]*Site),
-		rec:   cfg.Recorder,
+		cfg:          cfg,
+		sched:        sched,
+		net:          net,
+		sites:        make(map[types.SiteID]*Site),
+		rec:          cfg.Recorder,
+		writtenItems: make(map[types.ItemID]bool),
 	}
 	switch cfg.Strategy {
 	case voting.StrategyMissingWrites:
@@ -153,14 +165,35 @@ func New(cfg Config) *Cluster {
 		cl.sites[id] = st
 		net.Register(id, st.handle)
 	}
-	for _, item := range cfg.Assignment.Items() {
-		ic, _ := cfg.Assignment.Item(item)
-		initial := cfg.InitialValue
-		if v, ok := cfg.InitialValues[item]; ok {
-			initial = v
+	if cfg.SeedStores != nil {
+		for _, id := range cl.siteIDs {
+			if tbl, ok := cfg.SeedStores[id]; ok {
+				cl.sites[id].store.InitFrom(tbl)
+			}
 		}
-		for _, cp := range ic.Copies {
-			cl.sites[cp.Site].store.Init(item, initial)
+	} else {
+		items := cfg.Assignment.Items()
+		perSite := make(map[types.SiteID]int, len(cl.siteIDs))
+		for _, item := range items {
+			ic, _ := cfg.Assignment.Item(item)
+			for _, cp := range ic.Copies {
+				perSite[cp.Site]++
+			}
+		}
+		for _, id := range cl.siteIDs {
+			if n := perSite[id]; n > 0 {
+				cl.sites[id].store.Reserve(n)
+			}
+		}
+		for _, item := range items {
+			ic, _ := cfg.Assignment.Item(item)
+			initial := cfg.InitialValue
+			if v, ok := cfg.InitialValues[item]; ok {
+				initial = v
+			}
+			for _, cp := range ic.Copies {
+				cl.sites[cp.Site].store.Init(item, initial)
+			}
 		}
 	}
 	if cfg.WALDir != "" {
@@ -194,6 +227,7 @@ func (cl *Cluster) resumeFromLogs() {
 			}
 			if img.State == types.StateCommitted && len(img.Writeset) > 0 {
 				site.store.ApplyWriteset(img.Writeset, uint64(txn)+1)
+				cl.noteWritten(img.Writeset)
 			}
 		}
 		site.recoverVolatile()
@@ -244,6 +278,14 @@ func (cl *Cluster) Assignment() *voting.Assignment { return cl.cfg.Assignment }
 
 func (cl *Cluster) send(from, to types.SiteID, m msg.Message) {
 	cl.net.Send(from, to, m)
+}
+
+// noteWritten records the items of a committed writeset so anti-entropy can
+// skip items no commit ever touched.
+func (cl *Cluster) noteWritten(ws types.Writeset) {
+	for _, u := range ws {
+		cl.writtenItems[u.Item] = true
+	}
 }
 
 func (cl *Cluster) violationf(format string, args ...any) {
@@ -561,6 +603,27 @@ func (cl *Cluster) GroupOutcome(txn types.TxnID, group []types.SiteID) types.Out
 // LockedItems returns the items still X-locked by txn at a site.
 func (cl *Cluster) LockedItems(id types.SiteID, txn types.TxnID) []types.ItemID {
 	return cl.sites[id].locks.HeldItems(txn)
+}
+
+// ItemLockedAt reports whether any transaction currently holds a lock on
+// item at the given site. The hybrid churn engine uses it as a
+// classification probe: a candidate for the analytic fast path must see
+// every copy of its writeset unlocked, otherwise its votes are not the
+// unanimous yes the arithmetic assumes and it is replayed instead.
+func (cl *Cluster) ItemLockedAt(id types.SiteID, item types.ItemID) bool {
+	return cl.sites[id].locks.Locked(item)
+}
+
+// AnyLocks reports whether any site currently holds any lock. It is the
+// cheap screen in front of per-item ItemLockedAt probes: one counter read
+// per site instead of a hashed table lookup per (site, item) pair.
+func (cl *Cluster) AnyLocks() bool {
+	for _, id := range cl.siteIDs {
+		if cl.sites[id].locks.HeldCount() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // FirstDecisionAt returns the earliest virtual time at which any site

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"qcommit/internal/storage"
 	"qcommit/internal/types"
 	"qcommit/internal/wal"
 )
@@ -25,29 +26,42 @@ func (cl *Cluster) CheckStores() []string {
 	var issues []string
 
 	// Gather global commit/abort knowledge and writesets from all WALs.
+	// Records are scanned in place — the per-record fold only needs the
+	// terminal markers plus one writeset per transaction, so replaying full
+	// per-site transaction images here would be pure allocation churn.
 	type txnInfo struct {
 		committed bool
 		aborted   bool
 		ws        types.Writeset
 	}
 	txns := make(map[types.TxnID]*txnInfo)
+	fold := func(r *wal.Record) {
+		if r.Type != wal.RecCommit && r.Type != wal.RecAbort && r.Type != wal.RecVotedNo && len(r.Writeset) == 0 {
+			return
+		}
+		info := txns[r.Txn]
+		if info == nil {
+			info = &txnInfo{}
+			txns[r.Txn] = info
+		}
+		switch r.Type {
+		case wal.RecCommit:
+			info.committed = true
+		case wal.RecAbort, wal.RecVotedNo:
+			info.aborted = true
+		}
+		if len(r.Writeset) > 0 && len(info.ws) == 0 {
+			info.ws = r.Writeset
+		}
+	}
 	for _, id := range cl.siteIDs {
+		if mem, ok := cl.sites[id].log.(*wal.MemLog); ok {
+			mem.Scan(fold)
+			continue
+		}
 		recs, _ := cl.sites[id].log.Records()
-		for t, img := range wal.Replay(recs) {
-			info := txns[t]
-			if info == nil {
-				info = &txnInfo{}
-				txns[t] = info
-			}
-			switch img.State {
-			case types.StateCommitted:
-				info.committed = true
-			case types.StateAborted:
-				info.aborted = true
-			}
-			if len(img.Writeset) > 0 && len(info.ws) == 0 {
-				info.ws = img.Writeset.Clone()
-			}
+		for i := range recs {
+			fold(&recs[i])
 		}
 	}
 
@@ -59,14 +73,14 @@ func (cl *Cluster) CheckStores() []string {
 	seen := make(map[iv]int64)
 
 	for _, id := range cl.siteIDs {
+		id := id
 		site := cl.sites[id]
-		for _, item := range site.store.Items() {
-			v, err := site.store.Read(item)
-			if err != nil {
-				continue
-			}
+		// Scan visits copies in map order; the trailing sort restores a
+		// deterministic issue list, and the divergence message orders its
+		// value pair itself so it reads the same either way around.
+		site.store.Scan(func(item types.ItemID, v storage.Versioned) {
 			if v.Version == 1 {
-				continue // initial value
+				return // initial value
 			}
 			txn := types.TxnID(v.Version - 1)
 			info := txns[txn]
@@ -93,11 +107,15 @@ func (cl *Cluster) CheckStores() []string {
 			}
 			key := iv{item, v.Version}
 			if prev, ok := seen[key]; ok && prev != v.Value {
+				lo, hi := prev, v.Value
+				if lo > hi {
+					lo, hi = hi, lo
+				}
 				issues = append(issues, fmt.Sprintf(
-					"item %s version %d has divergent values %d and %d", item, v.Version, prev, v.Value))
+					"item %s version %d has divergent values %d and %d", item, v.Version, lo, hi))
 			}
 			seen[key] = v.Value
-		}
+		})
 	}
 	sort.Strings(issues)
 	return issues

@@ -209,6 +209,9 @@ func (s *Site) recoverVolatile() {
 // for transactions it never voted on.
 func (s *Site) syncCopies() {
 	for _, item := range s.store.Items() {
+		if !s.cl.writtenItems[item] {
+			continue // no commit ever wrote it: every copy is still initial
+		}
 		ic, ok := s.cl.cfg.Assignment.Item(item)
 		if !ok {
 			continue
@@ -451,6 +454,7 @@ func (s *Site) doCommit(c *txnCtx) {
 	}
 	_ = s.log.Append(wal.Record{Type: wal.RecCommit, Txn: c.txn})
 	s.store.ApplyWriteset(c.ws, uint64(c.txn)+1)
+	s.cl.noteWritten(c.ws)
 	s.cl.noteCommitApplied(s, c)
 	s.locks.ReleaseAll(c.txn)
 	c.outcome = types.OutcomeCommitted

@@ -26,6 +26,7 @@ import (
 	"hash/maphash"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qcommit/internal/obs"
@@ -162,6 +163,12 @@ type Manager struct {
 	site   types.SiteID
 	shards []shard
 
+	// held counts (txn, item) holder entries across all shards, maintained
+	// at every grant and release. HeldCount lets callers skip per-item
+	// probes when the whole table is empty — the common case for the
+	// hybrid churn engine's classification probe.
+	held atomic.Int64
+
 	// graphMu guards waitsFor, the global waits-for relation used for
 	// deadlock detection across all shards. Lock order: a shard's mu may be
 	// held while taking graphMu, never the reverse.
@@ -195,7 +202,9 @@ func NewSharded(site types.SiteID, shards int) *Manager {
 	}
 	for i := range m.shards {
 		m.shards[i].idx = i
-		m.shards[i].locks = make(map[types.ItemID]*lockState)
+		// Each shard's lock map is created on first grant: reads of a nil
+		// map behave like reads of an empty one, and many simulated sites
+		// never grant a lock at all.
 	}
 	return m
 }
@@ -249,6 +258,7 @@ func (m *Manager) TryAcquire(txn types.TxnID, item types.ItemID, mode Mode) erro
 	ls := sh.locks[item]
 	if ls == nil || len(ls.holders) == 0 {
 		sh.grantLocked(txn, item, mode)
+		m.held.Add(1)
 		m.noteGrantLocked(sh.locks[item], txn)
 		return nil
 	}
@@ -267,6 +277,7 @@ func (m *Manager) TryAcquire(txn types.TxnID, item types.ItemID, mode Mode) erro
 	}
 	if compatible(ls.mode, mode) && len(ls.queue) == 0 {
 		ls.holders[txn] = 1
+		m.held.Add(1)
 		m.noteGrantLocked(ls, txn)
 		return nil
 	}
@@ -283,6 +294,7 @@ func (m *Manager) Acquire(txn types.TxnID, item types.ItemID, mode Mode) error {
 	ls := sh.locks[item]
 	if ls == nil || len(ls.holders) == 0 {
 		sh.grantLocked(txn, item, mode)
+		m.held.Add(1)
 		m.noteGrantLocked(sh.locks[item], txn)
 		sh.mu.Unlock()
 		return nil
@@ -305,6 +317,7 @@ func (m *Manager) Acquire(txn types.TxnID, item types.ItemID, mode Mode) error {
 	}
 	if compatible(ls.mode, mode) && len(ls.queue) == 0 {
 		ls.holders[txn] = 1
+		m.held.Add(1)
 		m.noteGrantLocked(ls, txn)
 		sh.mu.Unlock()
 		return nil
@@ -353,6 +366,7 @@ func (m *Manager) Release(txn types.TxnID, item types.ItemID) {
 			return
 		}
 		delete(ls.holders, txn)
+		m.held.Add(-1)
 		m.noteReleaseLocked(sh, ls, txn)
 	}
 	m.wakeLocked(sh, item)
@@ -366,6 +380,7 @@ func (m *Manager) ReleaseAll(txn types.TxnID) {
 		for item, ls := range sh.locks {
 			if _, ok := ls.holders[txn]; ok {
 				delete(ls.holders, txn)
+				m.held.Add(-1)
 				m.noteReleaseLocked(sh, ls, txn)
 				m.wakeLocked(sh, item)
 			}
@@ -394,6 +409,11 @@ func (m *Manager) Locked(item types.ItemID) bool {
 	ls := sh.locks[item]
 	return ls != nil && len(ls.holders) > 0
 }
+
+// HeldCount returns the number of (transaction, item) holder entries across
+// the whole table. Zero means no lock is held anywhere; an Exclusive upgrade
+// of a Shared hold still counts once.
+func (m *Manager) HeldCount() int64 { return m.held.Load() }
 
 // LockedBy reports whether txn holds item.
 func (m *Manager) LockedBy(txn types.TxnID, item types.ItemID) bool {
@@ -462,6 +482,9 @@ func (m *Manager) String() string {
 func (sh *shard) grantLocked(txn types.TxnID, item types.ItemID, mode Mode) {
 	ls := sh.locks[item]
 	if ls == nil {
+		if sh.locks == nil {
+			sh.locks = make(map[types.ItemID]*lockState)
+		}
 		ls = &lockState{holders: make(map[types.TxnID]int)}
 		sh.locks[item] = ls
 	}
@@ -483,6 +506,7 @@ func (m *Manager) wakeLocked(sh *shard, item types.ItemID) {
 			ls.queue = ls.queue[1:]
 			ls.mode = head.mode
 			ls.holders[head.txn] = 1
+			m.held.Add(1)
 			m.noteGrantLocked(ls, head.txn)
 			m.clearEdges(head.txn)
 			head.grant <- nil
@@ -491,6 +515,7 @@ func (m *Manager) wakeLocked(sh *shard, item types.ItemID) {
 		if compatible(ls.mode, head.mode) {
 			ls.queue = ls.queue[1:]
 			ls.holders[head.txn] = 1
+			m.held.Add(1)
 			m.noteGrantLocked(ls, head.txn)
 			m.clearEdges(head.txn)
 			head.grant <- nil

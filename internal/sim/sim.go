@@ -34,12 +34,17 @@ func (t Time) String() string { return fmt.Sprintf("%.3fms", float64(t)/1e6) }
 // Add returns the time advanced by d.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: once dispatched or
+// cancelled they return to the scheduler's freelist and are reused by later
+// At/After calls, so a long replay's event churn settles into a fixed
+// working set instead of allocating per event. The gen counter guards stale
+// EventIDs across reuse.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among same-time events
 	fn   func()
-	idx  int // heap index, -1 once popped or cancelled
+	idx  int    // heap index, -1 once popped or cancelled
+	gen  uint32 // bumped on recycle; EventIDs carry the gen they were issued at
 	dead bool
 }
 
@@ -73,8 +78,13 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. An EventID
+// outlives its event safely: once the event runs, is cancelled, or its slot
+// is reused, the ID's generation no longer matches and Cancel is a no-op.
+type EventID struct {
+	ev  *event
+	gen uint32
+}
 
 // Scheduler is the simulation event loop. It is not safe for concurrent use;
 // all simulated activity happens inside callbacks run by the scheduler.
@@ -82,6 +92,8 @@ type Scheduler struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	free   []*event // recycled events for reuse by At/After
+	seed   int64
 	rng    *rand.Rand
 	steps  uint64
 	// MaxSteps bounds the number of dispatched events to guard against
@@ -91,14 +103,21 @@ type Scheduler struct {
 
 // NewScheduler returns a scheduler whose random source is seeded with seed.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	return &Scheduler{seed: seed}
 }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Rand returns the scheduler's deterministic random source.
-func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+// Rand returns the scheduler's deterministic random source. The source is
+// seeded on first use — seeding the rand table is surprisingly expensive,
+// and runs under a deterministic DelayFn never draw from it at all.
+func (s *Scheduler) Rand() *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.seed))
+	}
+	return s.rng
+}
 
 // Steps returns the number of events dispatched so far.
 func (s *Scheduler) Steps() uint64 { return s.steps }
@@ -109,10 +128,28 @@ func (s *Scheduler) At(t Time, fn func()) EventID {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.fn, ev.dead = t, fn, false
+	} else {
+		ev = &event{at: t, fn: fn}
+	}
+	ev.seq = s.seq
 	s.seq++
 	heap.Push(&s.events, ev)
-	return EventID{ev}
+	return EventID{ev, ev.gen}
+}
+
+// recycle returns a popped or cancelled event to the freelist, invalidating
+// outstanding EventIDs for it and dropping its closure.
+func (s *Scheduler) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.dead = false
+	s.free = append(s.free, ev)
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -125,11 +162,12 @@ func (s *Scheduler) After(d Duration, fn func()) EventID {
 // still pending.
 func (s *Scheduler) Cancel(id EventID) bool {
 	ev := id.ev
-	if ev == nil || ev.dead || ev.idx < 0 {
+	if ev == nil || ev.gen != id.gen || ev.dead || ev.idx < 0 {
 		return false
 	}
 	ev.dead = true
 	heap.Remove(&s.events, ev.idx)
+	s.recycle(ev)
 	return true
 }
 
@@ -151,7 +189,9 @@ func (s *Scheduler) step() bool {
 	}
 	s.now = ev.at
 	s.steps++
-	ev.fn()
+	fn := ev.fn
+	s.recycle(ev)
+	fn()
 	return true
 }
 

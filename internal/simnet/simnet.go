@@ -39,6 +39,15 @@ type Config struct {
 	// Codec, when true, round-trips every message through the binary wire
 	// codec, exercising Marshal/Unmarshal on every hop.
 	Codec bool
+	// DelayFn, when non-nil, replaces the random draw: the propagation delay
+	// of a message is DelayFn(from, to, sendTime) and the scheduler RNG is
+	// never consulted. A pure DelayFn makes per-message timing a function of
+	// the message alone rather than of the global send order, so a
+	// simulation of any subset of the traffic sees identical delays for the
+	// messages it shares with the full run — the property the hybrid churn
+	// engine's replay fallback relies on. The returned delay is clamped
+	// to [0, MaxDelayOrDefault()].
+	DelayFn func(from, to types.SiteID, at sim.Time) sim.Duration
 }
 
 // DefaultConfig returns the configuration used by most experiments:
@@ -214,10 +223,10 @@ func (n *Network) Send(from, to types.SiteID, m msg.Message) {
 		n.stats.DroppedLoss++
 		return
 	}
-	n.deliverAfter(env, n.delay())
+	n.deliverAfter(env, n.delayFor(from, to))
 	if n.cfg.DupProb > 0 && n.sched.Rand().Float64() < n.cfg.DupProb {
 		n.stats.Duplicated++
-		n.deliverAfter(env, n.delay())
+		n.deliverAfter(env, n.delayFor(from, to))
 	}
 }
 
@@ -231,8 +240,19 @@ func (n *Network) Broadcast(from types.SiteID, tos []types.SiteID, m msg.Message
 	}
 }
 
-func (n *Network) delay() sim.Duration {
-	lo, hi := n.cfg.MinDelay, n.cfg.MaxDelayOrDefault()
+func (n *Network) delayFor(from, to types.SiteID) sim.Duration {
+	hi := n.cfg.MaxDelayOrDefault()
+	if fn := n.cfg.DelayFn; fn != nil {
+		d := fn(from, to, n.sched.Now())
+		if d < 0 {
+			d = 0
+		}
+		if d > hi {
+			d = hi
+		}
+		return d
+	}
+	lo := n.cfg.MinDelay
 	if lo < 0 {
 		lo = 0
 	}

@@ -9,6 +9,7 @@ package storage
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"sync"
 
@@ -43,6 +44,25 @@ func (s *Store) Init(item types.ItemID, value int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.copies[item] = Versioned{Value: value, Version: 1}
+}
+
+// Reserve pre-sizes an empty store for n copies, avoiding incremental map
+// growth during the Init stream that seeds a cluster.
+func (s *Store) Reserve(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.copies) == 0 && n > 0 {
+		s.copies = make(map[types.ItemID]Versioned, n)
+	}
+}
+
+// InitFrom replaces the store contents with a copy of src. Cloning an
+// already-built table skips the per-item hashing of an Init stream, which is
+// what makes repeated construction of identical worlds cheap.
+func (s *Store) InitFrom(src map[types.ItemID]Versioned) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.copies = maps.Clone(src)
 }
 
 // Has reports whether the site holds a copy of item.
@@ -101,6 +121,17 @@ func (s *Store) Items() []types.ItemID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Scan calls fn for every copy in the store, in map order. Callers that
+// need a stable order must sort what they collect; the auditors use Scan to
+// walk large stores without the allocation and sort of Items.
+func (s *Store) Scan(fn func(types.ItemID, Versioned)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id, v := range s.copies {
+		fn(id, v)
+	}
 }
 
 // Snapshot returns a copy of the full store contents.

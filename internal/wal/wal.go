@@ -116,6 +116,16 @@ func (l *MemLog) Records() ([]Record, error) {
 // Len returns the number of records.
 func (l *MemLog) Len() int { return len(l.recs) }
 
+// Scan calls fn for every record in append order without copying the log.
+// The callback must not retain the pointer or mutate the record's slices;
+// it exists so auditors that walk many large logs can avoid the per-call
+// allocation of Records.
+func (l *MemLog) Scan(fn func(*Record)) {
+	for i := range l.recs {
+		fn(&l.recs[i])
+	}
+}
+
 // TxnImage is the per-transaction state reconstructed from a log.
 type TxnImage struct {
 	Txn          types.TxnID
